@@ -1,0 +1,198 @@
+(* Command-line front end for the Turnpike reproduction.
+
+   turnpike-cli list                          benchmark inventory
+   turnpike-cli run -b mcf -s turnpike -w 30  compile + simulate one benchmark
+   turnpike-cli inject -b lbm -n 50           fault-injection campaign
+   turnpike-cli recovery -b libquan           dump generated recovery blocks
+   turnpike-cli cost                          hardware cost table
+   turnpike-cli wcdl -n 300 -f 2.5            sensor model query *)
+
+open Cmdliner
+module Suite = Turnpike_workloads.Suite
+module Sim_stats = Turnpike_arch.Sim_stats
+
+let schemes =
+  List.map (fun (s : Turnpike.Scheme.t) -> (s.Turnpike.Scheme.name, s))
+    (Turnpike.Scheme.baseline :: Turnpike.Scheme.ladder)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let doc = "List the 36 benchmark proxies and the available schemes." in
+  let run () =
+    print_endline "benchmarks:";
+    List.iter
+      (fun b ->
+        Printf.printf "  %-18s %-14s %s\n" (Suite.qualified_name b)
+          (Suite.suite_name b.Suite.suite) b.Suite.description)
+      (Suite.all ());
+    print_endline "\nschemes:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) schemes
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let bench_arg =
+  let doc = "Benchmark name (e.g. mcf, lbm); suite-qualified names like mcf@2017 also work." in
+  Arg.(required & opt (some string) None & info [ "b"; "benchmark" ] ~doc ~docv:"NAME")
+
+let scheme_arg =
+  let parse s =
+    match List.assoc_opt s schemes with
+    | Some x -> Ok x
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown scheme %s (see `turnpike-cli list`)" s))
+  in
+  let print fmt (s : Turnpike.Scheme.t) = Format.pp_print_string fmt s.Turnpike.Scheme.name in
+  let scheme_conv = Arg.conv (parse, print) in
+  Arg.(value & opt scheme_conv Turnpike.Scheme.turnpike
+       & info [ "s"; "scheme" ] ~docv:"SCHEME"
+           ~doc:"Resilience scheme (default turnpike).")
+
+let wcdl_arg =
+  Arg.(value & opt int 10 & info [ "w"; "wcdl" ] ~docv:"CYCLES"
+         ~doc:"Worst-case detection latency in cycles.")
+
+let sb_arg =
+  Arg.(value & opt int 4 & info [ "sb" ] ~docv:"ENTRIES" ~doc:"Store-buffer entries.")
+
+let scale_arg =
+  Arg.(value & opt int Turnpike.Run.default_scale & info [ "scale" ] ~docv:"N"
+         ~doc:"Workload scale factor (iteration multiplier).")
+
+let find_bench name =
+  let qualified = List.find_opt (fun b -> Suite.qualified_name b = name) (Suite.all ()) in
+  match qualified with
+  | Some b -> Ok b
+  | None -> (
+    match Suite.find_by_name name with
+    | b :: _ -> Ok b
+    | [] -> Error (Printf.sprintf "unknown benchmark %s" name))
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON counters.")
+
+let run_cmd =
+  let doc = "Compile one benchmark under a scheme and simulate it." in
+  let run name scheme wcdl sb scale json =
+    match find_bench name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok b ->
+      let ov, r = Turnpike.Run.normalized ~scale ~wcdl ~sb_size:sb scheme b in
+      if json then
+        Printf.printf
+          "{\"benchmark\":\"%s\",\"scheme\":\"%s\",\"wcdl\":%d,\"sb\":%d,\"overhead\":%.4f,\"stats\":%s}\n"
+          (Suite.qualified_name b) r.Turnpike.Run.scheme wcdl sb ov
+          (Sim_stats.to_json r.Turnpike.Run.stats)
+      else begin
+        Printf.printf "%s under %s (WCDL=%d, SB=%d):\n" (Suite.qualified_name b)
+          r.Turnpike.Run.scheme wcdl sb;
+        Printf.printf "  normalized execution time: %.3fx\n" ov;
+        Printf.printf "  %s\n" (Sim_stats.to_string r.Turnpike.Run.stats);
+        Printf.printf "  static: %s\n"
+          (Turnpike_compiler.Static_stats.to_string r.Turnpike.Run.static_stats)
+      end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_arg $ scheme_arg $ wcdl_arg $ sb_arg $ scale_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let inject_cmd =
+  let doc = "Run a fault-injection campaign and verify SDC-freedom." in
+  let faults_arg =
+    Arg.(value & opt int 30 & info [ "n"; "faults" ] ~docv:"N" ~doc:"Number of faults.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+  in
+  let run name faults seed scale =
+    match find_bench name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok b ->
+      let c =
+        Turnpike.Run.compile_and_trace ~scale Turnpike.Scheme.turnpike ~sb_size:4 b
+      in
+      if not c.Turnpike.Run.trace.Turnpike_ir.Trace.complete then begin
+        prerr_endline "trace truncated; lower --scale";
+        exit 1
+      end;
+      let campaign =
+        Turnpike_resilience.Injector.campaign ~seed ~count:faults c.Turnpike.Run.trace
+      in
+      let rep =
+        Turnpike_resilience.Verifier.run_campaign ~golden:c.Turnpike.Run.final
+          ~compiled:c.Turnpike.Run.compiled campaign
+      in
+      let module V = Turnpike_resilience.Verifier in
+      Printf.printf
+        "%s: %d faults -> %d recovered, %d SDC, %d crashed (parity %d, sensor %d)\n"
+        (Suite.qualified_name b) rep.V.total rep.V.recovered rep.V.sdc rep.V.crashed
+        rep.V.parity_detections rep.V.sensor_detections;
+      if rep.V.sdc > 0 || rep.V.crashed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "inject" ~doc)
+    Term.(const run $ bench_arg $ faults_arg $ seed_arg $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let recovery_cmd =
+  let doc = "Dump the generated per-region recovery blocks (paper Fig 1b)." in
+  let run name scale =
+    match find_bench name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok b ->
+      let c = Turnpike.Run.compile_and_trace ~scale Turnpike.Scheme.turnpike ~sb_size:4 b in
+      let blocks =
+        Turnpike_compiler.Recovery_codegen.generate ~compiled:c.Turnpike.Run.compiled
+          ~nregs:32
+      in
+      Printf.printf "%s: %d regions, %d recovery instructions\n\n"
+        (Suite.qualified_name b) (List.length blocks)
+        (Turnpike_compiler.Recovery_codegen.size blocks);
+      List.iter
+        (fun blk -> print_string (Turnpike_compiler.Recovery_codegen.to_string blk))
+        blocks
+  in
+  Cmd.v (Cmd.info "recovery" ~doc) Term.(const run $ bench_arg $ scale_arg)
+
+let cost_cmd =
+  let doc = "Print the hardware cost table (paper Table 1)." in
+  let run () =
+    List.iter
+      (fun (r : Turnpike_arch.Cost_model.table1_row) ->
+        Printf.printf "%-46s %12.3f um^2 %10.5f pJ\n" r.Turnpike_arch.Cost_model.label
+          r.Turnpike_arch.Cost_model.area_um2 r.Turnpike_arch.Cost_model.energy_pj)
+      (Turnpike_arch.Cost_model.table1 ())
+  in
+  Cmd.v (Cmd.info "cost" ~doc) Term.(const run $ const ())
+
+let wcdl_cmd =
+  let doc = "Query the acoustic-sensor model (paper Fig 18)." in
+  let sensors_arg =
+    Arg.(value & opt int 300 & info [ "n"; "sensors" ] ~docv:"N" ~doc:"Deployed sensors.")
+  in
+  let clock_arg =
+    Arg.(value & opt float 2.5 & info [ "f"; "ghz" ] ~docv:"GHZ" ~doc:"Core clock.")
+  in
+  let run sensors ghz =
+    let s = Turnpike_arch.Sensor.create ~num_sensors:sensors ~clock_ghz:ghz () in
+    Printf.printf "%d sensors at %.1fGHz: WCDL %d cycles, ~%.2f%% die area\n" sensors ghz
+      (Turnpike_arch.Sensor.wcdl s)
+      (Turnpike_arch.Sensor.area_overhead_percent s)
+  in
+  Cmd.v (Cmd.info "wcdl" ~doc) Term.(const run $ sensors_arg $ clock_arg)
+
+let () =
+  let doc = "Turnpike: lightweight soft error resilience for in-order cores (MICRO'21 reproduction)" in
+  let info = Cmd.info "turnpike-cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; inject_cmd; recovery_cmd; cost_cmd; wcdl_cmd ]))

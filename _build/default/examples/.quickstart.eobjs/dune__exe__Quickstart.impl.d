@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Instr Interp Layout List Printf Turnpike Turnpike_arch Turnpike_compiler Turnpike_ir Turnpike_workloads

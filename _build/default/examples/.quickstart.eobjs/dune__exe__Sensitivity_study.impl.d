@@ -1,0 +1,1 @@
+examples/sensitivity_study.ml: List Printf Turnpike Turnpike_arch Turnpike_workloads

@@ -1,0 +1,1 @@
+examples/sensitivity_study.mli:

@@ -1,0 +1,55 @@
+(* Sensitivity study: how the Turnpike/Turnstile trade-off moves with the
+   three design knobs the paper sweeps — worst-case detection latency
+   (sensor count), store-buffer size, and CLQ capacity — on a single
+   benchmark, with the sensor model translating WCDL back into a physical
+   sensor budget.
+
+   Run with:  dune exec examples/sensitivity_study.exe *)
+
+module Sensor = Turnpike_arch.Sensor
+module Clq = Turnpike_arch.Clq
+module Scheme = Turnpike.Scheme
+module Run = Turnpike.Run
+
+let () =
+  let bench = List.hd (Turnpike_workloads.Suite.find_by_name "lbm") in
+  Printf.printf "benchmark: %s (%s)\n\n" (Turnpike_workloads.Suite.qualified_name bench)
+    bench.Turnpike_workloads.Suite.description;
+
+  print_endline "1. Detection latency (sensor budget at 2.5GHz, 1mm^2 die):";
+  List.iter
+    (fun wcdl ->
+      let sensors = Sensor.sensors_for ~wcdl ~clock_ghz:2.5 () in
+      let ts, _ = Run.normalized ~wcdl Scheme.turnstile bench in
+      let tp, _ = Run.normalized ~wcdl Scheme.turnpike bench in
+      Printf.printf
+        "   WCDL %2d cycles (~%3d sensors, ~%.2f%% die): turnstile %.3fx turnpike %.3fx\n"
+        wcdl sensors
+        (Sensor.area_overhead_percent (Sensor.create ~num_sensors:sensors ~clock_ghz:2.5 ()))
+        ts tp)
+    [ 10; 20; 30; 40; 50 ];
+
+  print_endline "\n2. Store-buffer size (WCDL=10; baseline uses the same SB):";
+  List.iter
+    (fun sb ->
+      let ts, _ = Run.normalized ~wcdl:10 ~sb_size:sb ~baseline_sb:sb Scheme.turnstile bench in
+      let tp, _ = Run.normalized ~wcdl:10 ~sb_size:sb ~baseline_sb:sb Scheme.turnpike bench in
+      let cost = Turnpike_arch.Cost_model.store_buffer ~entries:sb in
+      Printf.printf "   SB %2d entries (%.0f um^2): turnstile %.3fx turnpike %.3fx\n" sb
+        cost.Turnpike_arch.Cost_model.area_um2 ts tp)
+    [ 4; 8; 10; 20; 40 ];
+
+  print_endline "\n3. CLQ design (WCDL=10):";
+  List.iter
+    (fun (label, design) ->
+      let scheme = Scheme.with_clq Scheme.turnpike (Some design) in
+      let ov, r = Run.normalized ~wcdl:10 scheme bench in
+      Printf.printf "   %-16s overhead %.3fx, WAR-free released %d\n" label ov
+        r.Run.stats.Turnpike_arch.Sim_stats.war_free_released)
+    [ ("compact, 1 entry", Clq.Compact 1); ("compact, 2 entries", Clq.Compact 2);
+      ("compact, 4 entries", Clq.Compact 4); ("ideal (CAM)", Clq.Ideal) ];
+
+  print_endline "\nTakeaway: Turnpike at the smallest hardware point (SB=4, 2-entry";
+  print_endline "CLQ, ~10% of the SB's area) tracks or beats Turnstile at every";
+  print_endline "sensor budget, while Turnstile needs a 10x larger store buffer to";
+  print_endline "approach it."

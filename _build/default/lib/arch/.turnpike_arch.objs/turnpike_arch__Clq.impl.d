@@ -1,0 +1,1 @@
+lib/arch/clq.pp.ml: Int List Set

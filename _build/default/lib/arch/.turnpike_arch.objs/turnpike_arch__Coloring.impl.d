@@ -1,0 +1,1 @@
+lib/arch/coloring.pp.ml: Array List Turnpike_ir

@@ -1,0 +1,1 @@
+lib/arch/coloring.pp.mli:

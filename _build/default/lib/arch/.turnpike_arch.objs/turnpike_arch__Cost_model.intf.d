@@ -1,0 +1,1 @@
+lib/arch/cost_model.pp.mli:

@@ -1,0 +1,1 @@
+lib/arch/machine.pp.ml: Clq Mem_hierarchy Printf Sensor

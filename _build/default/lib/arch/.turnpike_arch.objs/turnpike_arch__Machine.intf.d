@@ -1,0 +1,1 @@
+lib/arch/machine.pp.mli: Clq Mem_hierarchy

@@ -1,0 +1,1 @@
+lib/arch/mem_hierarchy.pp.ml: Cache

@@ -1,0 +1,1 @@
+lib/arch/ooo_timing.pp.ml: Array Branch_predictor Cache Hashtbl Layout List Mem_hierarchy Option Rbb Reg Sim_stats Store_buffer Trace Turnpike_ir

@@ -1,0 +1,1 @@
+lib/arch/ooo_timing.pp.mli: Mem_hierarchy Sim_stats Turnpike_ir

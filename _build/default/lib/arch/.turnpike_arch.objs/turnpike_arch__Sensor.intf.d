@@ -1,0 +1,1 @@
+lib/arch/sensor.pp.mli:

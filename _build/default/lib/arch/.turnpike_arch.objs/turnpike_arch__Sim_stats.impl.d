@@ -1,0 +1,1 @@
+lib/arch/sim_stats.pp.ml: Buffer Format Printf

@@ -1,0 +1,1 @@
+lib/arch/store_buffer.pp.ml: List

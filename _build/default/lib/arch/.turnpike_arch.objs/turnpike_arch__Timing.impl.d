@@ -1,0 +1,1 @@
+lib/arch/timing.pp.ml: Branch_predictor Cache Clq Coloring Hashtbl Layout List Machine Mem_hierarchy Option Printf Rbb Reg Sim_stats Store_buffer Trace Turnpike_ir

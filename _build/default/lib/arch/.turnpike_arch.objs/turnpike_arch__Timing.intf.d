@@ -1,0 +1,1 @@
+lib/arch/timing.pp.mli: Machine Sim_stats Turnpike_ir

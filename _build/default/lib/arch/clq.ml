@@ -1,0 +1,107 @@
+(* Committed load queue (paper §4.3.1): dynamically proves the absence of
+   WAR dependence so regular stores can bypass verification. Two designs:
+   the ideal CAM design records every committed load address of a region;
+   the compact design keeps one [min,max] range per region with a small
+   fixed number of entries and the Fig-13 enable/disable automaton. *)
+
+type design = Ideal | Compact of int
+
+module ISet = Set.Make (Int)
+
+type region_entry = {
+  region : int;
+  mutable addrs : ISet.t; (* ideal *)
+  mutable lo : int; (* compact *)
+  mutable hi : int;
+  mutable any : bool;
+}
+
+type t = {
+  design : design;
+  mutable entries : region_entry list; (* one per un-cleared region *)
+  mutable enabled : bool;
+  mutable overflows : int;
+  mutable inserted_loads : int;
+  mutable populated_samples : int list; (* entries-in-use at each sample *)
+}
+
+let create design =
+  (match design with
+  | Compact n when n <= 0 -> invalid_arg "Clq.create: entries must be positive"
+  | Compact _ | Ideal -> ());
+  {
+    design;
+    entries = [];
+    enabled = true;
+    overflows = 0;
+    inserted_loads = 0;
+    populated_samples = [];
+  }
+
+let enabled t = t.enabled
+
+let entries_in_use t = List.length t.entries
+
+let capacity t = match t.design with Ideal -> max_int | Compact n -> n
+
+let find_region t region = List.find_opt (fun e -> e.region = region) t.entries
+
+let disable t =
+  t.enabled <- false;
+  t.entries <- [];
+  t.overflows <- t.overflows + 1
+
+let record_load t ~region addr =
+  if t.enabled then begin
+    match find_region t region with
+    | Some e ->
+      t.inserted_loads <- t.inserted_loads + 1;
+      e.addrs <- ISet.add addr e.addrs;
+      if addr < e.lo then e.lo <- addr;
+      if addr > e.hi then e.hi <- addr;
+      e.any <- true
+    | None ->
+      if entries_in_use t >= capacity t then disable t
+      else begin
+        t.inserted_loads <- t.inserted_loads + 1;
+        t.entries <-
+          t.entries
+          @ [ { region; addrs = ISet.singleton addr; lo = addr; hi = addr; any = true } ]
+      end
+  end
+
+let war_free t ~region addr =
+  (* A store may bypass verification only when the fast-release logic is
+     enabled and no prior load of its own region may alias it. *)
+  t.enabled
+  &&
+  match find_region t region with
+  | None -> true
+  | Some e -> (
+    if not e.any then true
+    else
+      match t.design with
+      | Ideal -> not (ISet.mem addr e.addrs)
+      | Compact _ -> addr < e.lo || addr > e.hi)
+
+let on_region_verified t ~region =
+  t.entries <- List.filter (fun e -> e.region <> region) t.entries
+
+let maybe_enable t ~unverified_regions =
+  (* Fig 13: after an overflow the logic stays off until a region boundary
+     at which the prior region has been verified (at most the just-closed
+     region is still pending). *)
+  if (not t.enabled) && unverified_regions <= 1 then t.enabled <- true
+
+let sample t = t.populated_samples <- entries_in_use t :: t.populated_samples
+
+let overflows t = t.overflows
+let inserted_loads t = t.inserted_loads
+
+let max_populated t = List.fold_left max 0 t.populated_samples
+
+let mean_populated t =
+  match t.populated_samples with
+  | [] -> 0.0
+  | l ->
+    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)

@@ -1,0 +1,33 @@
+(** Analytic area/energy model reproducing the paper's Table 1 (CACTI at
+    22nm). RAM structures cost linearly in bytes; CAM structures linearly
+    in entries; both models are fitted on the paper's published anchor
+    points, so the table regenerates from first principles. *)
+
+type cost = { area_um2 : float; energy_pj : float }
+
+val cam : entries:int -> cost
+(** Content-addressed structure (store buffer).
+    @raise Invalid_argument on non-positive entries. *)
+
+val ram : bytes:int -> cost
+(** RAM structure (color maps, compact CLQ).
+    @raise Invalid_argument on non-positive size. *)
+
+val store_buffer : entries:int -> cost
+
+val color_map_bytes : nregs:int -> int
+(** Storage for the AC/UC/VC maps: 3·log2(colors) bits per register
+    (24 bytes for 32 registers and 4 colors, as in the paper). *)
+
+val color_maps : nregs:int -> cost
+val clq_bytes : entries:int -> int
+val clq : entries:int -> cost
+
+val add : cost -> cost -> cost
+val ratio : cost -> cost -> cost
+val turnpike_total : nregs:int -> clq_entries:int -> cost
+
+type table1_row = { label : string; area_um2 : float; energy_pj : float }
+
+val table1 : unit -> table1_row list
+(** The seven rows of the paper's Table 1 (ratio rows in percent). *)

@@ -1,0 +1,73 @@
+(* Machine configurations. The defaults model the paper's gem5 setup
+   (§6.1): a 2-issue in-order core in the style of the ARM Cortex-A53 with
+   a 4-entry store buffer, 2-entry compact CLQ and 10-cycle default WCDL. *)
+
+type t = {
+  name : string;
+  issue_width : int;
+  sb_size : int;
+  rbb_size : int;
+  wcdl : int;
+  verification : bool;
+  clq : Clq.design option;
+  coloring : bool;
+  branch_penalty : int;
+  mul_latency : int;
+  div_latency : int;
+  baseline_drain : int;
+  nregs : int;
+  mem : Mem_hierarchy.config;
+  strict_partitioning : bool;
+}
+
+let base =
+  {
+    name = "baseline";
+    issue_width = 2;
+    sb_size = 4;
+    rbb_size = 8;
+    wcdl = 10;
+    verification = false;
+    clq = None;
+    coloring = false;
+    branch_penalty = 2;
+    mul_latency = 3;
+    div_latency = 12;
+    baseline_drain = 2;
+    nregs = 32;
+    mem = Mem_hierarchy.default_config;
+    strict_partitioning = false;
+  }
+
+let baseline = base
+
+let turnstile ?(wcdl = 10) ?(sb_size = 4) () =
+  {
+    base with
+    name = Printf.sprintf "turnstile-dl%d-sb%d" wcdl sb_size;
+    wcdl;
+    sb_size;
+    verification = true;
+  }
+
+let turnpike ?(wcdl = 10) ?(sb_size = 4) ?(clq = Clq.Compact 2) ?(coloring = true) () =
+  {
+    base with
+    name = Printf.sprintf "turnpike-dl%d-sb%d" wcdl sb_size;
+    wcdl;
+    sb_size;
+    verification = true;
+    clq = Some clq;
+    coloring;
+  }
+
+let of_sensors t ~num_sensors ~clock_ghz =
+  (* Derive the verification window from a physical sensor deployment
+     (paper Fig 18) instead of picking a WCDL directly. *)
+  let s = Sensor.create ~num_sensors ~clock_ghz () in
+  { t with wcdl = Sensor.wcdl s }
+
+let with_wcdl t wcdl = { t with wcdl }
+let with_sb t sb_size = { t with sb_size }
+let with_clq t clq = { t with clq }
+let with_coloring t coloring = { t with coloring }

@@ -1,0 +1,45 @@
+(** Machine configurations.
+
+    Defaults model the paper's gem5 setup (§6.1): a 2-issue in-order core in
+    the style of the ARM Cortex-A53, 4-entry store buffer, 2-entry compact
+    CLQ, 10-cycle default WCDL. *)
+
+type t = {
+  name : string;
+  issue_width : int;
+  sb_size : int;
+  rbb_size : int;  (** max in-flight (unverified) regions *)
+  wcdl : int;  (** worst-case detection latency, cycles *)
+  verification : bool;
+      (** gated-SB verification on (Turnstile/Turnpike) or off (baseline) *)
+  clq : Clq.design option;  (** fast release of WAR-free regular stores *)
+  coloring : bool;  (** fast release of checkpoint stores *)
+  branch_penalty : int;  (** taken-branch redirect bubble *)
+  mul_latency : int;
+  div_latency : int;
+  baseline_drain : int;  (** SB residency of a store without verification *)
+  nregs : int;  (** architectural registers *)
+  mem : Mem_hierarchy.config;
+  strict_partitioning : bool;
+      (** raise (instead of force-releasing) if a single region overflows
+          the whole store buffer *)
+}
+
+val baseline : t
+(** No resilience support: the normalization denominator of every figure. *)
+
+val turnstile : ?wcdl:int -> ?sb_size:int -> unit -> t
+(** The state of the art being improved upon: verification on, no CLQ, no
+    coloring. *)
+
+val turnpike : ?wcdl:int -> ?sb_size:int -> ?clq:Clq.design -> ?coloring:bool -> unit -> t
+(** Turnpike hardware: verification with CLQ fast release and coloring. *)
+
+val of_sensors : t -> num_sensors:int -> clock_ghz:float -> t
+(** Derive the WCDL from a physical sensor deployment (paper Fig 18)
+    instead of choosing a cycle count directly. *)
+
+val with_wcdl : t -> int -> t
+val with_sb : t -> int -> t
+val with_clq : t -> Clq.design option -> t
+val with_coloring : t -> bool -> t

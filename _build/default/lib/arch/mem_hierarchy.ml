@@ -1,0 +1,57 @@
+(* Two-level data hierarchy modelled after the paper's gem5 configuration:
+   64KB 2-way L1D (2-cycle hit), unified 128KB 16-way L2 (20-cycle hit),
+   flat DRAM latency behind it. *)
+
+type config = {
+  l1_size : int;
+  l1_assoc : int;
+  l2_size : int;
+  l2_assoc : int;
+  line_bytes : int;
+  l1_hit : int;
+  l2_hit : int;
+  mem_latency : int;
+}
+
+let default_config =
+  {
+    l1_size = 64 * 1024;
+    l1_assoc = 2;
+    l2_size = 128 * 1024;
+    l2_assoc = 16;
+    line_bytes = 64;
+    l1_hit = 2;
+    l2_hit = 20;
+    mem_latency = 80;
+  }
+
+type t = { config : config; l1 : Cache.t; l2 : Cache.t }
+
+let create config =
+  {
+    config;
+    l1 =
+      Cache.create ~name:"L1D" ~size_bytes:config.l1_size ~assoc:config.l1_assoc
+        ~line_bytes:config.line_bytes;
+    l2 =
+      Cache.create ~name:"L2" ~size_bytes:config.l2_size ~assoc:config.l2_assoc
+        ~line_bytes:config.line_bytes;
+  }
+
+let load_latency t addr =
+  match Cache.access t.l1 ~write:false addr with
+  | `Hit -> t.config.l1_hit
+  | `Miss -> (
+    match Cache.access t.l2 ~write:false addr with
+    | `Hit -> t.config.l1_hit + t.config.l2_hit
+    | `Miss -> t.config.l1_hit + t.config.l2_hit + t.config.mem_latency)
+
+let store_release t addr =
+  (* Store-buffer releases happen in the background; they update cache
+     state (write-allocate) but do not stall the pipeline. *)
+  match Cache.access t.l1 ~write:true addr with
+  | `Hit -> ()
+  | `Miss -> ignore (Cache.access t.l2 ~write:true addr)
+
+let l1 t = t.l1
+let l2 t = t.l2

@@ -1,0 +1,30 @@
+(** Two-level data hierarchy modelled after the paper's gem5 configuration
+    (§6.1): 64KB 2-way L1D with 2-cycle hits and a unified 128KB 16-way L2
+    with 20-cycle hits, backed by flat-latency DRAM. *)
+
+type config = {
+  l1_size : int;
+  l1_assoc : int;
+  l2_size : int;
+  l2_assoc : int;
+  line_bytes : int;
+  l1_hit : int;  (** cycles *)
+  l2_hit : int;  (** additional cycles beyond L1 *)
+  mem_latency : int;  (** additional cycles beyond L2 *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val load_latency : t -> int -> int
+(** Latency in cycles of a load to a byte address, updating cache state. *)
+
+val store_release : t -> int -> unit
+(** Background store-buffer release: updates cache state (write-allocate)
+    without stalling the pipeline. *)
+
+val l1 : t -> Cache.t
+val l2 : t -> Cache.t

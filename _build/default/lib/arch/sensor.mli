@@ -1,0 +1,24 @@
+(** Analytic acoustic-sensor model (paper §6.2, Fig 18).
+
+    The worst-case detection latency (WCDL) in core cycles falls with the
+    square root of the sensor density and grows linearly with the clock
+    frequency. Calibrated on the paper's anchor point: 300 sensors on a
+    1mm² die at 2.5GHz give a 10-cycle WCDL. *)
+
+type t
+
+val create : ?die_area_mm2:float -> num_sensors:int -> clock_ghz:float -> unit -> t
+(** @raise Invalid_argument on non-positive sensor count or clock. *)
+
+val wcdl : t -> int
+(** Worst-case detection latency in cycles (at least 1). *)
+
+val sensors_for : wcdl:int -> clock_ghz:float -> ?die_area_mm2:float -> unit -> int
+(** Minimum sensor count achieving a target WCDL. *)
+
+val area_overhead_percent : t -> float
+(** Die-area overhead of the deployed sensors (≈1% for 300 sensors). *)
+
+val sample_detection_latency : t -> seed:int -> int
+(** Deterministic sample of an actual detection latency in [1, wcdl];
+    used by fault injection. *)

@@ -1,0 +1,90 @@
+(* Gated store buffer (GSB). Under verification (Turnstile/Turnpike), an
+   entry allocated by a committed store is quarantined until the store's
+   region is verified error-free; entries then drain to L1 one per cycle.
+   In baseline mode entries are given a release time at allocation. *)
+
+type entry = {
+  addr : int;
+  region : int; (* dynamic region sequence number *)
+  is_ckpt : bool;
+  mutable release_at : int option;
+}
+
+type t = {
+  size : int;
+  mutable entries : entry list; (* oldest first *)
+  mutable occupancy_samples : int;
+  mutable occupancy_total : int;
+}
+
+let create size =
+  if size <= 0 then invalid_arg "Store_buffer.create: size must be positive";
+  { size; entries = []; occupancy_samples = 0; occupancy_total = 0 }
+
+let occupancy t = List.length t.entries
+
+let is_full t = occupancy t >= t.size
+
+let sample t =
+  t.occupancy_samples <- t.occupancy_samples + 1;
+  t.occupancy_total <- t.occupancy_total + occupancy t
+
+let mean_occupancy t =
+  if t.occupancy_samples = 0 then 0.0
+  else float_of_int t.occupancy_total /. float_of_int t.occupancy_samples
+
+let alloc t ~addr ~region ~is_ckpt ~release_at =
+  if is_full t then invalid_arg "Store_buffer.alloc: buffer full";
+  t.entries <- t.entries @ [ { addr; region; is_ckpt; release_at } ]
+
+let contains_addr t addr = List.exists (fun e -> e.addr = addr) t.entries
+
+let assign_releases t ~region ~start =
+  (* Called when [region] is verified: its quarantined entries drain to L1
+     one per cycle starting at [start]. Returns the next free drain slot. *)
+  let next = ref start in
+  List.iter
+    (fun e ->
+      if e.region = region && e.release_at = None then begin
+        e.release_at <- Some !next;
+        incr next
+      end)
+    t.entries;
+  !next
+
+let release_up_to t cycle =
+  let released, kept =
+    List.partition
+      (fun e -> match e.release_at with Some r -> r <= cycle | None -> false)
+      t.entries
+  in
+  t.entries <- kept;
+  List.map (fun e -> (e.addr, e.is_ckpt)) released
+
+let earliest_release t =
+  List.fold_left
+    (fun acc e ->
+      match (e.release_at, acc) with
+      | Some r, Some a -> Some (min r a)
+      | Some r, None -> Some r
+      | None, a -> a)
+    None t.entries
+
+let all_unreleasable t ~current_region =
+  t.entries <> []
+  && List.for_all
+       (fun e -> e.release_at = None && e.region = current_region)
+       t.entries
+
+let force_release_oldest t =
+  match t.entries with
+  | [] -> None
+  | e :: rest ->
+    t.entries <- rest;
+    Some (e.addr, e.is_ckpt)
+
+let unverified_regions t =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun e -> if e.release_at = None then Some e.region else None)
+       t.entries)

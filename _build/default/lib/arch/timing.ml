@@ -1,0 +1,324 @@
+(* Trace-driven, cycle-level model of a dual-issue in-order core with
+   sensor-based soft error verification.
+
+   The model replays a dynamic trace through a scoreboarded in-order
+   pipeline. It captures exactly the three mechanisms the paper's overheads
+   come from:
+   - data hazards: an instruction issues only when its source registers are
+     ready (checkpoint stores wait on their register-update producer);
+   - structural hazards: a store/checkpoint needs a free store-buffer entry
+     at commit, and a region boundary needs a free RBB entry; under
+     verification, SB entries release only WCDL cycles after their region
+     ends (one per cycle through a shared drain port);
+   - fast release: WAR-free regular stores (CLQ) and colored checkpoint
+     stores bypass the store buffer entirely. *)
+
+open Turnpike_ir
+
+exception Partitioning_violation of string
+
+type t = {
+  machine : Machine.t;
+  mem : Mem_hierarchy.t;
+  sb : Store_buffer.t;
+  rbb : Rbb.t;
+  clq : Clq.t option;
+  coloring : Coloring.t option;
+  predictor : Branch_predictor.t;
+  stats : Sim_stats.t;
+  reg_ready : (Reg.t, int) Hashtbl.t;
+  mutable cycle : int; (* current issue cycle *)
+  mutable slots : int; (* issue slots used in [cycle] *)
+  mutable load_port_cycle : int; (* last cycle the load AGU was used *)
+  mutable store_port_cycle : int; (* last cycle the store AGU was used *)
+  mutable fetch_ready : int; (* earliest issue after a taken branch *)
+  mutable drain_free_at : int; (* next free SB->L1 drain cycle *)
+}
+
+let create (machine : Machine.t) =
+  {
+    machine;
+    mem = Mem_hierarchy.create machine.mem;
+    sb = Store_buffer.create machine.sb_size;
+    rbb = Rbb.create machine.rbb_size;
+    clq = Option.map Clq.create machine.clq;
+    coloring = (if machine.coloring then Some (Coloring.create ~nregs:machine.nregs) else None);
+    predictor = Branch_predictor.create ();
+    stats = Sim_stats.create ();
+    reg_ready = Hashtbl.create 64;
+    cycle = 0;
+    slots = 0;
+    load_port_cycle = -1;
+    store_port_cycle = -1;
+    fetch_ready = 0;
+    drain_free_at = 0;
+  }
+
+let ready_time t r =
+  if Reg.is_zero r then 0 else Option.value (Hashtbl.find_opt t.reg_ready r) ~default:0
+
+let set_ready t r c = if not (Reg.is_zero r) then Hashtbl.replace t.reg_ready r c
+
+(* Process background events (region verifications, SB drains) up to and
+   including [cycle]. *)
+let settle t ~cycle =
+  let verified = Rbb.pop_verified t.rbb ~cycle in
+  List.iter
+    (fun (r : Rbb.region) ->
+      let verify_at = Option.value r.verify_at ~default:cycle in
+      let start = max verify_at t.drain_free_at in
+      t.drain_free_at <- Store_buffer.assign_releases t.sb ~region:r.seq ~start;
+      (match t.coloring with
+      | Some col -> Coloring.on_region_verified col ~region:r.seq
+      | None -> ());
+      match t.clq with
+      | Some clq ->
+        Clq.on_region_verified clq ~region:r.seq;
+        Clq.maybe_enable clq ~unverified_regions:(Rbb.unverified_count t.rbb)
+      | None -> ())
+    verified;
+  List.iter
+    (fun (addr, _is_ckpt) -> Mem_hierarchy.store_release t.mem addr)
+    (Store_buffer.release_up_to t.sb cycle)
+
+(* Move the issue point to [c] (settling background state), resetting the
+   per-cycle slot count when the cycle advances. *)
+let advance_to t c =
+  if c > t.cycle then begin
+    settle t ~cycle:c;
+    t.cycle <- c;
+    t.slots <- 0
+  end
+
+type port = No_port | Load_port | Store_port
+
+(* Claim an issue slot at the earliest cycle >= data-ready constraints.
+   The core has one load AGU and one store AGU (Cortex-A53 style), so a
+   load and a store may issue in the same cycle but two loads (or two
+   stores) may not. Returns the issue cycle. *)
+let issue t ~srcs ~port =
+  let data_ready = List.fold_left (fun acc r -> max acc (ready_time t r)) 0 srcs in
+  let earliest = max (max data_ready t.fetch_ready) t.cycle in
+  if earliest > t.cycle then
+    t.stats.data_stall_cycles <-
+      t.stats.data_stall_cycles + (earliest - t.cycle);
+  advance_to t earliest;
+  let port_busy () =
+    match port with
+    | No_port -> false
+    | Load_port -> t.load_port_cycle = t.cycle
+    | Store_port -> t.store_port_cycle = t.cycle
+  in
+  let rec claim () =
+    if t.slots >= t.machine.issue_width || port_busy () then begin
+      advance_to t (t.cycle + 1);
+      claim ()
+    end
+    else begin
+      t.slots <- t.slots + 1;
+      (match port with
+      | No_port -> ()
+      | Load_port -> t.load_port_cycle <- t.cycle
+      | Store_port -> t.store_port_cycle <- t.cycle);
+      t.cycle
+    end
+  in
+  claim ()
+
+(* Wait (from the current issue point) until the store buffer has a free
+   entry, charging the wait to SB-full stalls. *)
+let wait_for_sb_entry t =
+  let waited_from = t.cycle in
+  let rec go () =
+    settle t ~cycle:t.cycle;
+    if not (Store_buffer.is_full t.sb) then ()
+    else begin
+      let current = Rbb.current_seq t.rbb in
+      if Store_buffer.all_unreleasable t.sb ~current_region:current then begin
+        (* A single region filled the whole SB: the compiler's SB-aware
+           partitioning is supposed to prevent this. *)
+        if t.machine.strict_partitioning then
+          raise
+            (Partitioning_violation
+               (Printf.sprintf "region %d holds all %d SB entries" current
+                  t.machine.sb_size));
+        t.stats.partition_violations <- t.stats.partition_violations + 1;
+        (match Store_buffer.force_release_oldest t.sb with
+        | Some (addr, _) -> Mem_hierarchy.store_release t.mem addr
+        | None -> ())
+      end
+      else begin
+        let next =
+          match Store_buffer.earliest_release t.sb with
+          | Some r -> max r (t.cycle + 1)
+          | None -> (
+            match Rbb.next_verify_time t.rbb with
+            | Some v -> max v (t.cycle + 1)
+            | None -> t.cycle + 1)
+        in
+        advance_to t next;
+        go ()
+      end
+    end
+  in
+  go ();
+  if t.cycle > waited_from then
+    t.stats.sb_full_stall_cycles <-
+      t.stats.sb_full_stall_cycles + (t.cycle - waited_from)
+
+let handle_boundary t ~static_id =
+  settle t ~cycle:t.cycle;
+  (* Close the running region, if any. *)
+  (match Rbb.current t.rbb with
+  | Some _ ->
+    ignore (Rbb.close_region t.rbb ~end_cycle:t.cycle ~wcdl:t.machine.wcdl)
+  | None -> ());
+  (* A new region needs an RBB entry: stall while too many regions are
+     still unverified. *)
+  let waited_from = t.cycle in
+  while Rbb.is_full t.rbb do
+    let next =
+      match Rbb.next_verify_time t.rbb with
+      | Some v -> max v (t.cycle + 1)
+      | None -> t.cycle + 1
+    in
+    advance_to t next;
+    settle t ~cycle:t.cycle
+  done;
+  if t.cycle > waited_from then
+    t.stats.rbb_stall_cycles <- t.stats.rbb_stall_cycles + (t.cycle - waited_from);
+  (match t.clq with
+  | Some clq ->
+    Clq.maybe_enable clq ~unverified_regions:(Rbb.unverified_count t.rbb);
+    Clq.sample clq
+  | None -> ());
+  ignore (Rbb.open_region t.rbb ~static_id);
+  Store_buffer.sample t.sb;
+  t.stats.boundaries <- t.stats.boundaries + 1
+
+let handle_store t ~srcs ~addr ~is_ckpt =
+  if not t.machine.verification then begin
+    (* Baseline: a store occupies the SB briefly while it drains to L1. *)
+    if Store_buffer.is_full t.sb then wait_for_sb_entry t;
+    let c = issue t ~srcs ~port:Store_port in
+    Store_buffer.alloc t.sb ~addr ~region:0 ~is_ckpt
+      ~release_at:(Some (c + t.machine.baseline_drain))
+  end
+  else begin
+    let region = Rbb.current_seq t.rbb in
+    let fast =
+      (not is_ckpt)
+      && (match t.clq with
+         | Some clq -> Clq.war_free clq ~region addr
+         | None -> false)
+      && not (Store_buffer.contains_addr t.sb addr)
+    in
+    if fast then begin
+      let c = issue t ~srcs ~port:Store_port in
+      ignore c;
+      Mem_hierarchy.store_release t.mem addr;
+      t.stats.war_free_released <- t.stats.war_free_released + 1
+    end
+    else begin
+      if Store_buffer.is_full t.sb then wait_for_sb_entry t;
+      ignore (issue t ~srcs ~port:Store_port);
+      Store_buffer.alloc t.sb ~addr ~region ~is_ckpt ~release_at:None;
+      t.stats.quarantined <- t.stats.quarantined + 1;
+      if is_ckpt then t.stats.ckpt_quarantined <- t.stats.ckpt_quarantined + 1
+    end
+  end
+
+let handle_ckpt t ~src =
+  let region = Rbb.current_seq t.rbb in
+  let fast_color =
+    if not t.machine.verification then None
+    else
+      match t.coloring with
+      | Some col when Reg.is_physical src -> Coloring.try_assign col ~reg:src ~region
+      | Some _ | None -> None
+  in
+  match fast_color with
+  | Some color ->
+    let c = issue t ~srcs:[ src ] ~port:Store_port in
+    ignore c;
+    Mem_hierarchy.store_release t.mem (Layout.ckpt_slot ~reg:src ~color);
+    t.stats.colored_released <- t.stats.colored_released + 1
+  | None ->
+    let addr = Layout.ckpt_slot ~reg:(max src 0) ~color:0 in
+    handle_store t ~srcs:[ src ] ~addr ~is_ckpt:true
+
+let run_event t (e : Trace.event) =
+  match e with
+  | Trace.Boundary { region } -> handle_boundary t ~static_id:region
+  | Trace.Alu { dst; srcs } ->
+    let c = issue t ~srcs ~port:No_port in
+    (match dst with Some d -> set_ready t d (c + 1) | None -> ());
+    t.stats.instructions <- t.stats.instructions + 1
+  | Trace.Load { dst; srcs; addr; kind = _ } ->
+    let c = issue t ~srcs ~port:Load_port in
+    (* Store-to-load forwarding: a load that hits a quarantined SB entry
+       gets its data from the buffer at L1-hit speed — essential when
+       verification holds stores in the SB for WCDL cycles. The cache is
+       still probed to keep its state warm for the eventual release. *)
+    let lat =
+      if Store_buffer.contains_addr t.sb addr then begin
+        ignore (Mem_hierarchy.load_latency t.mem addr);
+        t.stats.sb_forwards <- t.stats.sb_forwards + 1;
+        t.machine.mem.Mem_hierarchy.l1_hit
+      end
+      else Mem_hierarchy.load_latency t.mem addr
+    in
+    set_ready t dst (c + lat);
+    (match t.clq with
+    | Some clq when t.machine.verification ->
+      Clq.record_load clq ~region:(Rbb.current_seq t.rbb) addr
+    | Some _ | None -> ());
+    t.stats.loads <- t.stats.loads + 1;
+    t.stats.instructions <- t.stats.instructions + 1
+  | Trace.Store { srcs; addr; cls = _ } ->
+    handle_store t ~srcs ~addr ~is_ckpt:false;
+    t.stats.stores <- t.stats.stores + 1;
+    t.stats.instructions <- t.stats.instructions + 1
+  | Trace.Ckpt { src } ->
+    handle_ckpt t ~src;
+    t.stats.ckpts <- t.stats.ckpts + 1;
+    t.stats.instructions <- t.stats.instructions + 1
+  | Trace.Branch { srcs; taken; pc } ->
+    let c = issue t ~srcs ~port:No_port in
+    (* The bimodal predictor absorbs well-behaved branches (loop back
+       edges); only mispredictions pay the fetch-redirect bubble. An
+       unconditional non-fallthrough jump (srcs = []) is always
+       predicted by the BTB once seen, and costs nothing thereafter. *)
+    let correct =
+      match srcs with
+      | [] -> Branch_predictor.update t.predictor ~pc ~taken:true
+      | _ :: _ -> Branch_predictor.update t.predictor ~pc ~taken
+    in
+    if not correct then t.fetch_ready <- c + 1 + t.machine.branch_penalty;
+    t.stats.instructions <- t.stats.instructions + 1
+
+let finalize t (trace : Trace.t) =
+  t.stats.cycles <- t.cycle + 1;
+  t.stats.complete <- trace.Trace.complete;
+  (match t.clq with
+  | Some clq ->
+    t.stats.clq_overflows <- Clq.overflows clq;
+    t.stats.clq_mean_populated <- Clq.mean_populated clq;
+    t.stats.clq_max_populated <- Clq.max_populated clq
+  | None -> ());
+  (match t.coloring with
+  | Some col -> t.stats.coloring_fallbacks <- Coloring.fallbacks col
+  | None -> ());
+  t.stats.sb_mean_occupancy <- Store_buffer.mean_occupancy t.sb;
+  t.stats.l1_hit_rate <- Cache.hit_rate (Mem_hierarchy.l1 t.mem);
+  t.stats.branch_mispredicts <- Branch_predictor.mispredicts t.predictor;
+  t.stats
+
+let simulate machine trace =
+  let t = create machine in
+  (* An implicit region is open from program start even before the first
+     boundary marker (the compiler always emits one at the entry, but raw
+     un-partitioned programs must still simulate). *)
+  ignore (Rbb.open_region t.rbb ~static_id:(-1));
+  Trace.iter (run_event t) trace;
+  finalize t trace

@@ -1,0 +1,15 @@
+(** Trace-driven, cycle-level model of a dual-issue in-order core with
+    acoustic-sensor-based soft error verification.
+
+    The model replays a {!Turnpike_ir.Trace.t} through a scoreboarded
+    in-order pipeline, capturing the three mechanisms behind the paper's
+    overheads: checkpoint data hazards, store-buffer/RBB structural hazards
+    under WCDL-delayed release, and Turnpike's fast-release paths (CLQ for
+    WAR-free regular stores, hardware coloring for checkpoint stores). *)
+
+exception Partitioning_violation of string
+(** Raised in [strict_partitioning] mode when a single region fills the
+    whole store buffer — a bug in SB-aware region partitioning. *)
+
+val simulate : Machine.t -> Turnpike_ir.Trace.t -> Sim_stats.t
+(** Replay a trace on a machine configuration and return its counters. *)

@@ -1,0 +1,1 @@
+lib/compiler/checkpoint.pp.ml: Array Block Cfg Func Hashtbl Instr List Liveness Option Reg Regions String Turnpike_ir

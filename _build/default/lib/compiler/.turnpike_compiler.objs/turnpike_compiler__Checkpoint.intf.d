@@ -1,0 +1,1 @@
+lib/compiler/checkpoint.pp.mli: Func Reg Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/licm_sink.pp.ml: Array Block Cfg Dominance Func Instr List Liveness Loop_info Reg Regions String Turnpike_ir

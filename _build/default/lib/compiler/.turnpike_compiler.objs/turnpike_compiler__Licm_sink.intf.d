@@ -1,0 +1,1 @@
+lib/compiler/licm_sink.pp.mli: Func Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/livm.pp.ml: Array Block Cfg Dominance Func Hashtbl Instr List Liveness Loop_info Option Reg String Turnpike_ir

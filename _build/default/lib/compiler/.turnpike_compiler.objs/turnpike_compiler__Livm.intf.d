@@ -1,0 +1,1 @@
+lib/compiler/livm.pp.mli: Func Turnpike_ir

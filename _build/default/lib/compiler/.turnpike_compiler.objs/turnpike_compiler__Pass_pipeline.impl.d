@@ -1,0 +1,1 @@
+lib/compiler/pass_pipeline.pp.ml: Array Cfg Checkpoint Func Hashtbl Instr Licm_sink List Liveness Livm Prog Pruning Recovery_expr Reg Regalloc Regions Scheduling Static_stats Turnpike_ir Unroll

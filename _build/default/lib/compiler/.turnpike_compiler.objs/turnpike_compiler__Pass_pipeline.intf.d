@@ -1,0 +1,1 @@
+lib/compiler/pass_pipeline.pp.mli: Hashtbl Prog Recovery_expr Reg Static_stats Turnpike_ir

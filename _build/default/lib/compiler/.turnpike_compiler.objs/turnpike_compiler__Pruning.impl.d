@@ -1,0 +1,1 @@
+lib/compiler/pruning.pp.ml: Array Block Cfg Func Hashtbl Instr List Option Recovery_expr Reg String Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/pruning.pp.mli: Func Hashtbl Recovery_expr Reg Turnpike_ir

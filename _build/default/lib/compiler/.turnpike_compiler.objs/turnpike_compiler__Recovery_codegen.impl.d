@@ -1,0 +1,1 @@
+lib/compiler/recovery_codegen.pp.ml: Array Buffer Hashtbl Instr Layout List Pass_pipeline Printf Recovery_expr Reg Turnpike_ir

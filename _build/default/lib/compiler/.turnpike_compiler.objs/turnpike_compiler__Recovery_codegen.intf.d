@@ -1,0 +1,1 @@
+lib/compiler/recovery_codegen.pp.mli: Instr Pass_pipeline Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/recovery_expr.pp.ml: Instr Ppx_deriving_runtime Printf Reg Turnpike_ir

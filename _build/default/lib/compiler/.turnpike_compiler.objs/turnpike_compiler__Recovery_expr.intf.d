@@ -1,0 +1,1 @@
+lib/compiler/recovery_expr.pp.mli: Instr Ppx_deriving_runtime Reg Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.pp.ml: Array Block Cfg Dominance Func Hashtbl Instr Layout List Liveness Loop_info Reg Turnpike_ir

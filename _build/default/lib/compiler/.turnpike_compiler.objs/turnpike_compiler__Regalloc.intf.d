@@ -1,0 +1,1 @@
+lib/compiler/regalloc.pp.mli: Func Hashtbl Reg Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/regions.pp.ml: Array Block Cfg Dominance Func Hashtbl Instr List Liveness Loop_info Option Printf Reg Set String Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/regions.pp.mli: Func Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/scheduling.pp.ml: Array Block Func Instr List Turnpike_ir

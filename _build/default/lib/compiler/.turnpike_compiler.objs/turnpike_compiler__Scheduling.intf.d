@@ -1,0 +1,1 @@
+lib/compiler/scheduling.pp.mli: Func Turnpike_ir

@@ -1,0 +1,1 @@
+lib/compiler/static_stats.pp.ml: Format

@@ -1,0 +1,1 @@
+lib/compiler/unroll.pp.ml: Block Func Instr List Reg String Turnpike_ir

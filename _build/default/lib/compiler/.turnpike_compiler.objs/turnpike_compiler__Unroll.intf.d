@@ -1,0 +1,1 @@
+lib/compiler/unroll.pp.mli: Func Turnpike_ir

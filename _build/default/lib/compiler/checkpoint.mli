@@ -1,0 +1,19 @@
+(** Eager checkpointing (paper §2.2).
+
+    Inserts a checkpoint store right after the last definition of every
+    register that leaves its region live — turning register verification
+    into memory verification. The entry region additionally checkpoints the
+    program's input registers. *)
+
+open Turnpike_ir
+
+val insert : ?entry_live:Reg.t list -> Func.t -> Func.t * int
+(** Insert checkpoints (in place; the function is also returned) and report
+    how many were inserted. Requires boundary markers
+    ({!Regions.partition} must have run). *)
+
+val strip : Func.t -> Func.t
+(** Remove all checkpoint instructions (in place). *)
+
+val count : Func.t -> int
+(** Static checkpoint-store count. *)

@@ -1,0 +1,21 @@
+(** Loop induction variable merging (LIVM, paper §4.1.2) — one of
+    Turnpike's two novel compiler optimizations.
+
+    Strength reduction turns address expressions into separate basic
+    induction variables; each is loop-carried, hence live-out of every
+    iteration region and checkpointed every iteration. LIVM merges such a
+    variable [r2] (init B, step s2) into an anchor basic induction variable
+    [r1] (init 0, step s1 with s1 | s2) by recomputing
+    [r2 = B + r1 * (s2 / s1)] locally at each use — the loop-carried
+    dependence, and with it the per-iteration checkpoint, disappears.
+
+    Runs before register allocation, on virtual registers. *)
+
+open Turnpike_ir
+
+type result = {
+  func : Func.t;
+  merged : int;  (** induction variables eliminated by merging *)
+}
+
+val run : Func.t -> result

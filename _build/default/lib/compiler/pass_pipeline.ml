@@ -1,0 +1,186 @@
+(* The full compile pipeline (paper Fig 7):
+
+     [LIVM] -> register allocation [store-aware] ->
+     SB-aware partitioning + eager checkpointing (iterated to respect the
+     store budget) -> [checkpoint pruning] -> [LICM sinking] ->
+     [checkpoint-aware scheduling] -> recovery metadata
+
+   Bracketed phases are the Turnpike optimizations; disabling them all
+   yields exactly Turnstile's code. *)
+
+open Turnpike_ir
+
+type opts = {
+  nregs : int;
+  sb_size : int; (* store-buffer size the partitioner targets *)
+  resilient : bool; (* false = plain baseline code (no regions/ckpts) *)
+  unroll : int; (* counted-loop unroll factor (1 = off); applied to every
+                   scheme equally, like the -O3 unrolling it stands for *)
+  store_aware_ra : bool;
+  livm : bool;
+  pruning : bool;
+  licm : bool;
+  sched : bool;
+  sched_separation : int;
+}
+
+let baseline_opts =
+  {
+    nregs = 32;
+    sb_size = 4;
+    resilient = false;
+    unroll = 1;
+    store_aware_ra = false;
+    livm = false;
+    pruning = false;
+    licm = false;
+    sched = false;
+    sched_separation = Scheduling.default_separation;
+  }
+
+let turnstile_opts = { baseline_opts with resilient = true }
+
+let turnpike_opts =
+  {
+    turnstile_opts with
+    store_aware_ra = true;
+    livm = true;
+    pruning = true;
+    licm = true;
+    sched = true;
+  }
+
+type region_info = { id : int; head : string; live_in : Reg.t list }
+
+type t = {
+  prog : Prog.t;
+  opts : opts;
+  regions : region_info array;
+  recovery_exprs : (Reg.t, Recovery_expr.t) Hashtbl.t;
+  stats : Static_stats.t;
+}
+
+let count_code_size func =
+  Func.fold_instrs
+    (fun acc i -> if Instr.is_boundary i then acc else acc + 1)
+    0 func
+
+(* Partitioning and checkpoint insertion feed each other: checkpoints are
+   stores, so they count against the region store budget, but they can only
+   be placed once regions exist. Iterate until the worst region path fits
+   the budget (or the budget bottoms out at 1). *)
+let partition_and_checkpoint func ~sb_size ~entry_live stats =
+  let target = max 1 (sb_size / 2) in
+  (* Each round partitions with the previous round's checkpoints still in
+     place (so they count against the store budget), then re-inserts
+     checkpoints relative to the new boundaries. The budget tightens when
+     re-partitioning alone stops making progress. *)
+  let rec attempt budget iter =
+    ignore (Regions.partition ~budget func);
+    ignore (Checkpoint.strip func);
+    let _, inserted = Checkpoint.insert ~entry_live func in
+    let structure = Regions.of_func func in
+    let worst = Regions.worst_region_path func structure in
+    if worst <= target || iter >= 8 then begin
+      stats.Static_stats.ckpts_inserted <- inserted;
+      stats.Static_stats.regions <- Regions.num_regions structure;
+      structure
+    end
+    else
+      (* Re-partitioning with checkpoints visible usually fixes overfull
+         regions by splitting them locally; only tighten the global budget
+         once that has had a couple of chances. *)
+      let budget = if iter >= 2 && budget > 1 then budget - 1 else budget in
+      attempt budget (iter + 1)
+  in
+  attempt target 0
+
+let live_in_table func regions =
+  let cfg = Cfg.build func in
+  let live = Liveness.compute cfg func in
+  List.map
+    (fun (r : Regions.region) ->
+      {
+        id = r.Regions.id;
+        head = r.Regions.head;
+        live_in =
+          Reg.Set.elements
+            (Reg.Set.filter
+               (fun x -> not (Reg.is_zero x))
+               (Liveness.live_in live r.Regions.head));
+      })
+    (Regions.regions regions)
+
+let compile ?(opts = turnstile_opts) (prog : Prog.t) =
+  let stats = Static_stats.create () in
+  let prog = Prog.with_func prog (Func.copy prog.Prog.func) in
+  let func = prog.Prog.func in
+  (* Phase 0: generic -O3-style unrolling (all schemes equally). *)
+  if opts.unroll > 1 then ignore (Unroll.run ~factor:opts.unroll func);
+  (* Phase 1a: loop induction variable merging (virtual registers). *)
+  if opts.livm then begin
+    let r = Livm.run func in
+    stats.Static_stats.livm_merged_ivs <- r.Livm.merged
+  end;
+  (* Phase 1b: register allocation. *)
+  let ra_config =
+    { Regalloc.default_config with nregs = opts.nregs; store_aware = opts.store_aware_ra }
+  in
+  let ra = Regalloc.run ~config:ra_config func in
+  stats.Static_stats.spill_stores <- ra.Regalloc.spill_stores;
+  stats.Static_stats.spill_loads <- ra.Regalloc.spill_loads;
+  stats.Static_stats.spilled_vregs <- ra.Regalloc.spilled_vregs;
+  let reg_init, extra_mem = Regalloc.remap_inputs ra prog.Prog.reg_init in
+  let prog =
+    { prog with Prog.reg_init; mem_init = prog.Prog.mem_init @ extra_mem }
+  in
+  stats.Static_stats.base_code_size <- count_code_size func;
+  if not opts.resilient then begin
+    stats.Static_stats.code_size <- stats.Static_stats.base_code_size;
+    {
+      prog;
+      opts;
+      regions = [||];
+      recovery_exprs = Hashtbl.create 0;
+      stats;
+    }
+  end
+  else begin
+    (* Phase 2: regions + eager checkpoints. *)
+    let entry_live = List.map fst prog.Prog.reg_init in
+    ignore (partition_and_checkpoint func ~sb_size:opts.sb_size ~entry_live stats);
+    (* Phase 3: checkpoint pruning. *)
+    let recovery_exprs =
+      if opts.pruning then begin
+        let r = Pruning.run func in
+        stats.Static_stats.ckpts_pruned <- r.Pruning.pruned;
+        r.Pruning.exprs
+      end
+      else Hashtbl.create 0
+    in
+    (* Phase 4: LICM checkpoint sinking. *)
+    if opts.licm then begin
+      let r = Licm_sink.run func in
+      stats.Static_stats.ckpts_licm_moved <- r.Licm_sink.moved;
+      stats.Static_stats.ckpts_licm_eliminated <- r.Licm_sink.eliminated
+    end;
+    (* Phase 5: checkpoint-aware scheduling. *)
+    if opts.sched then begin
+      let r = Scheduling.run ~separation:opts.sched_separation func in
+      stats.Static_stats.sched_moved <- r.Scheduling.moved
+    end;
+    stats.Static_stats.code_size <- count_code_size func;
+    let structure = Regions.of_func func in
+    let infos = live_in_table func structure in
+    let regions = Array.of_list infos in
+    Array.sort (fun a b -> compare a.id b.id) regions;
+    { prog; opts; regions; recovery_exprs; stats }
+  end
+
+let region_info t id =
+  if id < 0 || id >= Array.length t.regions then None
+  else
+    (* Region infos are sorted by id and ids are dense. *)
+    let r = t.regions.(id) in
+    if r.id = id then Some r
+    else Array.find_opt (fun r -> r.id = id) t.regions

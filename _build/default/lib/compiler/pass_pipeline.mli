@@ -1,0 +1,52 @@
+(** The full compile pipeline (paper Fig 7):
+
+    [LIVM] → register allocation (optionally store-aware) → SB-aware
+    partitioning + eager checkpointing (iterated to respect the store
+    budget) → [checkpoint pruning] → [LICM sinking] → [checkpoint-aware
+    scheduling] → recovery metadata.
+
+    Bracketed phases are the Turnpike compiler optimizations; disabling
+    them all yields exactly Turnstile's code; [resilient = false] yields
+    the plain baseline binary every figure normalizes against. *)
+
+open Turnpike_ir
+
+type opts = {
+  nregs : int;
+  sb_size : int;  (** store-buffer size the partitioner targets *)
+  resilient : bool;  (** false = no regions, no checkpoints *)
+  unroll : int;
+      (** counted-loop unroll factor (1 = off); applied to every scheme
+          equally, like the -O3 unrolling it stands for *)
+  store_aware_ra : bool;
+  livm : bool;
+  pruning : bool;
+  licm : bool;
+  sched : bool;
+  sched_separation : int;
+}
+
+val baseline_opts : opts
+val turnstile_opts : opts
+val turnpike_opts : opts
+
+type region_info = {
+  id : int;
+  head : string;  (** region head block (recovery-PC anchor) *)
+  live_in : Reg.t list;  (** registers to restore when restarting here *)
+}
+
+type t = {
+  prog : Prog.t;  (** physical-register program with markers in place *)
+  opts : opts;
+  regions : region_info array;
+  recovery_exprs : (Reg.t, Recovery_expr.t) Hashtbl.t;
+      (** reconstruction for pruned checkpoints *)
+  stats : Static_stats.t;
+}
+
+val compile : ?opts:opts -> Prog.t -> t
+(** Compile a virtual-register program. The input program is not
+    mutated. *)
+
+val region_info : t -> int -> region_info option

@@ -1,0 +1,97 @@
+(* Recovery-block code generation (paper Fig 1b / Fig 9).
+
+   For each region, emit the IR of the recovery block the core jumps to on
+   error detection: loads restoring the region's live-in registers from
+   their checkpoint slots, recomputation sequences for pruned checkpoints
+   (including branch replay, as mask arithmetic, for diamond-pruned
+   registers), ending at the recovery PC (the region head).
+
+   The resilience engine restores registers through its own color-aware
+   read path; this module makes the equivalent *code* explicit so it can
+   be inspected, sized and tested: executing an emitted block over a
+   machine state must produce exactly the register values the engine's
+   restore path computes. Emitted loads use color-0 slot addressing — the
+   hardware substitutes the verified color at the address stage, so the
+   static code is color-oblivious, just as a [Ckpt r] store is.
+
+   Expressions lower as a stack machine: two spill-scratch registers (dead
+   at any region entry, so recovery may clobber them) plus a dedicated
+   scratch area in the spill segment for intermediate values. *)
+
+open Turnpike_ir
+
+type block = {
+  region : int;
+  recovery_pc : string; (* the region head the block jumps back to *)
+  body : Instr.t list; (* restore/recompute code, in execution order *)
+}
+
+(* Recovery scratch slots live far above ordinary spill slots. *)
+let scratch_slot depth = Layout.spill_slot (100_000 + depth)
+
+(* Lower [expr] so its value ends in [s1]; [s2] is a helper; intermediate
+   values spill to [scratch_slot] at increasing depths. Emits in reverse
+   onto [acc]. *)
+let rec lower ~s1 ~s2 ~depth expr acc =
+  match expr with
+  | Recovery_expr.Const c -> Instr.Mov (s1, Instr.Imm c) :: acc
+  | Recovery_expr.Slot r ->
+    Instr.Load (s1, Reg.zero, Layout.ckpt_slot ~reg:r ~color:0, Instr.Ckpt_mem) :: acc
+  | Recovery_expr.Op (op, a, b) ->
+    let acc = lower ~s1 ~s2 ~depth b acc in
+    let acc = Instr.Store (s1, Reg.zero, scratch_slot depth, Instr.Spill_mem) :: acc in
+    let acc = lower ~s1 ~s2 ~depth:(depth + 1) a acc in
+    let acc = Instr.Load (s2, Reg.zero, scratch_slot depth, Instr.Spill_mem) :: acc in
+    Instr.Binop (op, s1, s1, Instr.Reg s2) :: acc
+  | Recovery_expr.Cmp (c, a, b) ->
+    let acc = lower ~s1 ~s2 ~depth b acc in
+    let acc = Instr.Store (s1, Reg.zero, scratch_slot depth, Instr.Spill_mem) :: acc in
+    let acc = lower ~s1 ~s2 ~depth:(depth + 1) a acc in
+    let acc = Instr.Load (s2, Reg.zero, scratch_slot depth, Instr.Spill_mem) :: acc in
+    Instr.Cmp (c, s1, s1, Instr.Reg s2) :: acc
+  | Recovery_expr.Select (c, a, b) ->
+    (* Branch replay as mask arithmetic: m = (c <> 0);
+       result = a*m + b*(1-m). *)
+    let m_slot = scratch_slot depth and am_slot = scratch_slot (depth + 1) in
+    let acc = lower ~s1 ~s2 ~depth:(depth + 2) c acc in
+    let acc = Instr.Cmp (Instr.Ne, s1, s1, Instr.Imm 0) :: acc in
+    let acc = Instr.Store (s1, Reg.zero, m_slot, Instr.Spill_mem) :: acc in
+    let acc = lower ~s1 ~s2 ~depth:(depth + 2) a acc in
+    let acc = Instr.Load (s2, Reg.zero, m_slot, Instr.Spill_mem) :: acc in
+    let acc = Instr.Binop (Instr.Mul, s1, s1, Instr.Reg s2) :: acc in
+    let acc = Instr.Store (s1, Reg.zero, am_slot, Instr.Spill_mem) :: acc in
+    let acc = lower ~s1 ~s2 ~depth:(depth + 2) b acc in
+    let acc = Instr.Load (s2, Reg.zero, m_slot, Instr.Spill_mem) :: acc in
+    let acc = Instr.Binop (Instr.Xor, s2, s2, Instr.Imm 1) :: acc in
+    let acc = Instr.Binop (Instr.Mul, s1, s1, Instr.Reg s2) :: acc in
+    let acc = Instr.Load (s2, Reg.zero, am_slot, Instr.Spill_mem) :: acc in
+    Instr.Binop (Instr.Add, s1, s1, Instr.Reg s2) :: acc
+
+let generate ~(compiled : Pass_pipeline.t) ~nregs =
+  let s1 = nregs - 3 and s2 = nregs - 2 in
+  Array.to_list compiled.Pass_pipeline.regions
+  |> List.map (fun (info : Pass_pipeline.region_info) ->
+         let body =
+           List.concat_map
+             (fun reg ->
+               match Hashtbl.find_opt compiled.Pass_pipeline.recovery_exprs reg with
+               | None ->
+                 [ Instr.Load
+                     (reg, Reg.zero, Layout.ckpt_slot ~reg ~color:0, Instr.Ckpt_mem) ]
+               | Some expr ->
+                 List.rev (lower ~s1 ~s2 ~depth:0 expr [])
+                 @ [ Instr.Mov (reg, Instr.Reg s1) ])
+             info.Pass_pipeline.live_in
+         in
+         { region = info.Pass_pipeline.id; recovery_pc = info.Pass_pipeline.head; body })
+
+let size blocks = List.fold_left (fun acc b -> acc + List.length b.body) 0 blocks
+
+let to_string b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "recovery block for region %d (-> %s):\n" b.region b.recovery_pc);
+  List.iter
+    (fun i -> Buffer.add_string buf ("  " ^ Instr.to_string i ^ "\n"))
+    b.body;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Recovery-block code generation (paper Fig 1b / Fig 9).
+
+    Emits, per region, the IR of the recovery block the core runs on error
+    detection: checkpoint-slot loads for the region's live-in registers and
+    recomputation sequences for pruned checkpoints (branch replay lowered
+    to mask arithmetic for diamond-pruned registers). The resilience engine
+    restores registers through its own color-aware path; this module makes
+    the equivalent code explicit so it can be inspected, sized and tested
+    against the engine. Emitted loads use color-0 addressing — hardware
+    substitutes the verified color at the address stage. *)
+
+open Turnpike_ir
+
+type block = {
+  region : int;
+  recovery_pc : string;  (** the region head the block jumps back to *)
+  body : Instr.t list;  (** restore/recompute code in execution order *)
+}
+
+val generate : compiled:Pass_pipeline.t -> nregs:int -> block list
+(** One block per region, in region-id order. Two spill-scratch registers
+    (dead at region entry) plus a dedicated scratch area in the spill
+    segment hold intermediates. *)
+
+val size : block list -> int
+(** Total recovery-code instructions (recovery code-size accounting). *)
+
+val to_string : block -> string

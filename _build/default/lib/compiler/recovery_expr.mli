@@ -1,0 +1,26 @@
+(** Reconstruction expressions for pruned checkpoints (paper §4.1.3).
+
+    At recovery time a pruned register is recomputed from constants and the
+    verified checkpoint slots of other registers instead of being loaded
+    from its own slot. *)
+
+open Turnpike_ir
+
+type t =
+  | Const of int
+  | Slot of Reg.t  (** read the verified checkpoint slot of a register *)
+  | Op of Instr.binop * t * t
+  | Cmp of Instr.cmp * t * t
+  | Select of t * t * t
+      (** [Select (c, a, b)] is [a] when [c] evaluates nonzero, else [b] —
+          the recovery-block branch of the paper's Fig 9, where a pruned
+          register reconstructs differently per predicate arm. *)
+[@@deriving show, eq]
+
+val eval : read_slot:(Reg.t -> int) -> t -> int
+
+val slots : t -> Reg.t list
+(** Registers whose checkpoint slots the expression reads. *)
+
+val depth : t -> int
+val to_string : t -> string

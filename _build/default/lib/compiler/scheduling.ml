@@ -1,0 +1,75 @@
+(* Checkpoint-aware instruction scheduling (paper §4.2).
+
+   Eager checkpointing makes each checkpoint store immediately
+   read-after-write dependent on the register-update instruction before it;
+   on an in-order pipeline the store stalls until the value is ready (a
+   full load-use penalty when the producer is a load). The scheduler sinks
+   each checkpoint store down its block — past independent instructions —
+   until it sits at least [separation] slots away from its producer, giving
+   the in-order core an out-of-order-like ability to hide the producer's
+   latency. *)
+
+open Turnpike_ir
+
+type result = { func : Func.t; moved : int }
+
+let default_separation = 3
+
+let run ?(separation = default_separation) func =
+  if separation < 0 then invalid_arg "Scheduling.run: negative separation";
+  let moved = ref 0 in
+  Func.iter_blocks
+    (fun b ->
+      let body = Array.copy b.Block.body in
+      let n = Array.length body in
+      (* Walk bottom-up so that moving one checkpoint does not disturb the
+         indices of the ones still to process above it. *)
+      for i = n - 1 downto 0 do
+        match body.(i) with
+        | Instr.Ckpt r ->
+          (* Distance to the producing definition above, and whether that
+             producer is multi-cycle. Only load/mul/div producers make the
+             checkpoint stall (paper §3.3: "the execution delay of the
+             checkpoint store could be significant on cache misses");
+             moving a checkpoint fed by 1-cycle ALU work would only create
+             memory-port contention further down. *)
+          let rec find_def j =
+            if j < 0 then None
+            else if List.mem r (Instr.defs body.(j)) then Some (i - j, body.(j))
+            else find_def (j - 1)
+          in
+          let dist, slow_producer =
+            match find_def (i - 1) with
+            | Some (d, Instr.Load _) -> (d, true)
+            | Some (d, Instr.Binop ((Instr.Mul | Instr.Div | Instr.Rem), _, _, _)) ->
+              (d, true)
+            | Some (d, _) -> (d, false)
+            | None -> (max_int, false)
+          in
+          if dist < separation && slow_producer then begin
+            let want = separation - dist in
+            (* Slide the checkpoint down past pure ALU instructions that do
+               not redefine the register. Memory operations stay put:
+               hopping over a load or store would contend for the memory
+               ports instead of hiding latency, and swapping two checkpoint
+               stores gains nothing. *)
+            let rec slide pos steps =
+              if steps = 0 || pos + 1 >= n then pos
+              else
+                let next = body.(pos + 1) in
+                if (not (Instr.is_pure next)) || List.mem r (Instr.defs next)
+                then pos
+                else begin
+                  body.(pos) <- next;
+                  body.(pos + 1) <- Instr.Ckpt r;
+                  slide (pos + 1) (steps - 1)
+                end
+            in
+            let final = slide i want in
+            if final > i then incr moved
+          end
+        | _ -> ()
+      done;
+      b.Block.body <- body)
+    func;
+  { func; moved = !moved }

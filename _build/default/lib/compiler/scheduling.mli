@@ -1,0 +1,20 @@
+(** Checkpoint-aware instruction scheduling (paper §4.2).
+
+    Eager checkpointing makes each checkpoint store read-after-write
+    dependent on the register-update instruction right before it; an
+    in-order pipeline stalls the store until the value is ready (a full
+    load-use penalty when the producer is a load). The scheduler sinks
+    checkpoint stores past independent instructions until they sit at
+    least [separation] slots from their producer, hiding the latency. *)
+
+open Turnpike_ir
+
+type result = {
+  func : Func.t;
+  moved : int;  (** checkpoints separated from their producer *)
+}
+
+val default_separation : int
+
+val run : ?separation:int -> Func.t -> result
+(** @raise Invalid_argument on negative separation. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable regions : int;
+  mutable ckpts_inserted : int;
+  mutable ckpts_pruned : int;
+  mutable ckpts_licm_moved : int;
+  mutable ckpts_licm_eliminated : int;
+  mutable livm_merged_ivs : int;
+  mutable livm_ckpts_eliminated : int;
+  mutable spill_stores : int;
+  mutable spill_loads : int;
+  mutable spilled_vregs : int;
+  mutable sched_moved : int;
+  mutable base_code_size : int;
+  mutable code_size : int;
+}
+
+let create () =
+  {
+    regions = 0;
+    ckpts_inserted = 0;
+    ckpts_pruned = 0;
+    ckpts_licm_moved = 0;
+    ckpts_licm_eliminated = 0;
+    livm_merged_ivs = 0;
+    livm_ckpts_eliminated = 0;
+    spill_stores = 0;
+    spill_loads = 0;
+    spilled_vregs = 0;
+    sched_moved = 0;
+    base_code_size = 0;
+    code_size = 0;
+  }
+
+let code_size_increase t =
+  if t.base_code_size = 0 then 0.0
+  else
+    float_of_int (t.code_size - t.base_code_size)
+    /. float_of_int t.base_code_size *. 100.0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>regions=%d ckpts: inserted=%d pruned=%d licm(moved=%d,elim=%d) livm(iv=%d,elim=%d)@,\
+     spills: stores=%d loads=%d vregs=%d; sched moved=%d@,\
+     code size %d -> %d (+%.2f%%)@]"
+    t.regions t.ckpts_inserted t.ckpts_pruned t.ckpts_licm_moved
+    t.ckpts_licm_eliminated t.livm_merged_ivs t.livm_ckpts_eliminated
+    t.spill_stores t.spill_loads t.spilled_vregs t.sched_moved t.base_code_size
+    t.code_size (code_size_increase t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,64 @@
+(* Loop unrolling for single-block counted loops.
+
+   Not part of Turnpike proper, but the enabling -O3 transformation behind
+   the paper's workload characteristics: SPEC loop bodies are large (often
+   already unrolled), so each loop-carried register is checkpointed once
+   per *long* iteration and the 4-color pool easily covers the WCDL
+   window. The unrolling ablation bench quantifies exactly that effect on
+   this repo's smaller kernels.
+
+   Recognized shape (what the workload templates and the builder's
+   counted-loop skeleton emit):
+
+     head:  <body>; i = i + 1; c = cmp lt i, N; br c head exit
+
+   with [i] incremented exactly once and [c] defined only by that compare.
+   The loop is unrolled by [factor] when N is divisible by it: the body
+   (including the increment) is replicated, intermediate compares are
+   dropped, and only the final compare/branch survives. Runs before
+   register allocation, on virtual registers. *)
+
+open Turnpike_ir
+
+type result = { func : Func.t; unrolled : int }
+
+let match_counted_loop (b : Block.t) =
+  match b.Block.term with
+  | Block.Branch (c, back, _exit) when String.equal back b.Block.label -> (
+    let body = Block.body_list b in
+    match List.rev body with
+    | Instr.Cmp (Instr.Lt, c', i, Instr.Imm n) :: Instr.Binop (Instr.Add, i', i'', Instr.Imm 1) :: rest_rev
+      when Reg.equal c c' && Reg.equal i i' && Reg.equal i' i'' ->
+      (* [i] must not be redefined elsewhere in the body, and [c] must not
+         be used inside it (it exists only for the branch). *)
+      let rest = List.rev rest_rev in
+      let i_redefined =
+        List.exists (fun ins -> List.mem i (Instr.defs ins)) rest
+      in
+      let c_used =
+        List.exists
+          (fun ins -> List.mem c (Instr.uses ins) || List.mem c (Instr.defs ins))
+          rest
+      in
+      if i_redefined || c_used then None else Some (rest, i, c, n)
+    | _ -> None)
+  | Block.Branch _ | Block.Jump _ | Block.Ret -> None
+
+let run ?(factor = 4) func =
+  if factor < 1 then invalid_arg "Unroll.run: factor must be >= 1";
+  let unrolled = ref 0 in
+  if factor > 1 then
+    Func.iter_blocks
+      (fun b ->
+        match match_counted_loop b with
+        | Some (body, i, c, n) when n mod factor = 0 && n >= factor ->
+          let copy = body @ [ Instr.Binop (Instr.Add, i, i, Instr.Imm 1) ] in
+          let replicated =
+            List.concat (List.init factor (fun _ -> copy))
+            @ [ Instr.Cmp (Instr.Lt, c, i, Instr.Imm n) ]
+          in
+          Block.set_body b replicated;
+          incr unrolled
+        | Some _ | None -> ())
+      func;
+  { func; unrolled = !unrolled }

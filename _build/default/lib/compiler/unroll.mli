@@ -1,0 +1,22 @@
+(** Loop unrolling for single-block counted loops.
+
+    Not part of Turnpike proper, but the enabling -O3 transformation
+    behind the paper's workload characteristics: large (often already
+    unrolled) SPEC loop bodies mean each loop-carried register is
+    checkpointed once per long iteration, so the 4-color pool covers the
+    WCDL window. The ablation bench built on this pass quantifies that
+    region-size effect on this repo's smaller kernels.
+
+    Only loops matching the builder's counted-loop skeleton are unrolled,
+    and only when the trip count is divisible by the factor (semantics are
+    preserved exactly). Runs before register allocation. *)
+
+open Turnpike_ir
+
+type result = {
+  func : Func.t;
+  unrolled : int;  (** loops transformed *)
+}
+
+val run : ?factor:int -> Func.t -> result
+(** @raise Invalid_argument when [factor < 1]. Factor 1 is the identity. *)

@@ -1,0 +1,1 @@
+lib/core/csv_export.ml: Experiments Fun List Printf String

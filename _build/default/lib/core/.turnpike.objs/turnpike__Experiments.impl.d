@@ -1,0 +1,1 @@
+lib/core/experiments.ml: List Printf Run Scheme Turnpike_arch Turnpike_compiler Turnpike_ir Turnpike_resilience Turnpike_workloads

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Scheme Turnpike_arch Turnpike_resilience Turnpike_workloads

@@ -1,0 +1,1 @@
+lib/core/run.ml: Hashtbl Interp Printf Scheme Trace Turnpike_arch Turnpike_compiler Turnpike_ir Turnpike_workloads

@@ -1,0 +1,1 @@
+lib/core/run.mli: Interp Scheme Trace Turnpike_arch Turnpike_compiler Turnpike_ir Turnpike_workloads

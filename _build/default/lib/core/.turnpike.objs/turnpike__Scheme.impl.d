@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Printf Turnpike_arch Turnpike_compiler

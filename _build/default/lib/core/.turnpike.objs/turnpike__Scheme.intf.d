@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Turnpike_arch Turnpike_compiler

@@ -1,0 +1,90 @@
+(* CSV rendering of experiment rows for downstream plotting. One file per
+   experiment; cells are numbers or plain identifiers, so no quoting is
+   needed beyond comma-freedom (benchmark names contain none). *)
+
+let write ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," row);
+          output_char oc '\n')
+        rows)
+
+let f = Printf.sprintf "%.6f"
+
+let fig4 ~path rows =
+  write ~path ~header:[ "benchmark"; "ratio_sb40"; "ratio_sb4" ]
+    (List.map
+       (fun (r : Experiments.fig4_row) ->
+         [ r.Experiments.bench; f r.Experiments.ratio_sb40; f r.Experiments.ratio_sb4 ])
+       rows)
+
+let fig14_15 ~path rows =
+  write ~path
+    ~header:
+      [ "benchmark"; "overhead_ideal"; "overhead_compact"; "war_free_ideal";
+        "war_free_compact" ]
+    (List.map
+       (fun (r : Experiments.clq_design_row) ->
+         [ r.Experiments.bench; f r.Experiments.overhead_ideal;
+           f r.Experiments.overhead_compact; f r.Experiments.war_free_ideal;
+           f r.Experiments.war_free_compact ])
+       rows)
+
+let fig18 ~path rows =
+  write ~path ~header:[ "sensors"; "dl_2_0ghz"; "dl_2_5ghz"; "dl_3_0ghz" ]
+    (List.map
+       (fun (r : Experiments.fig18_row) ->
+         [ string_of_int r.Experiments.sensors; string_of_int r.Experiments.dl_2_0ghz;
+           string_of_int r.Experiments.dl_2_5ghz; string_of_int r.Experiments.dl_3_0ghz ])
+       rows)
+
+let wcdl_sweep ~path rows =
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+    let wcdls = List.map fst first.Experiments.overheads in
+    write ~path
+      ~header:("benchmark" :: List.map (Printf.sprintf "dl%d") wcdls)
+      (List.map
+         (fun (r : Experiments.wcdl_sweep_row) ->
+           r.Experiments.bench
+           :: List.map (fun (_, ov) -> f ov) r.Experiments.overheads)
+         rows)
+
+let ladder ~path rows =
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+    let names = List.map fst first.Experiments.by_scheme in
+    write ~path ~header:("benchmark" :: names)
+      (List.map
+         (fun (r : Experiments.fig21_row) ->
+           r.Experiments.bench
+           :: List.map (fun n -> f (List.assoc n r.Experiments.by_scheme)) names)
+         rows)
+
+let fig23 ~path rows =
+  write ~path
+    ~header:
+      [ "benchmark"; "pruned"; "licm"; "colored"; "war_free"; "ra"; "ivm"; "others" ]
+    (List.map
+       (fun (r : Experiments.fig23_row) ->
+         [ r.Experiments.bench; f r.Experiments.pruned;
+           f r.Experiments.licm_eliminated; f r.Experiments.colored;
+           f r.Experiments.war_free; f r.Experiments.ra_eliminated;
+           f r.Experiments.ivm_eliminated; f r.Experiments.others ])
+       rows)
+
+let fig26 ~path rows =
+  write ~path ~header:[ "benchmark"; "region_size"; "code_increase_pct" ]
+    (List.map
+       (fun (r : Experiments.fig26_row) ->
+         [ r.Experiments.bench; f r.Experiments.region_size;
+           f r.Experiments.code_increase_pct ])
+       rows)

@@ -1,0 +1,17 @@
+(** CSV rendering of experiment rows for downstream plotting
+    (`bench --csv DIR` writes one file per experiment). *)
+
+val write : path:string -> header:string list -> string list list -> unit
+
+val fig4 : path:string -> Experiments.fig4_row list -> unit
+val fig14_15 : path:string -> Experiments.clq_design_row list -> unit
+val fig18 : path:string -> Experiments.fig18_row list -> unit
+
+val wcdl_sweep : path:string -> Experiments.wcdl_sweep_row list -> unit
+(** Figs 19/20: one column per WCDL. *)
+
+val ladder : path:string -> Experiments.fig21_row list -> unit
+(** Fig 21 (and its WCDL-50 extension): one column per scheme. *)
+
+val fig23 : path:string -> Experiments.fig23_row list -> unit
+val fig26 : path:string -> Experiments.fig26_row list -> unit

@@ -1,0 +1,43 @@
+(* Table formatting and aggregation helpers shared by the experiment
+   drivers and the bench harness. *)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let n = List.length xs in
+    let s = List.fold_left (fun acc x -> acc +. log (max x 1e-12)) 0.0 xs in
+    exp (s /. float_of_int n)
+
+let arith_mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+type column = { title : string; width : int }
+
+let print_header cols =
+  let line =
+    String.concat " | "
+      (List.map (fun c -> Printf.sprintf "%-*s" c.width c.title) cols)
+  in
+  print_endline line;
+  print_endline (String.make (String.length line) '-')
+
+let print_row cols cells =
+  print_endline
+    (String.concat " | "
+       (List.map2 (fun c s -> Printf.sprintf "%-*s" c.width s) cols cells))
+
+let fmt_overhead x = Printf.sprintf "%.3f" x
+
+let fmt_pct x = Printf.sprintf "%.2f%%" x
+
+let section title =
+  print_newline ();
+  print_endline (String.make (String.length title + 4) '=');
+  Printf.printf "= %s =\n" title;
+  print_endline (String.make (String.length title + 4) '=')
+
+let subsection title =
+  print_newline ();
+  print_endline title;
+  print_endline (String.make (String.length title) '-')

@@ -1,0 +1,18 @@
+(** Table formatting and aggregation helpers shared by the experiment
+    drivers and the bench harness. *)
+
+val geomean : float list -> float
+val arith_mean : float list -> float
+
+type column = { title : string; width : int }
+
+val print_header : column list -> unit
+val print_row : column list -> string list -> unit
+
+val fmt_overhead : float -> string
+(** Normalized execution time with 3 decimals, as in the paper's plots. *)
+
+val fmt_pct : float -> string
+
+val section : string -> unit
+val subsection : string -> unit

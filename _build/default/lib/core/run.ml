@@ -1,0 +1,75 @@
+(* End-to-end driver: build a workload, compile it under a scheme, produce
+   its dynamic trace, replay the trace on the scheme's machine, and report
+   counters. Compilation and tracing are cached per (benchmark, scale,
+   compile key): traces depend only on the binary, so a single trace serves
+   every WCDL / machine variation of the same scheme. *)
+
+open Turnpike_ir
+module Pass_pipeline = Turnpike_compiler.Pass_pipeline
+module Static_stats = Turnpike_compiler.Static_stats
+module Timing = Turnpike_arch.Timing
+module Sim_stats = Turnpike_arch.Sim_stats
+module Suite = Turnpike_workloads.Suite
+
+type compiled_run = {
+  compiled : Pass_pipeline.t;
+  trace : Trace.t;
+  final : Interp.state;
+}
+
+type result = {
+  scheme : string;
+  benchmark : string;
+  stats : Sim_stats.t;
+  static_stats : Static_stats.t;
+  trace : Trace.t;
+}
+
+let default_scale = 8
+let default_fuel = 400_000
+
+let cache : (string, compiled_run) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset cache
+
+let compile_and_trace ?(scale = default_scale) ?(fuel = default_fuel)
+    (scheme : Scheme.t) ~sb_size (bench : Suite.entry) =
+  let key =
+    Printf.sprintf "%s/%d/%d/%s" (Suite.qualified_name bench) scale fuel
+      (Scheme.compile_key scheme ~sb_size)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+    let prog = bench.Suite.build ~scale in
+    let opts = Scheme.compile_opts scheme ~sb_size in
+    let compiled = Pass_pipeline.compile ~opts prog in
+    let trace, final = Interp.trace_run ~fuel compiled.Pass_pipeline.prog in
+    let c = { compiled; trace; final } in
+    Hashtbl.replace cache key c;
+    c
+
+let run ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10) ?(sb_size = 4)
+    (scheme : Scheme.t) (bench : Suite.entry) =
+  let c = compile_and_trace ~scale ~fuel scheme ~sb_size bench in
+  let machine = Scheme.machine scheme ~wcdl ~sb_size in
+  let stats = Timing.simulate machine c.trace in
+  {
+    scheme = scheme.Scheme.name;
+    benchmark = Suite.qualified_name bench;
+    stats;
+    static_stats = c.compiled.Pass_pipeline.stats;
+    trace = c.trace;
+  }
+
+let overhead ~baseline result =
+  if baseline.stats.Sim_stats.cycles = 0 then 1.0
+  else
+    float_of_int result.stats.Sim_stats.cycles
+    /. float_of_int baseline.stats.Sim_stats.cycles
+
+let normalized ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10)
+    ?(sb_size = 4) ?(baseline_sb = 4) (scheme : Scheme.t) (bench : Suite.entry) =
+  let base = run ~scale ~fuel ~wcdl ~sb_size:baseline_sb Scheme.baseline bench in
+  let r = run ~scale ~fuel ~wcdl ~sb_size scheme bench in
+  (overhead ~baseline:base r, r)

@@ -1,0 +1,51 @@
+(** End-to-end driver: build a workload, compile it under a scheme, trace
+    it, replay the trace on the scheme's machine, and report counters.
+    Compilation and tracing are cached per (benchmark, scale, compile key):
+    traces depend only on the binary, so one trace serves every WCDL /
+    machine variation of a scheme. *)
+
+open Turnpike_ir
+module Pass_pipeline = Turnpike_compiler.Pass_pipeline
+module Static_stats = Turnpike_compiler.Static_stats
+module Sim_stats = Turnpike_arch.Sim_stats
+module Suite = Turnpike_workloads.Suite
+
+type compiled_run = {
+  compiled : Pass_pipeline.t;
+  trace : Trace.t;
+  final : Interp.state;  (** architectural state at end of trace window *)
+}
+
+type result = {
+  scheme : string;
+  benchmark : string;
+  stats : Sim_stats.t;
+  static_stats : Static_stats.t;
+  trace : Trace.t;
+}
+
+val default_scale : int
+val default_fuel : int
+
+val clear_cache : unit -> unit
+
+val compile_and_trace :
+  ?scale:int -> ?fuel:int -> Scheme.t -> sb_size:int -> Suite.entry -> compiled_run
+
+val run :
+  ?scale:int -> ?fuel:int -> ?wcdl:int -> ?sb_size:int -> Scheme.t -> Suite.entry -> result
+
+val overhead : baseline:result -> result -> float
+(** Normalized execution time (the paper's y-axis): cycles divided by the
+    baseline run's cycles. *)
+
+val normalized :
+  ?scale:int ->
+  ?fuel:int ->
+  ?wcdl:int ->
+  ?sb_size:int ->
+  ?baseline_sb:int ->
+  Scheme.t ->
+  Suite.entry ->
+  float * result
+(** Convenience: run baseline and scheme, returning (overhead, result). *)

@@ -1,0 +1,1 @@
+lib/ir/block.pp.ml: Array Buffer Instr Ppx_deriving_runtime Printf Reg String

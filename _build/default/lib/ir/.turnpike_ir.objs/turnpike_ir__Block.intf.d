@@ -1,0 +1,1 @@
+lib/ir/block.pp.mli: Instr Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/ir/builder.pp.ml: Array Block Func Instr Layout List Prog Reg

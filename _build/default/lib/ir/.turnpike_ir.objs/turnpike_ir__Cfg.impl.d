@@ -1,0 +1,1 @@
+lib/ir/cfg.pp.ml: Array Block Func Hashtbl List Option

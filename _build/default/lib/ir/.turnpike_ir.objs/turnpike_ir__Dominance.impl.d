@@ -1,0 +1,1 @@
+lib/ir/dominance.pp.ml: Array Cfg Hashtbl List String

@@ -1,0 +1,1 @@
+lib/ir/dominance.pp.mli: Cfg

@@ -1,0 +1,1 @@
+lib/ir/func.pp.ml: Array Block Buffer Hashtbl Instr List Printf String

@@ -1,0 +1,1 @@
+lib/ir/func.pp.mli: Block Hashtbl Instr Reg

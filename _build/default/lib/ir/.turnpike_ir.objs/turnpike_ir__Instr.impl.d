@@ -1,0 +1,1 @@
+lib/ir/instr.pp.ml: Ppx_deriving_runtime Printf Reg

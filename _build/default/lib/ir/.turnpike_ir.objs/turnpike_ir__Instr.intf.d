@@ -1,0 +1,1 @@
+lib/ir/instr.pp.mli: Ppx_deriving_runtime Reg

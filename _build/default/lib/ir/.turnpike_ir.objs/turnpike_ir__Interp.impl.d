@@ -1,0 +1,1 @@
+lib/ir/interp.pp.ml: Array Block Func Hashtbl Instr Layout List Option Prog Reg String Trace

@@ -1,0 +1,1 @@
+lib/ir/interp.pp.mli: Func Hashtbl Instr Prog Reg Trace

@@ -1,0 +1,1 @@
+lib/ir/layout.pp.ml:

@@ -1,0 +1,1 @@
+lib/ir/liveness.pp.ml: Array Block Cfg Func Hashtbl Instr List Option Reg

@@ -1,0 +1,1 @@
+lib/ir/liveness.pp.mli: Block Cfg Func Reg

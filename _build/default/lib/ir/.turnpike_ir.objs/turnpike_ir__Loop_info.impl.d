@@ -1,0 +1,1 @@
+lib/ir/loop_info.pp.ml: Cfg Dominance Hashtbl List Set String

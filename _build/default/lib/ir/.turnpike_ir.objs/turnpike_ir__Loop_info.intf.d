@@ -1,0 +1,1 @@
+lib/ir/loop_info.pp.mli: Cfg Dominance

@@ -1,0 +1,1 @@
+lib/ir/prog.pp.ml: Func Layout List Printf Reg

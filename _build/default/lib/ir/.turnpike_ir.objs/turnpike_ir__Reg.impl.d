@@ -1,0 +1,1 @@
+lib/ir/reg.pp.ml: Format Hashtbl Int Map Ppx_deriving_runtime Printf Set

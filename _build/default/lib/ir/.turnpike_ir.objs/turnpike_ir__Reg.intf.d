@@ -1,0 +1,1 @@
+lib/ir/reg.pp.mli: Format Hashtbl Map Ppx_deriving_runtime Set

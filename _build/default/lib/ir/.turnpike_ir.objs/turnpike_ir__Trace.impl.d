@@ -1,0 +1,1 @@
+lib/ir/trace.pp.ml: Array Instr List Ppx_deriving_runtime Reg

@@ -1,0 +1,54 @@
+type terminator =
+  | Jump of string
+  | Branch of Reg.t * string * string
+  | Ret
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  label : string;
+  mutable body : Instr.t array;
+  mutable term : terminator;
+}
+
+let create ?(body = [||]) ?(term = Ret) label = { label; body; term }
+
+let successors b =
+  match b.term with
+  | Jump l -> [ l ]
+  | Branch (_, l1, l2) -> if String.equal l1 l2 then [ l1 ] else [ l1; l2 ]
+  | Ret -> []
+
+let term_uses b =
+  match b.term with
+  | Branch (r, _, _) when not (Reg.is_zero r) -> [ r ]
+  | Branch _ | Jump _ | Ret -> []
+
+let num_instrs b = Array.length b.body
+
+let count p b = Array.fold_left (fun acc i -> if p i then acc + 1 else acc) 0 b.body
+
+let num_stores b = count Instr.is_sb_write b
+
+let iter f b = Array.iter f b.body
+
+let set_body b instrs = b.body <- Array.of_list instrs
+
+let body_list b = Array.to_list b.body
+
+let rename_term f b =
+  match b.term with
+  | Branch (r, l1, l2) -> b.term <- Branch (f r, l1, l2)
+  | Jump _ | Ret -> ()
+
+let to_string b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (b.label ^ ":\n");
+  Array.iter (fun i -> Buffer.add_string buf ("  " ^ Instr.to_string i ^ "\n")) b.body;
+  let t =
+    match b.term with
+    | Jump l -> Printf.sprintf "  jmp %s" l
+    | Branch (r, l1, l2) -> Printf.sprintf "  br %s, %s, %s" (Reg.to_string r) l1 l2
+    | Ret -> "  ret"
+  in
+  Buffer.add_string buf (t ^ "\n");
+  Buffer.contents buf

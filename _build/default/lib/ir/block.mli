@@ -1,0 +1,37 @@
+(** Basic blocks: a label, a straight-line body and one terminator. *)
+
+type terminator =
+  | Jump of string
+  | Branch of Reg.t * string * string
+      (** [Branch (r, taken, fallthrough)]: go to [taken] if [r <> 0]. *)
+  | Ret
+[@@deriving show, eq]
+
+type t = {
+  label : string;
+  mutable body : Instr.t array;
+  mutable term : terminator;
+}
+
+val create : ?body:Instr.t array -> ?term:terminator -> string -> t
+
+val successors : t -> string list
+(** Successor labels, deduplicated. *)
+
+val term_uses : t -> Reg.t list
+(** Registers read by the terminator. *)
+
+val num_instrs : t -> int
+
+val count : (Instr.t -> bool) -> t -> int
+
+val num_stores : t -> int
+(** Store-buffer writes in the body (regular stores + checkpoints). *)
+
+val iter : (Instr.t -> unit) -> t -> unit
+val set_body : t -> Instr.t list -> unit
+val body_list : t -> Instr.t list
+
+val rename_term : (Reg.t -> Reg.t) -> t -> unit
+
+val to_string : t -> string

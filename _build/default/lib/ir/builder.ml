@@ -1,0 +1,92 @@
+(* Imperative IR construction DSL used by workloads and tests. Blocks are
+   opened with [label] and closed by a terminator; instructions append to
+   the current block. *)
+
+type t = {
+  name : string;
+  mutable next_virt : int;
+  mutable next_data : int;
+  mutable blocks_rev : Block.t list;
+  mutable current : (string * Instr.t list ref) option;
+  mutable mem_init_rev : (int * int) list;
+  mutable reg_init_rev : (Reg.t * int) list;
+  mutable entry : string option;
+}
+
+let create name =
+  {
+    name;
+    next_virt = 0;
+    next_data = Layout.data_base;
+    blocks_rev = [];
+    current = None;
+    mem_init_rev = [];
+    reg_init_rev = [];
+    entry = None;
+  }
+
+let fresh_reg b =
+  let r = Reg.virt b.next_virt in
+  b.next_virt <- b.next_virt + 1;
+  r
+
+let close_block b term =
+  match b.current with
+  | None -> invalid_arg "Builder: terminator with no open block"
+  | Some (label, body) ->
+    b.blocks_rev <-
+      Block.create ~body:(Array.of_list (List.rev !body)) ~term label :: b.blocks_rev;
+    b.current <- None
+
+let label b l =
+  (match b.current with
+  | Some (cur, _) ->
+    (* Implicit fallthrough from the still-open block. *)
+    ignore cur;
+    close_block b (Block.Jump l)
+  | None -> ());
+  if b.entry = None then b.entry <- Some l;
+  b.current <- Some (l, ref [])
+
+let emit b i =
+  match b.current with
+  | None -> invalid_arg "Builder: instruction outside any block"
+  | Some (_, body) -> body := i :: !body
+
+let mov b ~dst o = emit b (Instr.Mov (dst, o))
+let binop b op ~dst ~a o = emit b (Instr.Binop (op, dst, a, o))
+let add b ~dst ~a o = binop b Instr.Add ~dst ~a o
+let sub b ~dst ~a o = binop b Instr.Sub ~dst ~a o
+let mul b ~dst ~a o = binop b Instr.Mul ~dst ~a o
+let cmp b c ~dst ~a o = emit b (Instr.Cmp (c, dst, a, o))
+let load b ~dst ~base ?(off = 0) () = emit b (Instr.Load (dst, base, off, Instr.App_mem))
+let store b ~src ~base ?(off = 0) () = emit b (Instr.Store (src, base, off, Instr.App_mem))
+let nop b = emit b Instr.Nop
+
+let jump b l = close_block b (Block.Jump l)
+let branch b ~cond ~if_true ~if_false = close_block b (Block.Branch (cond, if_true, if_false))
+let ret b = close_block b Block.Ret
+
+let alloc_array b ~len ~init =
+  let base = b.next_data in
+  b.next_data <- b.next_data + (len * Layout.word);
+  for i = 0 to len - 1 do
+    b.mem_init_rev <- ((base + (i * Layout.word)), init i) :: b.mem_init_rev
+  done;
+  base
+
+let input_reg b value =
+  let r = fresh_reg b in
+  b.reg_init_rev <- (r, value) :: b.reg_init_rev;
+  r
+
+let finish b =
+  (match b.current with Some _ -> close_block b Block.Ret | None -> ());
+  let entry =
+    match b.entry with
+    | Some e -> e
+    | None -> invalid_arg "Builder.finish: no blocks were defined"
+  in
+  let func = Func.create ~name:b.name ~entry (List.rev b.blocks_rev) in
+  Prog.create ~mem_init:(List.rev b.mem_init_rev)
+    ~reg_init:(List.rev b.reg_init_rev) func

@@ -1,0 +1,55 @@
+(** Imperative IR-construction DSL used by the workload suite and tests.
+
+    Typical use:
+    {[
+      let b = Builder.create "kernel" in
+      let arr = Builder.alloc_array b ~len:64 ~init:(fun i -> i) in
+      let i = Builder.fresh_reg b and base = Builder.fresh_reg b in
+      Builder.label b "entry";
+      Builder.mov b ~dst:i (Imm 0);
+      Builder.mov b ~dst:base (Imm arr);
+      Builder.jump b "loop";
+      (* ... *)
+      let prog = Builder.finish b
+    ]} *)
+
+type t
+
+val create : string -> t
+
+val fresh_reg : t -> Reg.t
+(** A fresh virtual register. *)
+
+val label : t -> string -> unit
+(** Open a new block. If a block is still open, it falls through (an
+    implicit [Jump]) to the new one. The first label is the entry. *)
+
+val emit : t -> Instr.t -> unit
+(** Append an arbitrary instruction to the open block.
+    @raise Invalid_argument when no block is open. *)
+
+val mov : t -> dst:Reg.t -> Instr.operand -> unit
+val binop : t -> Instr.binop -> dst:Reg.t -> a:Reg.t -> Instr.operand -> unit
+val add : t -> dst:Reg.t -> a:Reg.t -> Instr.operand -> unit
+val sub : t -> dst:Reg.t -> a:Reg.t -> Instr.operand -> unit
+val mul : t -> dst:Reg.t -> a:Reg.t -> Instr.operand -> unit
+val cmp : t -> Instr.cmp -> dst:Reg.t -> a:Reg.t -> Instr.operand -> unit
+val load : t -> dst:Reg.t -> base:Reg.t -> ?off:int -> unit -> unit
+val store : t -> src:Reg.t -> base:Reg.t -> ?off:int -> unit -> unit
+val nop : t -> unit
+
+val jump : t -> string -> unit
+val branch : t -> cond:Reg.t -> if_true:string -> if_false:string -> unit
+val ret : t -> unit
+
+val alloc_array : t -> len:int -> init:(int -> int) -> int
+(** Reserve [len] words in the data segment, record their initial values,
+    and return the base address. *)
+
+val input_reg : t -> int -> Reg.t
+(** A fresh virtual register recorded as a program input with the given
+    initial value. *)
+
+val finish : t -> Prog.t
+(** Close any open block with [Ret] and package the program.
+    @raise Invalid_argument if no block was ever defined. *)

@@ -1,0 +1,52 @@
+type t = {
+  func : Func.t;
+  preds : (string, string list) Hashtbl.t;
+  rpo : string array;
+  rpo_index : (string, int) Hashtbl.t;
+}
+
+let build func =
+  let preds = Hashtbl.create 64 in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun s ->
+          let cur = Option.value (Hashtbl.find_opt preds s) ~default:[] in
+          Hashtbl.replace preds s (b.Block.label :: cur))
+        (Block.successors b))
+    func;
+  (* Post-order DFS from entry; reverse for RPO. Unreachable blocks are
+     excluded from the RPO but remain in the function. *)
+  let visited = Hashtbl.create 64 in
+  let post = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      List.iter dfs (Block.successors (Func.block func l));
+      post := l :: !post
+    end
+  in
+  dfs func.Func.entry;
+  let rpo = Array.of_list !post in
+  let rpo_index = Hashtbl.create 64 in
+  Array.iteri (fun i l -> Hashtbl.replace rpo_index l i) rpo;
+  { func; preds; rpo; rpo_index }
+
+let predecessors t l = Option.value (Hashtbl.find_opt t.preds l) ~default:[]
+
+let successors t l = Block.successors (Func.block t.func l)
+
+let reverse_postorder t = Array.to_list t.rpo
+
+let postorder t = List.rev (Array.to_list t.rpo)
+
+let rpo_number t l = Hashtbl.find_opt t.rpo_index l
+
+let is_reachable t l = Hashtbl.mem t.rpo_index l
+
+let reachable_labels t = Array.to_list t.rpo
+
+let is_back_edge_candidate t ~src ~dst =
+  match (rpo_number t src, rpo_number t dst) with
+  | Some a, Some b -> b <= a
+  | _ -> false

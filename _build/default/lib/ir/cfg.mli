@@ -1,0 +1,25 @@
+(** Control-flow graph view of a {!Func.t}: predecessor lists and a
+    reverse-postorder numbering of the reachable blocks. *)
+
+type t
+
+val build : Func.t -> t
+(** Snapshot of the function's CFG. Rebuild after structural edits. *)
+
+val predecessors : t -> string -> string list
+val successors : t -> string -> string list
+
+val reverse_postorder : t -> string list
+(** Reachable labels in reverse postorder (entry first). *)
+
+val postorder : t -> string list
+
+val rpo_number : t -> string -> int option
+(** RPO index, or [None] for unreachable blocks. *)
+
+val is_reachable : t -> string -> bool
+val reachable_labels : t -> string list
+
+val is_back_edge_candidate : t -> src:string -> dst:string -> bool
+(** RPO-based retreat-edge test ([dst] not after [src]); combined with a
+    dominance check this identifies loop back edges. *)

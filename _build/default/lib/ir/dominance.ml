@@ -1,0 +1,78 @@
+(* Iterative dominator computation (Cooper-Harvey-Kennedy) over the RPO of
+   reachable blocks. *)
+
+type t = {
+  cfg : Cfg.t;
+  idom : (string, string) Hashtbl.t; (* entry maps to itself *)
+}
+
+let compute cfg =
+  let rpo = Array.of_list (Cfg.reverse_postorder cfg) in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) rpo;
+  let entry = rpo.(0) in
+  let idom = Hashtbl.create 64 in
+  Hashtbl.replace idom entry entry;
+  let intersect a b =
+    (* Walk up the (partially built) dominator tree in RPO-index space. *)
+    let rec up x y =
+      if String.equal x y then x
+      else
+        let ix = Hashtbl.find index x and iy = Hashtbl.find index y in
+        if ix > iy then up (Hashtbl.find idom x) y else up x (Hashtbl.find idom y)
+    in
+    up a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        if not (String.equal l entry) then begin
+          let processed_preds =
+            List.filter
+              (fun p -> Hashtbl.mem idom p && Hashtbl.mem index p)
+              (Cfg.predecessors cfg l)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            (match Hashtbl.find_opt idom l with
+            | Some old when String.equal old new_idom -> ()
+            | _ ->
+              Hashtbl.replace idom l new_idom;
+              changed := true)
+        end)
+      rpo
+  done;
+  { cfg; idom }
+
+let idom t l =
+  match Hashtbl.find_opt t.idom l with
+  | Some d when not (String.equal d l) -> Some d
+  | Some _ -> None (* entry *)
+  | None -> None (* unreachable *)
+
+let dominates t ~dom ~sub =
+  if not (Cfg.is_reachable t.cfg sub) then false
+  else
+    let rec up x =
+      if String.equal x dom then true
+      else
+        match Hashtbl.find_opt t.idom x with
+        | Some d when not (String.equal d x) -> up d
+        | _ -> false
+    in
+    up sub
+
+let strictly_dominates t ~dom ~sub =
+  (not (String.equal dom sub)) && dominates t ~dom ~sub
+
+let dominators t l =
+  let rec up x acc =
+    match Hashtbl.find_opt t.idom x with
+    | Some d when not (String.equal d x) -> up d (d :: acc)
+    | _ -> acc
+  in
+  if Cfg.is_reachable t.cfg l then l :: up l [] else []

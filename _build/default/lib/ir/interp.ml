@@ -1,0 +1,193 @@
+(* Functional (architectural) interpreter. It defines the reference
+   semantics used for correctness checks, produces dynamic traces for the
+   timing model, and exposes a single-step API that the resilience engine
+   drives for fault injection and region-restart recovery. *)
+
+type pc = { block : string; index : int }
+
+type state = {
+  regs : (Reg.t, int) Hashtbl.t;
+  mem : (int, int) Hashtbl.t;
+  mutable pc : pc;
+  mutable steps : int;
+  mutable halted : bool;
+}
+
+exception Out_of_fuel
+
+let get_reg st r = if Reg.is_zero r then 0 else Option.value (Hashtbl.find_opt st.regs r) ~default:0
+
+let set_reg st r v = if not (Reg.is_zero r) then Hashtbl.replace st.regs r v
+
+let get_mem st a = Option.value (Hashtbl.find_opt st.mem a) ~default:0
+
+let set_mem st a v = Hashtbl.replace st.mem a v
+
+let operand_value st = function
+  | Instr.Reg r -> get_reg st r
+  | Instr.Imm i -> i
+
+let init (prog : Prog.t) =
+  let st =
+    {
+      regs = Hashtbl.create 64;
+      mem = Hashtbl.create 4096;
+      pc = { block = prog.func.Func.entry; index = 0 };
+      steps = 0;
+      halted = false;
+    }
+  in
+  List.iter (fun (a, v) -> set_mem st a v) prog.mem_init;
+  List.iter (fun (r, v) -> set_reg st r v) prog.reg_init;
+  st
+
+let default_ckpt st r =
+  set_mem st (Layout.ckpt_slot ~reg:r ~color:0) (get_reg st r)
+
+type hooks = {
+  on_ckpt : state -> Reg.t -> unit;
+  on_boundary : state -> int -> unit;
+  on_event : Trace.event -> unit;
+  write_mem : state -> int -> int -> unit;
+}
+
+let no_hooks =
+  {
+    on_ckpt = default_ckpt;
+    on_boundary = (fun _ _ -> ());
+    on_event = (fun _ -> ());
+    write_mem = set_mem;
+  }
+
+let exec_instr hooks st (i : Instr.t) =
+  match i with
+  | Binop (op, d, a, o) ->
+    set_reg st d (Instr.eval_binop op (get_reg st a) (operand_value st o));
+    hooks.on_event (Trace.Alu { dst = Some d; srcs = Instr.uses i })
+  | Cmp (c, d, a, o) ->
+    set_reg st d (Instr.eval_cmp c (get_reg st a) (operand_value st o));
+    hooks.on_event (Trace.Alu { dst = Some d; srcs = Instr.uses i })
+  | Mov (d, o) ->
+    set_reg st d (operand_value st o);
+    hooks.on_event (Trace.Alu { dst = Some d; srcs = Instr.uses i })
+  | Load (d, b, off, kind) ->
+    let addr = get_reg st b + off in
+    set_reg st d (get_mem st addr);
+    hooks.on_event (Trace.Load { dst = d; srcs = Instr.uses i; addr; kind })
+  | Store (s, b, off, kind) ->
+    let addr = get_reg st b + off in
+    hooks.write_mem st addr (get_reg st s);
+    let cls =
+      match kind with
+      | Instr.Spill_mem -> Trace.Regular_spill
+      | Instr.App_mem | Instr.Ckpt_mem -> Trace.Regular_app
+    in
+    hooks.on_event (Trace.Store { srcs = Instr.uses i; addr; cls })
+  | Ckpt r ->
+    hooks.on_ckpt st r;
+    hooks.on_event (Trace.Ckpt { src = r })
+  | Boundary id ->
+    hooks.on_boundary st id;
+    hooks.on_event (Trace.Boundary { region = id })
+  | Nop -> hooks.on_event (Trace.Alu { dst = None; srcs = [] })
+
+let step ?(hooks = no_hooks) ?fallthrough func st =
+  if st.halted then ()
+  else begin
+    let b = Func.block func st.pc.block in
+    let n = Array.length b.Block.body in
+    if st.pc.index < n then begin
+      exec_instr hooks st b.Block.body.(st.pc.index);
+      st.pc <- { st.pc with index = st.pc.index + 1 };
+      st.steps <- st.steps + 1
+    end
+    else begin
+      (* A control transfer to the layout successor is a fall-through: no
+         fetch redirect, and for an unconditional jump not even an
+         instruction (region-boundary block splits are PC markers, not
+         code). *)
+      let falls_to l =
+        match fallthrough with
+        | Some tbl -> (
+          match Hashtbl.find_opt tbl st.pc.block with
+          | Some next -> String.equal next l
+          | None -> false)
+        | None -> (
+          match Func.fallthrough_of func st.pc.block with
+          | Some next -> String.equal next l
+          | None -> false)
+      in
+      let site = Hashtbl.hash st.pc.block in
+      (match b.Block.term with
+      | Block.Jump l ->
+        if not (falls_to l) then
+          hooks.on_event (Trace.Branch { srcs = []; taken = true; pc = site });
+        st.pc <- { block = l; index = 0 }
+      | Block.Branch (r, l1, l2) ->
+        let target = if get_reg st r <> 0 then l1 else l2 in
+        hooks.on_event
+          (Trace.Branch { srcs = [ r ]; taken = not (falls_to target); pc = site });
+        st.pc <- { block = target; index = 0 }
+      | Block.Ret -> st.halted <- true);
+      st.steps <- st.steps + 1
+    end
+  end
+
+let run ?(fuel = 10_000_000) ?hooks (prog : Prog.t) =
+  let st = init prog in
+  let fallthrough = Func.fallthrough_table prog.func in
+  let budget = ref fuel in
+  while (not st.halted) && !budget > 0 do
+    step ?hooks ~fallthrough prog.func st;
+    decr budget
+  done;
+  if not st.halted then raise Out_of_fuel;
+  st
+
+let trace_run ?(fuel = 1_000_000) (prog : Prog.t) =
+  let events = ref [] and n = ref 0 in
+  let hooks =
+    {
+      no_hooks with
+      on_event =
+        (fun e ->
+          events := e :: !events;
+          incr n);
+    }
+  in
+  let st = init prog in
+  let fallthrough = Func.fallthrough_table prog.func in
+  let budget = ref fuel in
+  while (not st.halted) && !budget > 0 do
+    step ~hooks ~fallthrough prog.func st;
+    decr budget
+  done;
+  let trace =
+    { Trace.events = Array.of_list (List.rev !events); complete = st.halted }
+  in
+  (trace, st)
+
+let mem_equal a b =
+  (* Treat absent bindings as zero on both sides. *)
+  let ok = ref true in
+  let check m m' = Hashtbl.iter (fun k v -> if v <> 0 && Option.value (Hashtbl.find_opt m' k) ~default:0 <> v then ok := false) m in
+  check a.mem b.mem;
+  check b.mem a.mem;
+  !ok
+
+let app_mem_equal a b =
+  (* Like [mem_equal] but restricted to the application data segment:
+     checkpoint slots legitimately differ across resilience schemes. *)
+  let ok = ref true in
+  let relevant k = not (Layout.is_ckpt_addr k) in
+  let check m m' =
+    Hashtbl.iter
+      (fun k v ->
+        if relevant k && v <> 0
+           && Option.value (Hashtbl.find_opt m' k) ~default:0 <> v
+        then ok := false)
+      m
+  in
+  check a.mem b.mem;
+  check b.mem a.mem;
+  !ok

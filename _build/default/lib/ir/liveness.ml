@@ -1,0 +1,81 @@
+(* Classic backward liveness over registers, plus a per-instruction view
+   used by checkpoint insertion and pruning. *)
+
+type t = {
+  live_in : (string, Reg.Set.t) Hashtbl.t;
+  live_out : (string, Reg.Set.t) Hashtbl.t;
+}
+
+let block_use_def (b : Block.t) =
+  (* use = read before any write in the block (terminator included). *)
+  let use = ref Reg.Set.empty and def = ref Reg.Set.empty in
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun r -> if not (Reg.Set.mem r !def) then use := Reg.Set.add r !use)
+        (Instr.uses i);
+      List.iter (fun r -> def := Reg.Set.add r !def) (Instr.defs i))
+    b.Block.body;
+  List.iter
+    (fun r -> if not (Reg.Set.mem r !def) then use := Reg.Set.add r !use)
+    (Block.term_uses b);
+  (!use, !def)
+
+let compute cfg func =
+  let live_in = Hashtbl.create 64 and live_out = Hashtbl.create 64 in
+  let use_def = Hashtbl.create 64 in
+  Func.iter_blocks
+    (fun b -> Hashtbl.replace use_def b.Block.label (block_use_def b))
+    func;
+  Func.iter_blocks
+    (fun b ->
+      Hashtbl.replace live_in b.Block.label Reg.Set.empty;
+      Hashtbl.replace live_out b.Block.label Reg.Set.empty)
+    func;
+  let changed = ref true in
+  let order = Cfg.postorder cfg in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let out =
+          List.fold_left
+            (fun acc s -> Reg.Set.union acc (Hashtbl.find live_in s))
+            Reg.Set.empty (Cfg.successors cfg l)
+        in
+        let use, def = Hashtbl.find use_def l in
+        let inn = Reg.Set.union use (Reg.Set.diff out def) in
+        if not (Reg.Set.equal out (Hashtbl.find live_out l)) then begin
+          Hashtbl.replace live_out l out;
+          changed := true
+        end;
+        if not (Reg.Set.equal inn (Hashtbl.find live_in l)) then begin
+          Hashtbl.replace live_in l inn;
+          changed := true
+        end)
+      order
+  done;
+  { live_in; live_out }
+
+let live_in t l = Option.value (Hashtbl.find_opt t.live_in l) ~default:Reg.Set.empty
+
+let live_out t l = Option.value (Hashtbl.find_opt t.live_out l) ~default:Reg.Set.empty
+
+let live_before_each t (b : Block.t) =
+  (* live.(i) = registers live immediately before instruction i. The array
+     has one extra slot: live.(n) is liveness before the terminator. *)
+  let n = Array.length b.body in
+  let live = Array.make (n + 1) Reg.Set.empty in
+  let after_term = live_out t b.label in
+  let before_term =
+    List.fold_left (fun acc r -> Reg.Set.add r acc) after_term (Block.term_uses b)
+  in
+  live.(n) <- before_term;
+  for i = n - 1 downto 0 do
+    let ins = b.body.(i) in
+    let s = live.(i + 1) in
+    let s = List.fold_left (fun acc r -> Reg.Set.remove r acc) s (Instr.defs ins) in
+    let s = List.fold_left (fun acc r -> Reg.Set.add r acc) s (Instr.uses ins) in
+    live.(i) <- s
+  done;
+  live

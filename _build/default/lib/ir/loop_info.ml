@@ -1,0 +1,128 @@
+type loop = {
+  header : string;
+  latches : string list;
+  blocks : string list;
+  depth : int;
+  parent : string option;
+}
+
+type t = {
+  loops : (string, loop) Hashtbl.t; (* keyed by header *)
+  innermost : (string, string) Hashtbl.t; (* block -> innermost header *)
+}
+
+module SS = Set.Make (String)
+
+let compute cfg dom =
+  (* A back edge src->dst exists when dst dominates src. The natural loop
+     of the edge is dst plus everything that reaches src without passing
+     through dst. *)
+  let back_edges = ref [] in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if Dominance.dominates dom ~dom:dst ~sub:src then
+            back_edges := (src, dst) :: !back_edges)
+        (Cfg.successors cfg src))
+    (Cfg.reachable_labels cfg);
+  let natural (src, header) =
+    let body = ref (SS.singleton header) in
+    let rec pull l =
+      if not (SS.mem l !body) then begin
+        body := SS.add l !body;
+        List.iter pull (Cfg.predecessors cfg l)
+      end
+    in
+    pull src;
+    !body
+  in
+  (* Merge loops sharing a header (multiple latches). *)
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun ((src, header) as e) ->
+      let body = natural e in
+      match Hashtbl.find_opt merged header with
+      | None -> Hashtbl.replace merged header (body, [ src ])
+      | Some (b, latches) -> Hashtbl.replace merged header (SS.union b body, src :: latches))
+    !back_edges;
+  (* Nesting: loop A is inside loop B when A's header is in B's body and
+     A <> B. Depth = number of enclosing loops + 1. *)
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) merged [] in
+  let enclosing h =
+    List.filter
+      (fun h' ->
+        (not (String.equal h h'))
+        &&
+        let b', _ = Hashtbl.find merged h' in
+        SS.mem h b')
+      headers
+  in
+  let loops = Hashtbl.create 8 in
+  List.iter
+    (fun h ->
+      let body, latches = Hashtbl.find merged h in
+      let encl = enclosing h in
+      let parent =
+        (* Innermost enclosing loop = the enclosing loop with the largest
+           depth i.e. smallest body. *)
+        match encl with
+        | [] -> None
+        | _ ->
+          let size h' = SS.cardinal (fst (Hashtbl.find merged h')) in
+          Some (List.fold_left (fun best c -> if size c < size best then c else best)
+                  (List.hd encl) (List.tl encl))
+      in
+      Hashtbl.replace loops h
+        {
+          header = h;
+          latches;
+          blocks = SS.elements body;
+          depth = List.length encl + 1;
+          parent;
+        })
+    headers;
+  let innermost = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun h (body, _) ->
+      SS.iter
+        (fun l ->
+          match Hashtbl.find_opt innermost l with
+          | None -> Hashtbl.replace innermost l h
+          | Some prev ->
+            let size x = SS.cardinal (fst (Hashtbl.find merged x)) in
+            if size h < size prev then Hashtbl.replace innermost l h)
+        body)
+    merged;
+  { loops; innermost }
+
+let loops t = Hashtbl.fold (fun _ l acc -> l :: acc) t.loops []
+
+let loop_of_header t h = Hashtbl.find_opt t.loops h
+
+let innermost_loop t l =
+  match Hashtbl.find_opt t.innermost l with
+  | None -> None
+  | Some h -> Hashtbl.find_opt t.loops h
+
+let is_header t l = Hashtbl.mem t.loops l
+
+let in_loop t ~header ~block =
+  match Hashtbl.find_opt t.loops header with
+  | None -> false
+  | Some lp -> List.exists (String.equal block) lp.blocks
+
+let depth t l =
+  match innermost_loop t l with None -> 0 | Some lp -> lp.depth
+
+let exits t cfg header =
+  match Hashtbl.find_opt t.loops header with
+  | None -> []
+  | Some lp ->
+    let body = SS.of_list lp.blocks in
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun s -> if SS.mem s body then None else Some (b, s))
+          (Cfg.successors cfg b))
+      lp.blocks

@@ -1,0 +1,29 @@
+(** Natural-loop analysis: back edges, loop bodies, nesting depth. *)
+
+type loop = {
+  header : string;
+  latches : string list;  (** sources of back edges into [header] *)
+  blocks : string list;  (** loop body, header included *)
+  depth : int;  (** nesting depth; outermost loops have depth 1 *)
+  parent : string option;  (** header of the innermost enclosing loop *)
+}
+
+type t
+
+val compute : Cfg.t -> Dominance.t -> t
+
+val loops : t -> loop list
+val loop_of_header : t -> string -> loop option
+
+val innermost_loop : t -> string -> loop option
+(** Innermost loop containing a block, if any. *)
+
+val is_header : t -> string -> bool
+val in_loop : t -> header:string -> block:string -> bool
+
+val depth : t -> string -> int
+(** Loop-nesting depth of a block (0 when outside all loops). *)
+
+val exits : t -> Cfg.t -> string -> (string * string) list
+(** Exit edges [(from_block, to_block)] of the loop with the given
+    header. *)

@@ -1,0 +1,36 @@
+(** Register identifiers.
+
+    Registers are plain integers. Ids below {!virt_base} denote
+    architectural (physical) registers; ids at or above it denote compiler
+    temporaries (virtual registers) that register allocation must eliminate
+    before timing simulation. Register {!zero} is hard-wired to zero. *)
+
+type t = int [@@deriving show, eq, ord]
+
+val zero : t
+(** The hard-wired zero register. Never allocated, never checkpointed;
+    used as base register for absolute addressing. *)
+
+val virt_base : int
+(** First id reserved for virtual registers. *)
+
+val phys : int -> t
+(** [phys i] is physical register [i].
+    @raise Invalid_argument if [i] is outside [0, virt_base). *)
+
+val virt : int -> t
+(** [virt i] is the [i]-th virtual register.
+    @raise Invalid_argument if [i < 0]. *)
+
+val is_virtual : t -> bool
+val is_physical : t -> bool
+val is_zero : t -> bool
+
+val to_string : t -> string
+(** ["rz"], ["rN"] for physical, ["vN"] for virtual registers. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,39 @@
+(* Dynamic execution trace consumed by the timing model. Each event carries
+   exactly what the in-order pipeline needs: which registers it reads and
+   writes, what kind of functional unit it uses, and (for memory
+   operations) the effective address. *)
+
+type store_class = Regular_app | Regular_spill | Checkpoint
+[@@deriving show { with_path = false }, eq]
+
+type event =
+  | Alu of { dst : Reg.t option; srcs : Reg.t list }
+  | Load of { dst : Reg.t; srcs : Reg.t list; addr : int; kind : Instr.mem_kind }
+  | Store of { srcs : Reg.t list; addr : int; cls : store_class }
+  | Ckpt of { src : Reg.t }
+  | Branch of { srcs : Reg.t list; taken : bool; pc : int }
+  | Boundary of { region : int }
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  events : event array;
+  complete : bool; (* false when the fuel budget cut execution short *)
+}
+
+let length t = Array.length t.events
+
+let count p t =
+  Array.fold_left (fun acc e -> if p e then acc + 1 else acc) 0 t.events
+
+let num_sb_writes t =
+  count (function Store _ | Ckpt _ -> true | _ -> false) t
+
+let num_ckpts t = count (function Ckpt _ -> true | _ -> false) t
+
+let num_boundaries t = count (function Boundary _ -> true | _ -> false) t
+
+let num_instructions t =
+  (* Boundaries are markers, not executed instructions. *)
+  count (function Boundary _ -> false | _ -> true) t
+
+let iter f t = Array.iter f t.events

@@ -1,0 +1,35 @@
+(** Dynamic execution traces: the interface between the functional
+    interpreter and the cycle-level timing model. *)
+
+type store_class = Regular_app | Regular_spill | Checkpoint
+[@@deriving show, eq]
+
+type event =
+  | Alu of { dst : Reg.t option; srcs : Reg.t list }
+  | Load of { dst : Reg.t; srcs : Reg.t list; addr : int; kind : Instr.mem_kind }
+  | Store of { srcs : Reg.t list; addr : int; cls : store_class }
+  | Ckpt of { src : Reg.t }
+      (** Checkpoint store; the slot address depends on the hardware color
+          assigned at commit, so the timing model resolves it. *)
+  | Branch of { srcs : Reg.t list; taken : bool; pc : int }
+  | Boundary of { region : int }  (** static region id *)
+[@@deriving show, eq]
+
+type t = {
+  events : event array;
+  complete : bool;  (** [false] when the fuel budget cut execution short *)
+}
+
+val length : t -> int
+val count : (event -> bool) -> t -> int
+
+val num_sb_writes : t -> int
+(** Dynamic store-buffer writes (stores + checkpoints). *)
+
+val num_ckpts : t -> int
+val num_boundaries : t -> int
+
+val num_instructions : t -> int
+(** Executed instructions, boundary markers excluded. *)
+
+val iter : (event -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/resilience/fault.pp.ml: Ppx_deriving_runtime Reg Turnpike_ir

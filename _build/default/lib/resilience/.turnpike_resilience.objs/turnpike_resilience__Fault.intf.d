@@ -1,0 +1,1 @@
+lib/resilience/fault.pp.mli: Ppx_deriving_runtime Reg Turnpike_ir

@@ -1,0 +1,1 @@
+lib/resilience/injector.pp.ml: Array Fault List Trace Turnpike_ir

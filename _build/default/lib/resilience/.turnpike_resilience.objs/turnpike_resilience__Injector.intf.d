@@ -1,0 +1,1 @@
+lib/resilience/injector.pp.mli: Fault Trace Turnpike_ir

@@ -1,0 +1,1 @@
+lib/resilience/recovery.pp.ml: Array Block Fault Func Hashtbl Instr Interp Layout List Option Printf Prog Reg String Sys Trace Turnpike_arch Turnpike_compiler Turnpike_ir

@@ -1,0 +1,1 @@
+lib/resilience/recovery.pp.mli: Fault Interp Turnpike_arch Turnpike_compiler Turnpike_ir

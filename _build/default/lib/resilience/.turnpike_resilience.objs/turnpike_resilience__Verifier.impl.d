@@ -1,0 +1,1 @@
+lib/resilience/verifier.pp.ml: Hashtbl Interp Layout List Option Recovery Turnpike_ir

@@ -1,0 +1,1 @@
+lib/resilience/verifier.pp.mli: Fault Interp Recovery Turnpike_compiler Turnpike_ir

@@ -1,0 +1,39 @@
+(* Fault-campaign construction: deterministic sets of faults spread across
+   a program's dynamic execution, targeting registers that actually carry
+   values at the injection point (so the campaign stresses recovery rather
+   than flipping dead bits). *)
+
+open Turnpike_ir
+
+let mix a b =
+  let z = ref ((a * 0x9E3779B9) + (b * 0x85EBCA6B) + 0x165667B1) in
+  z := !z lxor (!z lsr 15);
+  z := !z * 0x2C1B3C6D;
+  z := !z lxor (!z lsr 13);
+  !z land max_int
+
+(* Registers written during a window of the trace, as (step, reg) pairs. *)
+let written_regs_by_step (trace : Trace.t) =
+  let acc = ref [] in
+  Array.iteri
+    (fun step e ->
+      match e with
+      | Trace.Alu { dst = Some d; _ } -> acc := (step, d) :: !acc
+      | Trace.Load { dst; _ } -> acc := (step, dst) :: !acc
+      | Trace.Alu _ | Trace.Store _ | Trace.Ckpt _ | Trace.Branch _
+      | Trace.Boundary _ ->
+        ())
+    trace.Trace.events;
+  Array.of_list (List.rev !acc)
+
+let campaign ?(seed = 42) ~count (trace : Trace.t) =
+  let sites = written_regs_by_step trace in
+  let n = Array.length sites in
+  if n = 0 then []
+  else
+    List.init count (fun k ->
+        let step, reg = sites.(mix seed k mod n) in
+        let bit = mix seed (k * 7 + 1) mod 48 in
+        (* Strike one step after the write so the fault lands on a live,
+           freshly produced value. *)
+        Fault.single_bit ~at_step:(step + 1) ~reg ~bit)

@@ -1,0 +1,9 @@
+(** Fault-campaign construction: deterministic fault sets spread across a
+    program's dynamic execution, targeting freshly written registers so the
+    campaign stresses recovery rather than flipping dead bits. *)
+
+open Turnpike_ir
+
+val campaign : ?seed:int -> count:int -> Trace.t -> Fault.t list
+(** Build [count] single-bit faults from a reference trace of the program
+    (empty when the trace writes no registers). Deterministic in [seed]. *)

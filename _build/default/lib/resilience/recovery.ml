@@ -1,0 +1,461 @@
+(* Region-transactional executor: the functional (architectural) model of
+   Turnstile/Turnpike error containment and recovery.
+
+   Execution proceeds on the interpreter with these semantics layered on:
+   - quarantined stores (and fallback checkpoints) apply to memory but are
+     undo-logged per dynamic region; a region's log is dropped (committed)
+     when the region verifies, [verify_delay] steps after it ends;
+   - WAR-free regular stores (decided by the same CLQ logic the hardware
+     uses) and colored checkpoint stores are released immediately with no
+     undo entry;
+   - a fault flips bits of a register mid-run; the strike is detected
+     within [verify_delay] steps (acoustic sensors), or immediately when a
+     tainted register is about to be used for addressing (register parity
+     + hardened AGU, paper §5);
+   - on detection, every unverified region's writes are rolled back in
+     reverse order, the restart region's live-in registers are restored
+     from verified checkpoint storage (running the pruning pass's
+     reconstruction expressions where checkpoints were removed), and
+     execution resumes at the region head.
+
+   The executor is intentionally independent of the cycle-level timing
+   model: recovery correctness is an architectural property and is tested
+   here end to end against a golden run. *)
+
+open Turnpike_ir
+module Clq = Turnpike_arch.Clq
+module Coloring = Turnpike_arch.Coloring
+module Pass_pipeline = Turnpike_compiler.Pass_pipeline
+module Recovery_expr = Turnpike_compiler.Recovery_expr
+
+type config = {
+  verify_delay : int; (* steps from region end to verification *)
+  coloring : bool;
+  clq : Clq.design option;
+  nregs : int;
+  unsafe_ckpt_release : bool;
+      (* Fig 16: release checkpoints without coloring — intentionally
+         unsound, used to demonstrate why coloring exists. *)
+  fuel : int;
+  max_recoveries : int;
+}
+
+let default_config =
+  {
+    verify_delay = 40;
+    coloring = true;
+    clq = Some (Clq.Compact 2);
+    nregs = 32;
+    unsafe_ckpt_release = false;
+    fuel = 4_000_000;
+    max_recoveries = 8;
+  }
+
+let turnstile_config =
+  { default_config with coloring = false; clq = None }
+
+type detection = Sensor | Parity
+
+type outcome = {
+  state : Interp.state;
+  recoveries : int;
+  detections : detection list;
+  fast_released_stores : int;
+  colored_ckpts : int;
+  quarantined_writes : int;
+}
+
+exception Recovery_failed of string
+
+(* Where the latest verified checkpoint of a register lives. *)
+type slot_loc = Base | Color of int
+
+(* Per-region checkpoint records. Colored checkpoints were fast-released
+   (their slot already holds the value); fallback checkpoints are
+   quarantined: like the hardware store-buffer entry, the value stays
+   buffered here and only reaches checkpoint storage when the region
+   verifies — the target slot is chosen at drain time. *)
+type ckpt_record = Colored of Reg.t * int | Fallback of Reg.t * int (* value *)
+
+type dynamic_region = {
+  seq : int;
+  static_id : int;
+  mutable end_step : int option;
+  mutable undo : (int * int) list; (* (addr, previous value), newest first *)
+  mutable ckpts : ckpt_record list; (* newest first *)
+}
+
+type exec = {
+  cfg : config;
+  compiled : Pass_pipeline.t;
+  st : Interp.state;
+  clq : Clq.t option;
+  col : Coloring.t option;
+  verified_loc : (Reg.t, slot_loc) Hashtbl.t;
+  mutable open_region : dynamic_region option;
+  mutable pending : dynamic_region list; (* closed, unverified; oldest first *)
+  mutable next_seq : int;
+  mutable tainted : Reg.Set.t;
+  mutable recoveries : int;
+  mutable detections : detection list;
+  mutable fast_released : int;
+  mutable colored : int;
+  mutable quarantined : int;
+}
+
+let slot_addr reg = function
+  | Base -> Layout.ckpt_slot ~reg ~color:0
+  | Color c -> Layout.ckpt_slot ~reg ~color:c
+
+let current_region ex =
+  match ex.open_region with
+  | Some r -> r
+  | None ->
+    (* Implicit region before the first boundary marker. *)
+    let r =
+      { seq = ex.next_seq; static_id = -1; end_step = None; undo = []; ckpts = [] }
+    in
+    ex.next_seq <- ex.next_seq + 1;
+    ex.open_region <- Some r;
+    r
+
+let quarantined_write ex st addr value =
+  let r = current_region ex in
+  r.undo <- (addr, Interp.get_mem st addr) :: r.undo;
+  ex.quarantined <- ex.quarantined + 1;
+  Interp.set_mem st addr value
+
+let verify_region ex (r : dynamic_region) =
+  (* Commit: drop the undo log, promote the region's colors, publish
+     checkpoint locations, and drain quarantined (fallback) checkpoint
+     values into storage. Records are replayed oldest-first so the last
+     checkpoint of a register in the region wins. *)
+  (match ex.col with
+  | Some col -> Coloring.on_region_verified col ~region:r.seq
+  | None -> ());
+  List.iter
+    (fun record ->
+      match record with
+      | Colored (reg, c) -> Hashtbl.replace ex.verified_loc reg (Color c)
+      | Fallback (reg, value) -> (
+        match ex.col with
+        | Some col ->
+          (* Drain-time slot choice: a free color if one exists, else
+             overwrite the currently verified color (the value being
+             replaced is superseded by this newer verified one). *)
+          let c =
+            match Coloring.free_color col ~reg with
+            | Some c -> c
+            | None -> Option.value (Coloring.verified_color col ~reg) ~default:0
+          in
+          Interp.set_mem ex.st (slot_addr reg (Color c)) value;
+          Coloring.force_verified col ~reg ~color:c;
+          Hashtbl.replace ex.verified_loc reg (Color c)
+        | None ->
+          (* Turnstile: a single architected slot per register. *)
+          Interp.set_mem ex.st (slot_addr reg Base) value;
+          Hashtbl.replace ex.verified_loc reg Base))
+    (List.rev r.ckpts);
+  (match ex.clq with
+  | Some clq ->
+    Clq.on_region_verified clq ~region:r.seq;
+    Clq.maybe_enable clq
+      ~unverified_regions:
+        (List.length ex.pending + match ex.open_region with Some _ -> 1 | None -> 0)
+  | None -> ())
+
+let process_verifications ex ~now =
+  let rec go () =
+    match ex.pending with
+    | r :: rest
+      when (match r.end_step with Some e -> e + ex.cfg.verify_delay <= now | None -> false)
+      ->
+      ex.pending <- rest;
+      verify_region ex r;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let close_open_region ex ~now =
+  match ex.open_region with
+  | None -> ()
+  | Some r ->
+    r.end_step <- Some now;
+    ex.pending <- ex.pending @ [ r ];
+    ex.open_region <- None
+
+let on_boundary ex static_id =
+  let now = ex.st.Interp.steps in
+  close_open_region ex ~now;
+  process_verifications ex ~now;
+  (match ex.clq with
+  | Some clq ->
+    Clq.maybe_enable clq ~unverified_regions:(List.length ex.pending)
+  | None -> ());
+  let r =
+    { seq = ex.next_seq; static_id; end_step = None; undo = []; ckpts = [] }
+  in
+  ex.next_seq <- ex.next_seq + 1;
+  ex.open_region <- Some r
+
+let on_store ex st addr value =
+  let r = current_region ex in
+  (* CLQ fast release: WAR-free regular stores skip the quarantine. The
+     in-order constraint (no pending quarantined write to the same
+     address) mirrors the hardware check. *)
+  let pending_same_addr =
+    List.exists (fun (a, _) -> a = addr) r.undo
+    || List.exists (fun p -> List.exists (fun (a, _) -> a = addr) p.undo) ex.pending
+  in
+  let fast =
+    (match ex.clq with
+    | Some clq -> Clq.war_free clq ~region:r.seq addr
+    | None -> false)
+    && not pending_same_addr
+  in
+  if fast then begin
+    ex.fast_released <- ex.fast_released + 1;
+    Interp.set_mem st addr value
+  end
+  else quarantined_write ex st addr value
+
+let on_load ex addr =
+  match ex.clq with
+  | Some clq -> Clq.record_load clq ~region:(current_region ex).seq addr
+  | None -> ()
+
+let on_ckpt ex st reg =
+  let r = current_region ex in
+  let value = Interp.get_reg st reg in
+  if ex.cfg.unsafe_ckpt_release then begin
+    (* Fig 16: direct release without coloring — unsound by design. *)
+    r.ckpts <- Fallback (reg, value) :: r.ckpts;
+    Hashtbl.replace ex.verified_loc reg Base;
+    Interp.set_mem st (slot_addr reg Base) value
+  end
+  else
+    match ex.col with
+    | Some col when Reg.is_physical reg -> (
+      match Coloring.try_assign col ~reg ~region:r.seq with
+      | Some c ->
+        ex.colored <- ex.colored + 1;
+        r.ckpts <- Colored (reg, c) :: r.ckpts;
+        Interp.set_mem st (slot_addr reg (Color c)) value
+      | None ->
+        ex.quarantined <- ex.quarantined + 1;
+        r.ckpts <- Fallback (reg, value) :: r.ckpts)
+    | Some _ | None ->
+      ex.quarantined <- ex.quarantined + 1;
+      r.ckpts <- Fallback (reg, value) :: r.ckpts
+
+let read_verified_slot ex reg =
+  let loc = Option.value (Hashtbl.find_opt ex.verified_loc reg) ~default:Base in
+  Interp.get_mem ex.st (slot_addr reg loc)
+
+let restore_register ex reg =
+  match Hashtbl.find_opt ex.compiled.Pass_pipeline.recovery_exprs reg with
+  | Some expr ->
+    Recovery_expr.eval ~read_slot:(read_verified_slot ex) expr
+  | None -> read_verified_slot ex reg
+
+let recover ex ~kind =
+  if ex.recoveries >= ex.cfg.max_recoveries then
+    raise (Recovery_failed "recovery limit exceeded");
+  ex.recoveries <- ex.recoveries + 1;
+  ex.detections <- kind :: ex.detections;
+  let now = ex.st.Interp.steps in
+  close_open_region ex ~now;
+  (* Oldest unverified region restarts (the paper's "region starting after
+     the most recently verified boundary"). *)
+  let restart =
+    match ex.pending with
+    | r :: _ -> r
+    | [] -> raise (Recovery_failed "no unverified region to restart")
+  in
+  let discarded = ex.pending in
+  (* Discard: undo every unverified region's quarantined writes, newest
+     region first, newest write first. *)
+  List.iter
+    (fun r -> List.iter (fun (a, v) -> Interp.set_mem ex.st a v) r.undo)
+    (List.rev ex.pending);
+  (match ex.col with
+  | Some col ->
+    Coloring.discard_unverified col ~regions:(List.map (fun r -> r.seq) ex.pending)
+  | None -> ());
+  (match ex.clq with
+  | Some clq ->
+    List.iter (fun r -> Clq.on_region_verified clq ~region:r.seq) ex.pending
+  | None -> ());
+  ex.pending <- [];
+  ex.tainted <- Reg.Set.empty;
+  (* Restore the restart region's live-in registers from verified
+     checkpoint storage (reconstructing pruned ones). *)
+  (match Pass_pipeline.region_info ex.compiled restart.static_id with
+  | Some info ->
+    if Sys.getenv_opt "TURNPIKE_DEBUG_RECOVERY" <> None then
+      Printf.eprintf
+        "[recover] step=%d restart seq=%d static=%d head=%s live_in=[%s] discarded=[%s]\n%!"
+        now restart.seq restart.static_id info.Pass_pipeline.head
+        (String.concat ","
+           (List.map
+              (fun r ->
+                Printf.sprintf "%s<-%d" (Reg.to_string r) (restore_register ex r))
+              info.Pass_pipeline.live_in))
+        (String.concat ","
+           (List.map
+              (fun (r : dynamic_region) ->
+                Printf.sprintf "%d:s%d@%s" r.seq r.static_id
+                  (match r.end_step with Some e -> string_of_int e | None -> "?"))
+              discarded));
+    List.iter
+      (fun reg -> Interp.set_reg ex.st reg (restore_register ex reg))
+      info.Pass_pipeline.live_in;
+    ex.st.Interp.pc <- { Interp.block = info.Pass_pipeline.head; index = 0 };
+    ex.st.Interp.halted <- false
+  | None ->
+    raise
+      (Recovery_failed
+         (Printf.sprintf "no region info for static region %d" restart.static_id)))
+
+(* Taint tracking models the paper's hardened-AGU + register-parity fault
+   model: the struck register poisons derived values; using any tainted
+   register for addressing triggers immediate (parity) detection before
+   the access executes. *)
+let instr_at (ex : exec) =
+  let func = ex.compiled.Pass_pipeline.prog.Prog.func in
+  let b = Func.block func ex.st.Interp.pc.Interp.block in
+  let n = Array.length b.Block.body in
+  if ex.st.Interp.pc.Interp.index < n then Some b.Block.body.(ex.st.Interp.pc.Interp.index)
+  else None
+
+let address_uses_taint ex =
+  match instr_at ex with
+  | Some (Instr.Load (_, base, _, _)) -> Reg.Set.mem base ex.tainted
+  | Some (Instr.Store (_, base, _, _)) -> Reg.Set.mem base ex.tainted
+  | Some _ | None -> false
+
+let propagate_taint ex =
+  match instr_at ex with
+  | Some i ->
+    let input_tainted =
+      List.exists (fun r -> Reg.Set.mem r ex.tainted) (Instr.uses i)
+    in
+    let defs = Instr.defs i in
+    if input_tainted then
+      ex.tainted <- List.fold_left (fun s d -> Reg.Set.add d s) ex.tainted defs
+    else
+      (* A clean redefinition cleanses the register. Loads always cleanse:
+         memory contents are either verified or will be rolled back. *)
+      ex.tainted <- List.fold_left (fun s d -> Reg.Set.remove d s) ex.tainted defs
+  | None -> ()
+
+(* Deterministic mixer for sampling the sensor detection latency. *)
+let hash_mix a b =
+  let z = ref ((a * 0x9E3779B9) + (b * 0x85EBCA6B) + 0x165667B1) in
+  z := !z lxor (!z lsr 15);
+  z := !z * 0x2C1B3C6D;
+  z := !z lxor (!z lsr 13);
+  !z land max_int
+
+let run ?fault ?(faults = []) ?(config = default_config) (compiled : Pass_pipeline.t) =
+  let faults =
+    List.sort
+      (fun (a : Fault.t) b -> compare a.Fault.at_step b.Fault.at_step)
+      (match fault with Some f -> f :: faults | None -> faults)
+  in
+  let st = Interp.init compiled.Pass_pipeline.prog in
+  let ex =
+    {
+      cfg = config;
+      compiled;
+      st;
+      clq = Option.map Clq.create config.clq;
+      col = (if config.coloring then Some (Coloring.create ~nregs:config.nregs) else None);
+      verified_loc = Hashtbl.create 32;
+      open_region = None;
+      pending = [];
+      next_seq = 0;
+      tainted = Reg.Set.empty;
+      recoveries = 0;
+      detections = [];
+      fast_released = 0;
+      colored = 0;
+      quarantined = 0;
+    }
+  in
+  let hooks =
+    {
+      Interp.on_ckpt = (fun st reg -> on_ckpt ex st reg);
+      on_boundary = (fun _ id -> on_boundary ex id);
+      on_event =
+        (fun e ->
+          match e with
+          | Trace.Load { addr; _ } -> on_load ex addr
+          | Trace.Alu _ | Trace.Store _ | Trace.Ckpt _ | Trace.Branch _
+          | Trace.Boundary _ ->
+            ());
+      write_mem = (fun st addr v -> on_store ex st addr v);
+    }
+  in
+  let func = compiled.Pass_pipeline.prog.Prog.func in
+  let remaining = ref faults in
+  let detection_step = ref max_int in
+  let fallthrough = Func.fallthrough_table func in
+  let budget = ref config.fuel in
+  let detection_pending () = !detection_step < max_int in
+  (* The loop continues past program exit while a detection is still
+     pending: the sensors keep watching through the final WCDL windows, so
+     an error near the end is detected (and recovered) after the last
+     instruction retires. *)
+  while ((not st.Interp.halted) || detection_pending ()) && !budget > 0 do
+    let now = st.Interp.steps in
+    (* Detection strictly precedes any verification at the same timestamp:
+       a region is verified only when NO error was detected during its
+       window. A halted program jumps straight to the detection time. *)
+    if detection_pending () && (now >= !detection_step || st.Interp.halted) then begin
+      detection_step := max_int;
+      recover ex ~kind:Sensor
+    end
+    else begin
+      process_verifications ex ~now;
+      (* Strikes land at their absolute step; several faults can be in
+         flight, each scheduling its own detection — the earliest pending
+         one triggers recovery. Steps are monotonically increasing, so
+         faults scheduled inside a re-executed window simply fire once. *)
+      (match !remaining with
+      | (f : Fault.t) :: rest when now >= f.Fault.at_step ->
+        remaining := rest;
+        Interp.set_reg st f.Fault.reg
+          (Interp.get_reg st f.Fault.reg lxor f.Fault.xor_mask);
+        ex.tainted <- Reg.Set.add f.Fault.reg ex.tainted;
+        (* Detected within the worst-case latency; deterministic sample. *)
+        let d =
+          1 + (hash_mix f.Fault.at_step f.Fault.xor_mask mod max 1 config.verify_delay)
+        in
+        detection_step := min !detection_step (now + d)
+      | _ :: _ | [] -> ());
+      (* Parity/AGU path: a tainted register about to be used for
+         addressing is caught before the access. *)
+      if detection_pending () && address_uses_taint ex then begin
+        detection_step := max_int;
+        recover ex ~kind:Parity
+      end
+      else begin
+        propagate_taint ex;
+        Interp.step ~hooks ~fallthrough func st;
+        decr budget
+      end
+    end
+  done;
+  if not st.Interp.halted then raise Interp.Out_of_fuel;
+  (* Drain remaining verifications so the final memory is fully committed
+     state plus quarantine-applied writes (all correct by now). *)
+  {
+    state = st;
+    recoveries = ex.recoveries;
+    detections = List.rev ex.detections;
+    fast_released_stores = ex.fast_released;
+    colored_ckpts = ex.colored;
+    quarantined_writes = ex.quarantined;
+  }

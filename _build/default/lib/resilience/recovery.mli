@@ -1,0 +1,59 @@
+(** Region-transactional executor: the functional (architectural) model of
+    Turnstile/Turnpike error containment and recovery.
+
+    Quarantined stores are undo-logged per dynamic region and commit when
+    the region verifies; WAR-free regular stores (CLQ decision) and colored
+    checkpoint stores release immediately; a fault flips register bits
+    mid-run and is detected by the sensors within the verification window —
+    or immediately by register parity when a tainted register is about to
+    address memory (paper §5). Detection rolls back every unverified
+    region, restores the restart region's live-in registers from verified
+    checkpoint storage (running pruning's reconstruction expressions) and
+    resumes at the region head.
+
+    Recovery correctness is an architectural property; the module is
+    deliberately independent of the cycle-level timing model. *)
+
+open Turnpike_ir
+module Clq = Turnpike_arch.Clq
+module Pass_pipeline = Turnpike_compiler.Pass_pipeline
+
+type config = {
+  verify_delay : int;  (** steps from region end to verification (WCDL stand-in) *)
+  coloring : bool;
+  clq : Clq.design option;
+  nregs : int;
+  unsafe_ckpt_release : bool;
+      (** paper Fig 16: release checkpoints without coloring — intentionally
+          unsound; exists to demonstrate why coloring is necessary *)
+  fuel : int;
+  max_recoveries : int;
+}
+
+val default_config : config
+(** Turnpike hardware: coloring on, 2-entry compact CLQ. *)
+
+val turnstile_config : config
+(** No fast release at all: everything quarantines. *)
+
+type detection = Sensor | Parity
+
+type outcome = {
+  state : Interp.state;
+  recoveries : int;
+  detections : detection list;
+  fast_released_stores : int;
+  colored_ckpts : int;
+  quarantined_writes : int;
+}
+
+exception Recovery_failed of string
+
+val run :
+  ?fault:Fault.t -> ?faults:Fault.t list -> ?config:config -> Pass_pipeline.t -> outcome
+(** Execute a compiled program, optionally injecting faults ([fault] and
+    [faults] are merged and sorted by strike step; several faults may be
+    in flight, each detected within the verification window).
+    @raise Recovery_failed when recovery cannot proceed (by design only
+    reachable through [unsafe_ckpt_release] or broken compilation).
+    @raise Interp.Out_of_fuel when the fuel budget is exhausted. *)

@@ -1,0 +1,82 @@
+(* SDC-freedom verification: compare the observable output of a resilient
+   run (with faults injected) against a golden baseline run of the same
+   source program. The observable output is the application data segment —
+   spill slots and checkpoint storage are implementation details that
+   legitimately differ between compilation schemes. *)
+
+open Turnpike_ir
+
+type verdict = Match | Mismatch of { addr : int; golden : int; actual : int }
+
+let data_segment_only k = k >= Layout.data_base && k < Layout.spill_base
+
+let compare_states ~(golden : Interp.state) ~(actual : Interp.state) =
+  let bad = ref None in
+  let check a b flip =
+    Hashtbl.iter
+      (fun k v ->
+        if !bad = None && data_segment_only k && v <> 0 then begin
+          let v' = Option.value (Hashtbl.find_opt b.Interp.mem k) ~default:0 in
+          if v <> v' then
+            bad :=
+              Some
+                (if flip then Mismatch { addr = k; golden = v'; actual = v }
+                 else Mismatch { addr = k; golden = v; actual = v' })
+        end)
+      a.Interp.mem
+  in
+  check golden actual false;
+  check actual golden true;
+  Option.value !bad ~default:Match
+
+type campaign_report = {
+  total : int;
+  recovered : int;
+  sdc : int;
+  crashed : int;
+  parity_detections : int;
+  sensor_detections : int;
+  mean_reexec_overhead : float;
+      (* mean of (faulted steps / golden steps) - 1 over recovered runs:
+         the execution-time cost of rollback and re-execution *)
+}
+
+let run_campaign ?(config = Recovery.default_config) ~golden ~compiled faults =
+  let total = List.length faults in
+  let recovered = ref 0
+  and sdc = ref 0
+  and crashed = ref 0
+  and parity = ref 0
+  and sensor = ref 0
+  and reexec_sum = ref 0.0 in
+  let golden_steps = max 1 golden.Interp.steps in
+  List.iter
+    (fun fault ->
+      match Recovery.run ~fault ~config compiled with
+      | outcome ->
+        List.iter
+          (function
+            | Recovery.Parity -> incr parity
+            | Recovery.Sensor -> incr sensor)
+          outcome.Recovery.detections;
+        (match compare_states ~golden ~actual:outcome.Recovery.state with
+        | Match ->
+          incr recovered;
+          reexec_sum :=
+            !reexec_sum
+            +. (float_of_int outcome.Recovery.state.Interp.steps
+                /. float_of_int golden_steps)
+            -. 1.0
+        | Mismatch _ -> incr sdc)
+      | exception (Recovery.Recovery_failed _ | Interp.Out_of_fuel) -> incr crashed)
+    faults;
+  {
+    total;
+    recovered = !recovered;
+    sdc = !sdc;
+    crashed = !crashed;
+    parity_detections = !parity;
+    sensor_detections = !sensor;
+    mean_reexec_overhead =
+      (if !recovered = 0 then 0.0 else !reexec_sum /. float_of_int !recovered);
+  }

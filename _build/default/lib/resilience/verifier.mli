@@ -1,0 +1,29 @@
+(** SDC-freedom verification: compares the observable output (application
+    data segment) of a resilient, fault-injected run against a golden
+    baseline run. Spill slots and checkpoint storage are implementation
+    details and are excluded from the comparison. *)
+
+open Turnpike_ir
+
+type verdict = Match | Mismatch of { addr : int; golden : int; actual : int }
+
+val compare_states : golden:Interp.state -> actual:Interp.state -> verdict
+
+type campaign_report = {
+  total : int;
+  recovered : int;  (** outputs identical to the golden run *)
+  sdc : int;  (** silent data corruptions — must be zero for sound schemes *)
+  crashed : int;  (** recovery failures / fuel exhaustion *)
+  parity_detections : int;
+  sensor_detections : int;
+  mean_reexec_overhead : float;
+      (** mean of (faulted-run steps / golden steps) − 1 over recovered
+          runs: the execution cost of rollback and re-execution *)
+}
+
+val run_campaign :
+  ?config:Recovery.config ->
+  golden:Interp.state ->
+  compiled:Turnpike_compiler.Pass_pipeline.t ->
+  Fault.t list ->
+  campaign_report

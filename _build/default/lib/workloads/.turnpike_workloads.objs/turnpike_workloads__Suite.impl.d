@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List Prog String Templates Turnpike_ir

@@ -1,0 +1,1 @@
+lib/workloads/templates.ml: Array Builder Data_gen Instr Layout List Turnpike_ir

@@ -1,0 +1,1 @@
+lib/workloads/templates.mli: Prog Turnpike_ir

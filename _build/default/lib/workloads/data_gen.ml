@@ -1,0 +1,30 @@
+(* Deterministic pseudo-random data for workload construction. A splitmix
+   style mixer keyed by (seed, index) keeps array initializers pure
+   functions, so every build of a benchmark is bit-identical. *)
+
+let mix seed i =
+  let z = ref ((seed * 0x9E3779B9) + (i * 0x85EBCA6B) + 0x165667B1) in
+  z := !z lxor (!z lsr 15);
+  z := !z * 0x2C1B3C6D;
+  z := !z lxor (!z lsr 12);
+  z := !z * 0x297A2D39;
+  z := !z lxor (!z lsr 15);
+  !z land max_int
+
+let int ~seed ~index ~bound =
+  if bound <= 0 then invalid_arg "Data_gen.int: bound must be positive";
+  mix seed index mod bound
+
+let small ~seed ~index = 1 + (mix seed index mod 97)
+
+(* A random permutation of [0, n) built by Fisher-Yates under the
+   deterministic stream; used for pointer-chasing workloads. *)
+let permutation ~seed n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = mix seed i mod (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a

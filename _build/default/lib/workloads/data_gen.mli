@@ -1,0 +1,17 @@
+(** Deterministic pseudo-random data for workload construction: array
+    initializers are pure functions of (seed, index), so every build of a
+    benchmark is bit-identical. *)
+
+val mix : int -> int -> int
+(** [mix seed i]: a non-negative pseudo-random value for position [i]. *)
+
+val int : seed:int -> index:int -> bound:int -> int
+(** Uniform-ish value in [0, bound).
+    @raise Invalid_argument on non-positive bound. *)
+
+val small : seed:int -> index:int -> int
+(** Value in [1, 97] — convenient nonzero array contents. *)
+
+val permutation : seed:int -> int -> int array
+(** Deterministic random permutation of [0, n); used to build
+    pointer-chasing cycles. *)

@@ -1,0 +1,124 @@
+(* The 36-benchmark suite: one deterministic synthetic proxy per benchmark
+   name of the paper's evaluation (16 SPEC CPU2006, 13 SPEC CPU2017 and 7
+   SPLASH3 programs). Each proxy instantiates the template whose behaviour
+   class best matches the real program's documented character (store
+   density, miss rate, branchiness, register pressure); DESIGN.md records
+   this substitution. [scale] multiplies iteration counts so simulation
+   windows can be tuned from the command line. *)
+
+open Turnpike_ir
+
+type suite_tag = Cpu2006 | Cpu2017 | Splash3
+
+type entry = {
+  name : string;
+  suite : suite_tag;
+  description : string;
+  build : scale:int -> Prog.t;
+}
+
+let suite_name = function
+  | Cpu2006 -> "SPEC CPU2006"
+  | Cpu2017 -> "SPEC CPU2017"
+  | Splash3 -> "SPLASH3"
+
+let e name suite description build = { name; suite; description; build }
+
+let s06 = 100 (* seed spaces per suite keep data streams disjoint *)
+let s17 = 200
+let s3 = 300
+
+let benchmarks =
+  [
+    (* ---------------- SPEC CPU2006 ---------------- *)
+    e "astar" Cpu2006 "path search: indirect gathers over a graph" (fun ~scale ->
+        Templates.gather ~seed:(s06 + 1) ~iters:(208 * scale) ~span:4096 ());
+    e "bwaves" Cpu2006 "wave PDE: long stencil sweeps" (fun ~scale ->
+        Templates.stencil ~seed:(s06 + 2) ~iters:(273 * scale) ());
+    e "bzip2" Cpu2006 "compression: in-place byte shuffling" (fun ~scale ->
+        Templates.inplace_shift ~seed:(s06 + 3) ~iters:(247 * scale) ());
+    e "gcc" Cpu2006 "compiler: branchy, register pressure" (fun ~scale ->
+        Templates.spill_heavy ~seed:(s06 + 4) ~iters:(195 * scale) ~live:34 ());
+    e "gemsfdtd" Cpu2006 "FDTD solver: stencil + heavy writes" (fun ~scale ->
+        Templates.stream_store ~seed:(s06 + 5) ~iters:(195 * scale) ~ways:2 ());
+    e "gobmk" Cpu2006 "game tree: branch dominated" (fun ~scale ->
+        Templates.branchy ~seed:(s06 + 6) ~iters:(221 * scale) ());
+    e "hmmer" Cpu2006 "profile HMM: reduction over tables" (fun ~scale ->
+        Templates.reduction ~seed:(s06 + 7) ~iters:(208 * scale) ~accs:6 ());
+    e "leslie3d" Cpu2006 "CFD: stencil" (fun ~scale ->
+        Templates.stencil ~seed:(s06 + 8) ~iters:(260 * scale) ());
+    e "libquan" Cpu2006 "quantum sim: streaming stores" (fun ~scale ->
+        Templates.stream_store ~seed:(s06 + 9) ~iters:(260 * scale) ~ways:1 ());
+    e "mcf" Cpu2006 "network simplex: pointer chasing" (fun ~scale ->
+        Templates.pointer_chase ~seed:(s06 + 10) ~nodes:4096 ~iters:(169 * scale) ());
+    e "milc" Cpu2006 "lattice QCD: triad-like arithmetic" (fun ~scale ->
+        Templates.triad ~seed:(s06 + 11) ~iters:(234 * scale) ());
+    e "omnetpp" Cpu2006 "event simulation: pointer chasing" (fun ~scale ->
+        Templates.pointer_chase ~seed:(s06 + 12) ~nodes:2048 ~iters:(182 * scale) ());
+    e "perlbench" Cpu2006 "interpreter: data-dependent output stream" (fun ~scale ->
+        Templates.compress ~seed:(s06 + 13) ~iters:(208 * scale) ());
+    e "soplex" Cpu2006 "LP solver: mixed compute/memory" (fun ~scale ->
+        Templates.mixed ~seed:(s06 + 14) ~iters:(221 * scale) ());
+    e "xalan" Cpu2006 "XSLT: histogram-like table updates" (fun ~scale ->
+        Templates.histogram ~seed:(s06 + 15) ~iters:(195 * scale) ~buckets:512 ());
+    e "zeusmp" Cpu2006 "astro CFD: stencil" (fun ~scale ->
+        Templates.stencil ~seed:(s06 + 16) ~iters:(247 * scale) ());
+    (* ---------------- SPEC CPU2017 ---------------- *)
+    e "bwaves" Cpu2017 "wave PDE (2017 inputs): stencil" (fun ~scale ->
+        Templates.stencil ~seed:(s17 + 1) ~iters:(273 * scale) ());
+    e "cactubssn" Cpu2017 "numerical relativity: flags + stencil (LICM target)"
+      (fun ~scale -> Templates.flag_loop ~seed:(s17 + 2) ~iters:(247 * scale) ());
+    e "deepsjeng" Cpu2017 "chess: branch dominated" (fun ~scale ->
+        Templates.branchy ~seed:(s17 + 3) ~iters:(221 * scale) ());
+    e "exchange2" Cpu2017 "puzzle: nested counted loops (LIVM target)" (fun ~scale ->
+        Templates.stream_store ~seed:(s17 + 4) ~iters:(208 * scale) ~ways:3 ());
+    e "fotonik3d" Cpu2017 "EM solver: stencil" (fun ~scale ->
+        Templates.stencil ~seed:(s17 + 5) ~iters:(260 * scale) ());
+    e "lbm" Cpu2017 "lattice Boltzmann: store-dominated streaming" (fun ~scale ->
+        Templates.stream_store ~seed:(s17 + 6) ~iters:(221 * scale) ~ways:3 ());
+    e "leela" Cpu2017 "go engine: branchy + streaming (LIVM target)" (fun ~scale ->
+        Templates.stream_store ~seed:(s17 + 7) ~iters:(208 * scale) ~ways:2 ());
+    e "mcf" Cpu2017 "network simplex (2017): pointer chasing" (fun ~scale ->
+        Templates.pointer_chase ~seed:(s17 + 8) ~nodes:8192 ~iters:(156 * scale) ());
+    e "nab" Cpu2017 "molecular dynamics: flag summaries (LICM target)" (fun ~scale ->
+        Templates.flag_loop ~seed:(s17 + 9) ~iters:(234 * scale) ());
+    e "roms" Cpu2017 "ocean model: triad arithmetic" (fun ~scale ->
+        Templates.triad ~seed:(s17 + 10) ~iters:(247 * scale) ());
+    e "x264" Cpu2017 "video encode: in-place pixel updates" (fun ~scale ->
+        Templates.inplace_shift ~seed:(s17 + 11) ~iters:(234 * scale) ());
+    e "xalan" Cpu2017 "XSLT (2017): table updates" (fun ~scale ->
+        Templates.histogram ~seed:(s17 + 12) ~iters:(195 * scale) ~buckets:1024 ());
+    e "xz" Cpu2017 "compression: predicate-gated output stream" (fun ~scale ->
+        Templates.compress ~seed:(s17 + 13) ~iters:(221 * scale) ());
+    (* ---------------- SPLASH3 ---------------- *)
+    e "cholesky" Splash3 "factorization: nested loops + flags (LICM target)"
+      (fun ~scale -> Templates.matmul ~seed:(s3 + 1) ~n:(8 + scale) ());
+    e "fft" Splash3 "FFT: strided triad passes" (fun ~scale ->
+        Templates.triad ~seed:(s3 + 2) ~iters:(234 * scale) ());
+    e "lu-cg" Splash3 "LU (contiguous): dense kernel (LIVM target)" (fun ~scale ->
+        Templates.matmul ~seed:(s3 + 3) ~n:(8 + scale) ());
+    e "ocean-ng" Splash3 "ocean (non-contiguous): stencil sweeps" (fun ~scale ->
+        Templates.stencil ~seed:(s3 + 4) ~iters:(260 * scale) ());
+    e "radiosity" Splash3 "hierarchical radiosity: pointer chasing" (fun ~scale ->
+        Templates.pointer_chase ~seed:(s3 + 5) ~nodes:4096 ~iters:(156 * scale) ());
+    e "radix" Splash3 "radix sort: histogram + streaming (LIVM/LICM target)"
+      (fun ~scale -> Templates.histogram ~seed:(s3 + 6) ~iters:(208 * scale) ~buckets:256 ());
+    e "water-sp" Splash3 "n-body water: reduction with pressure" (fun ~scale ->
+        Templates.reduction ~seed:(s3 + 7) ~iters:(208 * scale) ~accs:10 ());
+  ]
+
+let all () = benchmarks
+
+let of_suite tag = List.filter (fun b -> b.suite = tag) benchmarks
+
+let find ~suite ~name =
+  List.find_opt (fun b -> b.suite = suite && String.equal b.name name) benchmarks
+
+let find_by_name name =
+  List.filter (fun b -> String.equal b.name name) benchmarks
+
+let qualified_name b =
+  match b.suite with
+  | Cpu2006 -> b.name ^ "@2006"
+  | Cpu2017 -> b.name ^ "@2017"
+  | Splash3 -> b.name ^ "@splash3"

@@ -1,0 +1,32 @@
+(** The 36-benchmark suite: one deterministic synthetic proxy per benchmark
+    name of the paper's evaluation (16 SPEC CPU2006, 13 SPEC CPU2017, 7
+    SPLASH3). Each proxy instantiates the template whose behaviour class
+    matches the real program's documented character; DESIGN.md records the
+    substitution. *)
+
+open Turnpike_ir
+
+type suite_tag = Cpu2006 | Cpu2017 | Splash3
+
+type entry = {
+  name : string;  (** the paper's benchmark name *)
+  suite : suite_tag;
+  description : string;
+  build : scale:int -> Prog.t;
+      (** [scale] multiplies iteration counts to tune simulation windows *)
+}
+
+val suite_name : suite_tag -> string
+
+val all : unit -> entry list
+(** All 36 entries, in the paper's figure order. *)
+
+val of_suite : suite_tag -> entry list
+
+val find : suite:suite_tag -> name:string -> entry option
+
+val find_by_name : string -> entry list
+(** All entries with a name (bwaves/mcf/xalan appear in two suites). *)
+
+val qualified_name : entry -> string
+(** Unique name, e.g. ["mcf@2006"]. *)

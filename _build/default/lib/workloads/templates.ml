@@ -1,0 +1,627 @@
+(* Parameterized kernel templates the benchmark suite instantiates. Each
+   template captures one behaviour class that drives the paper's results:
+   store density (SB pressure), load-miss latency (checkpoint data
+   hazards), WAR distance (CLQ fast-release rate), live-register pressure
+   (spills / checkpoint counts), and loop-carried induction variables
+   (LIVM targets). Loops use a zero-based counter plus strength-reduced
+   pointer induction variables, as -O3 code generation would. *)
+
+open Turnpike_ir
+
+let word = Layout.word
+
+(* Counted-loop skeleton:
+     entry: setup; i = 0; jump head
+     head:  body i env; i += 1; t = i < n; br t head exit
+     exit:  epilogue env; ret
+   [setup] returns an environment threaded to [body] and [epilogue]. *)
+let build_loop ~name ~iters ~setup ~body ~epilogue =
+  let b = Builder.create name in
+  Builder.label b "entry";
+  let env = setup b in
+  let i = Builder.fresh_reg b in
+  Builder.mov b ~dst:i (Imm 0);
+  Builder.jump b "head";
+  Builder.label b "head";
+  body b ~i env;
+  Builder.add b ~dst:i ~a:i (Imm 1);
+  let c = Builder.fresh_reg b in
+  Builder.cmp b Instr.Lt ~dst:c ~a:i (Imm iters);
+  Builder.branch b ~cond:c ~if_true:"head" ~if_false:"exit";
+  Builder.label b "exit";
+  epilogue b env;
+  Builder.ret b;
+  Builder.finish b
+
+(* A loop-invariant register holding an address. *)
+let base_reg b addr =
+  let r = Builder.fresh_reg b in
+  Builder.mov b ~dst:r (Imm addr);
+  r
+
+(* A strength-reduced pointer induction variable starting at [base] and
+   advancing [step] bytes per iteration — the LIVM merge target of paper
+   Fig 8. Returns the pointer register and its advance emitter. *)
+let pointer_iv b ~base =
+  let p = Builder.fresh_reg b in
+  Builder.mov b ~dst:p (Reg base);
+  p
+
+let advance b p ~step = Builder.add b ~dst:p ~a:p (Imm step)
+
+(* A short dependent ALU chain standing in for the per-element compute of a
+   real benchmark iteration. Keeping values bounded (mask + add/xor) makes
+   the outputs stable across schemes. Returns the chain's result register;
+   the intermediates die locally, so the chain adds work without adding
+   live-out checkpoints. *)
+let alu_chain b ~n ~src =
+  (* Two interleaved independent sub-chains keep the dual-issue pipeline
+     busy (baseline IPC close to width), so checkpoint stores compete for
+     real issue slots as they do on hardware. *)
+  let t = Builder.fresh_reg b and u = Builder.fresh_reg b in
+  Builder.binop b Instr.And ~dst:t ~a:src (Imm 0xFFFF);
+  Builder.binop b Instr.Xor ~dst:u ~a:src (Imm 0x5A5A);
+  for k = 1 to n do
+    let dst = if k land 1 = 0 then t else u in
+    match k mod 3 with
+    | 0 -> Builder.binop b Instr.Xor ~dst ~a:dst (Imm ((k * 37) land 0xFF))
+    | 1 -> Builder.add b ~dst ~a:dst (Imm ((k * 11) land 0xFF))
+    | _ -> Builder.binop b Instr.And ~dst ~a:dst (Imm 0x7FFF)
+  done;
+  Builder.add b ~dst:t ~a:t (Reg u);
+  t
+
+(* Flush a result register to memory in the epilogue so that every kernel
+   has observable output for SDC verification. *)
+let emit_result b env_regs =
+  let out = Builder.alloc_array b ~len:(List.length env_regs) ~init:(fun _ -> 0) in
+  let ob = base_reg b out in
+  List.iteri (fun k r -> Builder.store b ~src:r ~base:ob ~off:(k * word) ()) env_regs
+
+(* -------------------------------------------------------------------- *)
+
+(* Streaming stores: [ways] output arrays written each iteration through
+   strength-reduced pointers. Dense stores, no WAR — the canonical
+   fast-release and LIVM showcase. *)
+let stream_store ?(seed = 1) ?(work = 18) ~iters ~ways () =
+  build_loop ~name:"stream_store" ~iters
+    ~setup:(fun b ->
+      let v = Builder.fresh_reg b in
+      Builder.mov b ~dst:v (Imm (seed * 3));
+      let k = Builder.fresh_reg b in
+      Builder.mov b ~dst:k (Imm (seed * 5));
+      let ptrs =
+        List.init ways (fun w ->
+            let a =
+              Builder.alloc_array b ~len:(iters + 1) ~init:(fun kk ->
+                  Data_gen.small ~seed:(seed + w) ~index:kk)
+            in
+            pointer_iv b ~base:(base_reg b a))
+      in
+      (v, k, ptrs))
+    ~body:(fun b ~i:_ (v, k, ptrs) ->
+      Builder.add b ~dst:v ~a:v (Imm 7);
+      (* A rematerializable temporary: one static definition from a
+         loop-invariant source, defined early and consumed at the end of
+         the iteration. It stays live across the mid-iteration region
+         boundaries the store budget forces, so eager checkpointing saves
+         it every iteration — and optimal pruning removes that checkpoint
+         (the value reconstructs from k's checkpoint). *)
+      let remat = Builder.fresh_reg b in
+      Builder.add b ~dst:remat ~a:k (Imm 13);
+      List.iteri
+        (fun w p ->
+          let t = alu_chain b ~n:work ~src:v in
+          Builder.binop b Instr.Xor ~dst:t ~a:t (Imm w);
+          Builder.store b ~src:t ~base:p ();
+          advance b p ~step:word)
+        ptrs;
+      Builder.binop b Instr.Xor ~dst:v ~a:v (Reg remat))
+    ~epilogue:(fun b (v, _, _) -> emit_result b [ v ])
+
+(* Stream triad: out[i] = x[i] + k*y[i]. Loads feed a store — checkpoint
+   data hazards behind L1 hits, still WAR-free. *)
+let triad ?(seed = 2) ~iters () =
+  build_loop ~name:"triad" ~iters
+    ~setup:(fun b ->
+      let mk s =
+        Builder.alloc_array b ~len:(iters + 1) ~init:(fun k ->
+            Data_gen.small ~seed:s ~index:k)
+      in
+      let x = mk seed and y = mk (seed + 1) and out = mk (seed + 2) in
+      let k = Builder.fresh_reg b in
+      Builder.mov b ~dst:k (Imm (seed * 7));
+      let acc = Builder.fresh_reg b in
+      Builder.mov b ~dst:acc (Imm 0);
+      let px = pointer_iv b ~base:(base_reg b x) in
+      let py = pointer_iv b ~base:(base_reg b y) in
+      let po = pointer_iv b ~base:(base_reg b out) in
+      (k, acc, px, py, po))
+    ~body:(fun b ~i:_ (k, acc, px, py, po) ->
+      (* Rematerializable temporary: defined first, consumed after the
+         store, so its checkpoint spans the mid-iteration boundary and is
+         a pruning target. *)
+      let remat = Builder.fresh_reg b in
+      Builder.add b ~dst:remat ~a:k (Imm 21);
+      let a = Builder.fresh_reg b and c = Builder.fresh_reg b in
+      Builder.load b ~dst:a ~base:px ();
+      Builder.load b ~dst:c ~base:py ();
+      let t = Builder.fresh_reg b in
+      Builder.mul b ~dst:t ~a:c (Imm 3);
+      Builder.add b ~dst:t ~a:t (Reg a);
+      let t2 = alu_chain b ~n:16 ~src:t in
+      Builder.store b ~src:t2 ~base:po ();
+      Builder.add b ~dst:acc ~a:acc (Reg remat);
+      advance b px ~step:word;
+      advance b py ~step:word;
+      advance b po ~step:word)
+    ~epilogue:(fun b (_, acc, _, _, _) -> emit_result b [ acc ])
+
+(* Reduction over [accs] parallel accumulators: load-heavy, almost no
+   stores, high live-register pressure when [accs] is large. *)
+let reduction ?(seed = 3) ~iters ~accs () =
+  build_loop ~name:"reduction" ~iters
+    ~setup:(fun b ->
+      let a =
+        Builder.alloc_array b ~len:(iters + accs + 1) ~init:(fun k ->
+            Data_gen.small ~seed ~index:k)
+      in
+      let p = pointer_iv b ~base:(base_reg b a) in
+      let sums =
+        List.init accs (fun k ->
+            let r = Builder.fresh_reg b in
+            Builder.mov b ~dst:r (Imm k);
+            r)
+      in
+      (p, sums))
+    ~body:(fun b ~i:_ (p, sums) ->
+      List.iteri
+        (fun k s ->
+          let v = Builder.fresh_reg b in
+          Builder.load b ~dst:v ~base:p ~off:(k * word) ();
+          let t = alu_chain b ~n:7 ~src:v in
+          Builder.add b ~dst:s ~a:s (Reg t))
+        sums;
+      advance b p ~step:word)
+    ~epilogue:(fun b (_, sums) -> emit_result b sums)
+
+(* Pointer chasing through a permutation cycle: serialized, cache-hostile
+   loads (the paper's mcf/omnetpp behaviour) followed by a rare store. *)
+let pointer_chase ?(seed = 4) ~nodes ~iters () =
+  build_loop ~name:"pointer_chase" ~iters
+    ~setup:(fun b ->
+      let perm = Data_gen.permutation ~seed nodes in
+      let next = Builder.alloc_array b ~len:nodes ~init:(fun k -> perm.(k)) in
+      let visits = Builder.alloc_array b ~len:nodes ~init:(fun _ -> 0) in
+      let nb = base_reg b next in
+      let vb = base_reg b visits in
+      let cur = Builder.fresh_reg b in
+      Builder.mov b ~dst:cur (Imm 0);
+      (nb, vb, cur))
+    ~body:(fun b ~i (nb, vb, cur) ->
+      let off = Builder.fresh_reg b in
+      Builder.binop b Instr.Shl ~dst:off ~a:cur (Imm 3);
+      let addr = Builder.fresh_reg b in
+      Builder.add b ~dst:addr ~a:off (Reg nb);
+      Builder.load b ~dst:cur ~base:addr ();
+      let pad = alu_chain b ~n:10 ~src:i in
+      ignore pad;
+      (* Occasionally record the visit (store with data hazard on cur). *)
+      let waddr = Builder.fresh_reg b in
+      Builder.binop b Instr.Shl ~dst:waddr ~a:cur (Imm 3);
+      Builder.add b ~dst:waddr ~a:waddr (Reg vb);
+      Builder.store b ~src:i ~base:waddr ())
+    ~epilogue:(fun b (_, _, cur) -> emit_result b [ cur ])
+
+(* 3-point stencil: out[i] = in[i-1] + in[i] + in[i+1]. Distinct input and
+   output arrays keep stores WAR-free. *)
+let stencil ?(seed = 5) ~iters () =
+  build_loop ~name:"stencil" ~iters
+    ~setup:(fun b ->
+      let src =
+        Builder.alloc_array b ~len:(iters + 2) ~init:(fun k ->
+            Data_gen.small ~seed ~index:k)
+      in
+      let dst = Builder.alloc_array b ~len:(iters + 2) ~init:(fun _ -> 0) in
+      let ps = pointer_iv b ~base:(base_reg b src) in
+      let pd = pointer_iv b ~base:(base_reg b dst) in
+      let coeff = Builder.fresh_reg b in
+      Builder.mov b ~dst:coeff (Imm (3 + (seed land 3)));
+      (ps, pd, coeff))
+    ~body:(fun b ~i:_ (ps, pd, coeff) ->
+      let a = Builder.fresh_reg b
+      and c = Builder.fresh_reg b
+      and d = Builder.fresh_reg b in
+      (* Rematerializable boundary weight: single static definition from a
+         loop-invariant coefficient, consumed at the end of the iteration
+         (its per-iteration checkpoint is a pruning target). *)
+      let weight = Builder.fresh_reg b in
+      Builder.add b ~dst:weight ~a:coeff (Imm 2);
+      Builder.load b ~dst:a ~base:ps ~off:0 ();
+      Builder.load b ~dst:c ~base:ps ~off:word ();
+      Builder.load b ~dst:d ~base:ps ~off:(2 * word) ();
+      Builder.add b ~dst:a ~a:a (Reg c);
+      Builder.add b ~dst:a ~a:a (Reg d);
+      let t = alu_chain b ~n:18 ~src:a in
+      Builder.store b ~src:t ~base:pd ~off:word ();
+      (* weight's only consumer sits after the store: its live range
+         crosses the iteration's region boundary, so eager checkpointing
+         saves it and pruning removes that checkpoint. *)
+      advance b ps ~step:word;
+      Builder.add b ~dst:pd ~a:pd (Reg weight);
+      Builder.sub b ~dst:pd ~a:pd (Reg weight);
+      advance b pd ~step:word)
+    ~epilogue:(fun _ _ -> ())
+
+(* In-place smoothing: a[i+1] = a[i] + a[i+2]. The store lands strictly
+   *inside* the span of the iteration's loads without matching either
+   address, so exact (ideal CLQ) matching proves it WAR-free while
+   range checking reports a false WAR — the compact-vs-ideal gap of the
+   paper's Figs 14/15. *)
+let inplace_shift ?(seed = 6) ~iters () =
+  build_loop ~name:"inplace_shift" ~iters
+    ~setup:(fun b ->
+      let a =
+        Builder.alloc_array b ~len:(iters + 3) ~init:(fun k ->
+            Data_gen.small ~seed ~index:k)
+      in
+      let k = Builder.fresh_reg b in
+      Builder.mov b ~dst:k (Imm (seed * 11));
+      let acc = Builder.fresh_reg b in
+      Builder.mov b ~dst:acc (Imm 0);
+      let p = pointer_iv b ~base:(base_reg b a) in
+      (k, acc, p))
+    ~body:(fun b ~i:_ (k, acc, p) ->
+      let remat = Builder.fresh_reg b in
+      Builder.binop b Instr.Xor ~dst:remat ~a:k (Imm 5);
+      let v = Builder.fresh_reg b and w2 = Builder.fresh_reg b in
+      Builder.load b ~dst:v ~base:p ~off:0 ();
+      Builder.load b ~dst:w2 ~base:p ~off:(2 * word) ();
+      Builder.add b ~dst:v ~a:v (Reg w2);
+      let t = alu_chain b ~n:16 ~src:v in
+      Builder.store b ~src:t ~base:p ~off:word ();
+      Builder.add b ~dst:acc ~a:acc (Reg remat);
+      advance b p ~step:word)
+    ~epilogue:(fun b (_, acc, _) -> emit_result b [ acc ])
+
+(* Data-dependent branching over a table: taken-branch pressure and short
+   regions (every join is a region head). *)
+let branchy ?(seed = 7) ~iters () =
+  let name = "branchy" in
+  let b = Builder.create name in
+  Builder.label b "entry";
+  let data =
+    Builder.alloc_array b ~len:(iters + 1) ~init:(fun k -> Data_gen.mix seed k mod 4)
+  in
+  let p = pointer_iv b ~base:(base_reg b data) in
+  let c0 = Builder.fresh_reg b and c1 = Builder.fresh_reg b in
+  Builder.mov b ~dst:c0 (Imm 0);
+  Builder.mov b ~dst:c1 (Imm 0);
+  let i = Builder.fresh_reg b in
+  Builder.mov b ~dst:i (Imm 0);
+  (* Mode selection through a two-sided branch on a run-stable predicate:
+     the mode register is defined (and eagerly checkpointed) in each arm
+     and is live into the loop — exactly the diamond of paper Fig 9 that
+     checkpoint pruning removes by replaying the branch at recovery. *)
+  let pred = Builder.fresh_reg b and mode = Builder.fresh_reg b in
+  Builder.mov b ~dst:pred (Imm (seed land 1));
+  Builder.branch b ~cond:pred ~if_true:"mode_a" ~if_false:"mode_b";
+  Builder.label b "mode_a";
+  Builder.mov b ~dst:mode (Imm 5);
+  Builder.jump b "head";
+  Builder.label b "mode_b";
+  Builder.mov b ~dst:mode (Imm 9);
+  Builder.jump b "head";
+  Builder.label b "head";
+  let v = Builder.fresh_reg b in
+  Builder.load b ~dst:v ~base:p ();
+  advance b p ~step:word;
+  let t = Builder.fresh_reg b in
+  Builder.binop b Instr.And ~dst:t ~a:v (Imm 1);
+  Builder.branch b ~cond:t ~if_true:"odd" ~if_false:"even";
+  Builder.label b "odd";
+  Builder.add b ~dst:c0 ~a:c0 (Reg v);
+  Builder.add b ~dst:c0 ~a:c0 (Reg mode);
+  Builder.jump b "join";
+  Builder.label b "even";
+  Builder.add b ~dst:c1 ~a:c1 (Imm 2);
+  Builder.jump b "join";
+  Builder.label b "join";
+  let pad = alu_chain b ~n:10 ~src:v in
+  Builder.binop b Instr.Or ~dst:pad ~a:pad (Imm 0);
+  Builder.add b ~dst:i ~a:i (Imm 1);
+  let cc = Builder.fresh_reg b in
+  Builder.cmp b Instr.Lt ~dst:cc ~a:i (Imm iters);
+  Builder.branch b ~cond:cc ~if_true:"head" ~if_false:"exit";
+  Builder.label b "exit";
+  emit_result b [ c0; c1 ];
+  Builder.ret b;
+  Builder.finish b
+
+(* Register-pressure kernel: [live] rotating accumulators force the
+   allocator to spill; store-aware allocation changes *which* variables
+   spill (the frequently-written ones stay in registers). *)
+let spill_heavy ?(seed = 8) ~iters ~live () =
+  build_loop ~name:"spill_heavy" ~iters
+    ~setup:(fun b ->
+      let a =
+        Builder.alloc_array b ~len:(iters + 1) ~init:(fun k ->
+            Data_gen.small ~seed ~index:k)
+      in
+      let p = pointer_iv b ~base:(base_reg b a) in
+      let regs =
+        List.init live (fun k ->
+            let r = Builder.fresh_reg b in
+            Builder.mov b ~dst:r (Imm (k + 1));
+            r)
+      in
+      (p, regs))
+    ~body:(fun b ~i:_ (p, regs) ->
+      let v = Builder.fresh_reg b in
+      Builder.load b ~dst:v ~base:p ();
+      (* Hot rotation: the first few registers are written every iteration
+         (store-aware RA must keep them resident); the tail is only read. *)
+      (match regs with
+      | r0 :: r1 :: r2 :: rest ->
+        let t = alu_chain b ~n:14 ~src:v in
+        Builder.add b ~dst:r0 ~a:r0 (Reg t);
+        Builder.add b ~dst:r1 ~a:r1 (Reg r0);
+        Builder.add b ~dst:r2 ~a:r2 (Reg r1);
+        List.iteri
+          (fun k r -> if k mod 7 = 0 then Builder.add b ~dst:r0 ~a:r0 (Reg r))
+          rest
+      | _ -> ());
+      advance b p ~step:word)
+    ~epilogue:(fun b (_, regs) -> emit_result b regs)
+
+(* Tiny dense matrix multiply: nested loops, loop headers at two depths. *)
+let matmul ?(seed = 9) ~n () =
+  let name = "matmul" in
+  let b = Builder.create name in
+  Builder.label b "entry";
+  let mk s =
+    Builder.alloc_array b ~len:(n * n) ~init:(fun k -> Data_gen.small ~seed:s ~index:k)
+  in
+  let am = mk seed and bm = mk (seed + 1) in
+  let cm = Builder.alloc_array b ~len:(n * n) ~init:(fun _ -> 0) in
+  let ab = base_reg b am and bb = base_reg b bm and cb = base_reg b cm in
+  let i = Builder.fresh_reg b and j = Builder.fresh_reg b and k = Builder.fresh_reg b in
+  Builder.mov b ~dst:i (Imm 0);
+  Builder.jump b "i_head";
+  Builder.label b "i_head";
+  Builder.mov b ~dst:j (Imm 0);
+  Builder.jump b "j_head";
+  Builder.label b "j_head";
+  Builder.mov b ~dst:k (Imm 0);
+  let acc = Builder.fresh_reg b in
+  Builder.mov b ~dst:acc (Imm 0);
+  Builder.jump b "k_head";
+  Builder.label b "k_head";
+  (* acc += A[i*n+k] * B[k*n+j] *)
+  let t1 = Builder.fresh_reg b and t2 = Builder.fresh_reg b in
+  Builder.mul b ~dst:t1 ~a:i (Imm n);
+  Builder.add b ~dst:t1 ~a:t1 (Reg k);
+  Builder.binop b Instr.Shl ~dst:t1 ~a:t1 (Imm 3);
+  Builder.add b ~dst:t1 ~a:t1 (Reg ab);
+  let va = Builder.fresh_reg b in
+  Builder.load b ~dst:va ~base:t1 ();
+  Builder.mul b ~dst:t2 ~a:k (Imm n);
+  Builder.add b ~dst:t2 ~a:t2 (Reg j);
+  Builder.binop b Instr.Shl ~dst:t2 ~a:t2 (Imm 3);
+  Builder.add b ~dst:t2 ~a:t2 (Reg bb);
+  let vb = Builder.fresh_reg b in
+  Builder.load b ~dst:vb ~base:t2 ();
+  Builder.mul b ~dst:va ~a:va (Reg vb);
+  Builder.add b ~dst:acc ~a:acc (Reg va);
+  Builder.add b ~dst:k ~a:k (Imm 1);
+  let ck = Builder.fresh_reg b in
+  Builder.cmp b Instr.Lt ~dst:ck ~a:k (Imm n);
+  Builder.branch b ~cond:ck ~if_true:"k_head" ~if_false:"k_exit";
+  Builder.label b "k_exit";
+  let tc = Builder.fresh_reg b in
+  Builder.mul b ~dst:tc ~a:i (Imm n);
+  Builder.add b ~dst:tc ~a:tc (Reg j);
+  Builder.binop b Instr.Shl ~dst:tc ~a:tc (Imm 3);
+  Builder.add b ~dst:tc ~a:tc (Reg cb);
+  Builder.store b ~src:acc ~base:tc ();
+  Builder.add b ~dst:j ~a:j (Imm 1);
+  let cj = Builder.fresh_reg b in
+  Builder.cmp b Instr.Lt ~dst:cj ~a:j (Imm n);
+  Builder.branch b ~cond:cj ~if_true:"j_head" ~if_false:"j_exit";
+  Builder.label b "j_exit";
+  Builder.add b ~dst:i ~a:i (Imm 1);
+  let ci = Builder.fresh_reg b in
+  Builder.cmp b Instr.Lt ~dst:ci ~a:i (Imm n);
+  Builder.branch b ~cond:ci ~if_true:"i_head" ~if_false:"exit";
+  Builder.label b "exit";
+  Builder.ret b;
+  Builder.finish b
+
+(* Histogram: increment a[bucket(x)] — a load and a store to the *same*
+   address in one region: genuine WAR dependences that must quarantine. *)
+let histogram ?(seed = 10) ~iters ~buckets () =
+  build_loop ~name:"histogram" ~iters
+    ~setup:(fun b ->
+      let data =
+        Builder.alloc_array b ~len:(iters + 1) ~init:(fun k ->
+            Data_gen.int ~seed ~index:k ~bound:buckets)
+      in
+      let hist = Builder.alloc_array b ~len:buckets ~init:(fun _ -> 0) in
+      let pd = pointer_iv b ~base:(base_reg b data) in
+      let hb = base_reg b hist in
+      (pd, hb))
+    ~body:(fun b ~i:_ (pd, hb) ->
+      let x = Builder.fresh_reg b in
+      Builder.load b ~dst:x ~base:pd ();
+      advance b pd ~step:word;
+      let t = alu_chain b ~n:12 ~src:x in
+      ignore t;
+      let addr = Builder.fresh_reg b in
+      Builder.binop b Instr.Shl ~dst:addr ~a:x (Imm 3);
+      Builder.add b ~dst:addr ~a:addr (Reg hb);
+      let cnt = Builder.fresh_reg b in
+      Builder.load b ~dst:cnt ~base:addr ();
+      Builder.add b ~dst:cnt ~a:cnt (Imm 1);
+      Builder.store b ~src:cnt ~base:addr ())
+    ~epilogue:(fun _ _ -> ())
+
+(* A loop computing a summary flag consumed only after the loop, shaped so
+   the flag's per-iteration checkpoint sinks out of the loop under LICM
+   (paper Fig 10): the loop exit block stays in the loop head's region
+   (single predecessor, store-free) and the flag is only read in a later
+   join region, so the checkpoint is live across exactly one region-exit
+   edge leaving from the shallower exit block. *)
+let flag_loop ?(seed = 11) ~iters () =
+  let name = "flag_loop" in
+  let b = Builder.create name in
+  Builder.label b "entry";
+  let data =
+    Builder.alloc_array b ~len:(iters + 1) ~init:(fun k -> Data_gen.small ~seed ~index:k)
+  in
+  let out = Builder.alloc_array b ~len:4 ~init:(fun _ -> 0) in
+  let db = base_reg b data in
+  let ob = base_reg b out in
+  let flag = Builder.fresh_reg b and i = Builder.fresh_reg b in
+  Builder.mov b ~dst:flag (Imm 0);
+  Builder.mov b ~dst:i (Imm 0);
+  let c0 = Builder.fresh_reg b in
+  Builder.mov b ~dst:c0 (Imm 1);
+  (* Two paths into the merge block make it a join (its own region). *)
+  Builder.branch b ~cond:c0 ~if_true:"head" ~if_false:"merge";
+  Builder.label b "head";
+  (* Index addressing (no pointer induction variable) keeps the loop at
+     two loop-carried registers, so the head region's store budget can
+     absorb the exit block. *)
+  let addr = Builder.fresh_reg b in
+  Builder.binop b Instr.Shl ~dst:addr ~a:i (Imm 3);
+  Builder.add b ~dst:addr ~a:addr (Reg db);
+  let v = Builder.fresh_reg b in
+  Builder.load b ~dst:v ~base:addr ();
+  Builder.binop b Instr.And ~dst:flag ~a:v (Imm 63);
+  let pad = alu_chain b ~n:12 ~src:v in
+  Builder.binop b Instr.Or ~dst:pad ~a:pad (Imm 0);
+  Builder.add b ~dst:i ~a:i (Imm 1);
+  let c = Builder.fresh_reg b in
+  Builder.cmp b Instr.Lt ~dst:c ~a:i (Imm iters);
+  Builder.branch b ~cond:c ~if_true:"head" ~if_false:"cooldown";
+  Builder.label b "cooldown";
+  (* Store-free epilogue in the loop head's region: the LICM sink target. *)
+  let t = Builder.fresh_reg b in
+  Builder.add b ~dst:t ~a:i (Imm 1);
+  Builder.binop b Instr.Xor ~dst:t ~a:t (Reg i);
+  Builder.jump b "merge";
+  Builder.label b "merge";
+  Builder.store b ~src:flag ~base:ob ();
+  Builder.store b ~src:i ~base:ob ~off:word ();
+  Builder.ret b;
+  Builder.finish b
+
+(* Indirect gather: acc += data[idx[i]] — two dependent loads per element
+   with a cache-hostile index stream (graph/path-search flavour), plus a
+   progress store. *)
+let gather ?(seed = 13) ~iters ~span () =
+  build_loop ~name:"gather" ~iters
+    ~setup:(fun b ->
+      let idx =
+        Builder.alloc_array b ~len:(iters + 1) ~init:(fun k ->
+            Data_gen.int ~seed ~index:k ~bound:span)
+      in
+      let data =
+        Builder.alloc_array b ~len:span ~init:(fun k ->
+            Data_gen.small ~seed:(seed + 1) ~index:k)
+      in
+      let out = Builder.alloc_array b ~len:(iters + 1) ~init:(fun _ -> 0) in
+      let pi = pointer_iv b ~base:(base_reg b idx) in
+      let db = base_reg b data in
+      let po = pointer_iv b ~base:(base_reg b out) in
+      let acc = Builder.fresh_reg b in
+      Builder.mov b ~dst:acc (Imm 0);
+      (pi, db, po, acc))
+    ~body:(fun b ~i:_ (pi, db, po, acc) ->
+      let k = Builder.fresh_reg b in
+      Builder.load b ~dst:k ~base:pi ();
+      advance b pi ~step:word;
+      let addr = Builder.fresh_reg b in
+      Builder.binop b Instr.Shl ~dst:addr ~a:k (Imm 3);
+      Builder.add b ~dst:addr ~a:addr (Reg db);
+      let v = Builder.fresh_reg b in
+      Builder.load b ~dst:v ~base:addr ();
+      let t = alu_chain b ~n:6 ~src:v in
+      Builder.add b ~dst:acc ~a:acc (Reg t);
+      Builder.store b ~src:acc ~base:po ();
+      advance b po ~step:word)
+    ~epilogue:(fun b (_, _, _, acc) -> emit_result b [ acc ])
+
+(* Data-dependent compaction: elements passing a predicate are written to
+   an output cursor that only then advances — variable store density,
+   branchy control, WAR-free output stream (compressor flavour). *)
+let compress ?(seed = 14) ~iters () =
+  let name = "compress" in
+  let b = Builder.create name in
+  Builder.label b "entry";
+  let src =
+    Builder.alloc_array b ~len:(iters + 1) ~init:(fun k ->
+        Data_gen.small ~seed ~index:k)
+  in
+  let dst = Builder.alloc_array b ~len:(iters + 1) ~init:(fun _ -> 0) in
+  let ps = pointer_iv b ~base:(base_reg b src) in
+  let pd = pointer_iv b ~base:(base_reg b dst) in
+  let i = Builder.fresh_reg b in
+  Builder.mov b ~dst:i (Imm 0);
+  Builder.jump b "head";
+  Builder.label b "head";
+  let v = Builder.fresh_reg b in
+  Builder.load b ~dst:v ~base:ps ();
+  advance b ps ~step:word;
+  let t = alu_chain b ~n:8 ~src:v in
+  let c = Builder.fresh_reg b in
+  Builder.binop b Instr.And ~dst:c ~a:v (Imm 1);
+  Builder.branch b ~cond:c ~if_true:"emit" ~if_false:"skip";
+  Builder.label b "emit";
+  Builder.store b ~src:t ~base:pd ();
+  advance b pd ~step:word;
+  Builder.jump b "next";
+  Builder.label b "skip";
+  Builder.nop b;
+  Builder.jump b "next";
+  Builder.label b "next";
+  Builder.add b ~dst:i ~a:i (Imm 1);
+  let cc = Builder.fresh_reg b in
+  Builder.cmp b Instr.Lt ~dst:cc ~a:i (Imm iters);
+  Builder.branch b ~cond:cc ~if_true:"head" ~if_false:"exit";
+  Builder.label b "exit";
+  Builder.ret b;
+  Builder.finish b
+
+(* Mixed kernel: alternating compute, loads, stores and a branch — a
+   middle-of-the-road profile for the many SPEC benchmarks that are
+   neither extreme. *)
+let mixed ?(seed = 12) ~iters () =
+  build_loop ~name:"mixed" ~iters
+    ~setup:(fun b ->
+      let src =
+        Builder.alloc_array b ~len:(iters + 1) ~init:(fun k ->
+            Data_gen.small ~seed ~index:k)
+      in
+      let dst = Builder.alloc_array b ~len:(iters + 1) ~init:(fun _ -> 0) in
+      let ps = pointer_iv b ~base:(base_reg b src) in
+      let pd = pointer_iv b ~base:(base_reg b dst) in
+      let acc = Builder.fresh_reg b in
+      Builder.mov b ~dst:acc (Imm 0);
+      (ps, pd, acc))
+    ~body:(fun b ~i:_ (ps, pd, acc) ->
+      let remat = Builder.fresh_reg b in
+      Builder.binop b Instr.And ~dst:remat ~a:acc (Imm 0) ;
+      Builder.add b ~dst:remat ~a:remat (Imm 17);
+      let v = Builder.fresh_reg b in
+      Builder.load b ~dst:v ~base:ps ();
+      let t = Builder.fresh_reg b in
+      Builder.mul b ~dst:t ~a:v (Imm 5);
+      Builder.binop b Instr.Xor ~dst:t ~a:t (Reg acc);
+      Builder.add b ~dst:acc ~a:acc (Reg v);
+      let t2 = alu_chain b ~n:16 ~src:t in
+      Builder.store b ~src:t2 ~base:pd ();
+      Builder.add b ~dst:acc ~a:acc (Reg remat);
+      advance b ps ~step:word;
+      advance b pd ~step:word)
+    ~epilogue:(fun b (_, _, acc) -> emit_result b [ acc ])

@@ -1,0 +1,62 @@
+(** Parameterized kernel templates instantiated by the benchmark suite.
+
+    Each template captures one behaviour class that drives the paper's
+    results: store density (SB pressure), load-miss latency (checkpoint
+    data hazards), WAR distance (CLQ fast-release rate), live-register
+    pressure (spills / checkpoint counts), and loop-carried induction
+    variables (LIVM targets). *)
+
+open Turnpike_ir
+
+val stream_store : ?seed:int -> ?work:int -> iters:int -> ways:int -> unit -> Prog.t
+(** Dense streaming stores to [ways] arrays via strength-reduced pointer
+    induction variables: fast-release and LIVM showcase. *)
+
+val triad : ?seed:int -> iters:int -> unit -> Prog.t
+(** [out\[i\] = x\[i\] + 3*y\[i\]]: loads feeding a store. *)
+
+val reduction : ?seed:int -> iters:int -> accs:int -> unit -> Prog.t
+(** Sum into [accs] parallel accumulators: load-heavy, register pressure
+    grows with [accs]. *)
+
+val pointer_chase : ?seed:int -> nodes:int -> iters:int -> unit -> Prog.t
+(** Serialized cache-hostile loads through a permutation cycle, plus a
+    dependent store. *)
+
+val stencil : ?seed:int -> iters:int -> unit -> Prog.t
+(** 3-point stencil with distinct input/output arrays (WAR-free stores). *)
+
+val inplace_shift : ?seed:int -> iters:int -> unit -> Prog.t
+(** [a\[i\] = a\[i+1\] + 1]: exact address matching (ideal CLQ) proves far
+    more stores WAR-free than range checking — the Figs 14/15 gap. *)
+
+val branchy : ?seed:int -> iters:int -> unit -> Prog.t
+(** Data-dependent diamonds: taken-branch pressure, short regions. *)
+
+val spill_heavy : ?seed:int -> iters:int -> live:int -> unit -> Prog.t
+(** [live] rotating accumulators force spilling; the frequently-written
+    ones stay resident only under store-aware allocation. *)
+
+val matmul : ?seed:int -> n:int -> unit -> Prog.t
+(** Dense n×n matrix multiply: two-deep loop nest. *)
+
+val histogram : ?seed:int -> iters:int -> buckets:int -> unit -> Prog.t
+(** Load-increment-store to the same address: genuine WAR dependences that
+    must quarantine. *)
+
+val flag_loop : ?seed:int -> iters:int -> unit -> Prog.t
+(** A per-iteration flag used only after the loop: its checkpoint sinks
+    out of the loop under LICM (paper Fig 10). *)
+
+val gather : ?seed:int -> iters:int -> span:int -> unit -> Prog.t
+(** Indirect gather [acc += data\[idx\[i\]\]]: two dependent loads per
+    element over a cache-hostile index stream, plus a progress store
+    (graph/path-search flavour). *)
+
+val compress : ?seed:int -> iters:int -> unit -> Prog.t
+(** Data-dependent compaction: elements passing a predicate stream to an
+    output cursor — variable store density, branchy control, WAR-free
+    output. *)
+
+val mixed : ?seed:int -> iters:int -> unit -> Prog.t
+(** Middle-of-the-road profile: compute + load + store + implicit branch. *)

@@ -1,0 +1,1 @@
+test/test_api_surface.ml: Alcotest Array Block Filename Func Instr Layout List Prog Reg String Sys Turnpike Turnpike_arch Turnpike_compiler Turnpike_ir Turnpike_workloads Unix

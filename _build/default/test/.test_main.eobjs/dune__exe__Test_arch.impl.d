@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Cache Clq Coloring Cost_model Gen List Machine Mem_hierarchy Ooo_timing QCheck QCheck_alcotest Rbb Sensor Sim_stats Store_buffer Timing Turnpike_arch Turnpike_ir

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Turnpike Turnpike_arch Turnpike_workloads

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Block Builder Cfg Dominance Func Hashtbl Instr Interp Layout List Liveness Loop_info Prog QCheck QCheck_alcotest Reg Trace Turnpike_ir

@@ -1,0 +1,1 @@
+test/test_ir_internals.ml: Alcotest Block Builder Cfg Dominance Func Instr Interp Layout List Loop_info Prog Reg String Turnpike_ir

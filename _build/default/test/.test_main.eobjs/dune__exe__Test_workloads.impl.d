@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Interp List Prog QCheck QCheck_alcotest Trace Turnpike Turnpike_arch Turnpike_ir Turnpike_workloads

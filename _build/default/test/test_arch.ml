@@ -1,0 +1,684 @@
+(* Unit and property tests for the microarchitecture: caches, memory
+   hierarchy, sensors, store buffer, RBB, CLQ, coloring, the cycle-level
+   timing model and the cost model. *)
+
+open Turnpike_arch
+module Trace = Turnpike_ir.Trace
+module Layout = Turnpike_ir.Layout
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~name:"t" ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  check "cold miss" true (Cache.access c ~write:false 0 = `Miss);
+  check "hit same line" true (Cache.access c ~write:false 32 = `Hit);
+  check "miss other line" true (Cache.access c ~write:false 64 = `Miss);
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 2 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  (* 1024B / 2-way / 64B lines = 8 sets; addresses with the same set index
+     differ by 8*64 = 512. Three conflicting lines in a 2-way set evict
+     the least recently used. *)
+  let c = Cache.create ~name:"t" ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  ignore (Cache.access c ~write:false 0);
+  ignore (Cache.access c ~write:false 512);
+  ignore (Cache.access c ~write:false 0) (* touch 0: now 512 is LRU *);
+  ignore (Cache.access c ~write:false 1024) (* evicts 512 *);
+  check "0 still resident" true (Cache.access c ~write:false 0 = `Hit);
+  check "512 evicted" true (Cache.access c ~write:false 512 = `Miss)
+
+let test_cache_writeback () =
+  let c = Cache.create ~name:"t" ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  ignore (Cache.access c ~write:true 0);
+  ignore (Cache.access c ~write:false 512);
+  ignore (Cache.access c ~write:false 1024);
+  ignore (Cache.access c ~write:false 1536);
+  check "dirty line written back" true (Cache.writebacks c >= 1)
+
+let test_cache_invalid () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Cache: size must be a power of two") (fun () ->
+      ignore (Cache.create ~name:"t" ~size_bytes:768 ~assoc:2 ~line_bytes:64))
+
+let prop_cache_model_equivalence =
+  (* The cache agrees with a naive LRU reference model on random traces. *)
+  QCheck.Test.make ~name:"cache matches reference LRU model" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 300) (int_range 0 50))
+    (fun addrs ->
+      let line_bytes = 64 and assoc = 2 and sets = 4 in
+      let c =
+        Cache.create ~name:"m" ~size_bytes:(line_bytes * assoc * sets) ~assoc
+          ~line_bytes
+      in
+      (* Reference: per-set list of tags, most recent first. *)
+      let model = Array.make sets [] in
+      List.for_all
+        (fun a ->
+          let addr = a * 48 in
+          let line = addr / line_bytes in
+          let set = line mod sets and tag = line / sets in
+          let hit_model = List.mem tag model.(set) in
+          let rest = List.filter (fun t -> t <> tag) model.(set) in
+          let trimmed =
+            if List.length rest >= assoc then
+              List.filteri (fun i _ -> i < assoc - 1) rest
+            else rest
+          in
+          model.(set) <- tag :: trimmed;
+          let hit_cache = Cache.access c ~write:false addr = `Hit in
+          hit_model = hit_cache)
+        addrs)
+
+(* ------------------------------------------------------------------ *)
+(* Mem hierarchy / Sensor *)
+
+let test_hierarchy_latencies () =
+  let m = Mem_hierarchy.create Mem_hierarchy.default_config in
+  let cfg = Mem_hierarchy.default_config in
+  let first = Mem_hierarchy.load_latency m 0x10000 in
+  check_int "cold = full path" (cfg.Mem_hierarchy.l1_hit + cfg.l2_hit + cfg.mem_latency) first;
+  check_int "warm = l1 hit" cfg.Mem_hierarchy.l1_hit (Mem_hierarchy.load_latency m 0x10000)
+
+let test_hierarchy_l2_hit () =
+  let m = Mem_hierarchy.create Mem_hierarchy.default_config in
+  let cfg = Mem_hierarchy.default_config in
+  (* Fill L1 with conflicting lines so the victim stays only in L2. L1 =
+     64KB 2-way 64B -> 512 sets, stride 32KB conflicts. *)
+  ignore (Mem_hierarchy.load_latency m 0);
+  ignore (Mem_hierarchy.load_latency m (32 * 1024));
+  ignore (Mem_hierarchy.load_latency m (64 * 1024));
+  ignore (Mem_hierarchy.load_latency m (96 * 1024));
+  let lat = Mem_hierarchy.load_latency m 0 in
+  check_int "L2 hit" (cfg.Mem_hierarchy.l1_hit + cfg.l2_hit) lat
+
+let test_sensor_anchor () =
+  check_int "paper anchor 300@2.5GHz" 10
+    (Sensor.wcdl (Sensor.create ~num_sensors:300 ~clock_ghz:2.5 ()));
+  let dl30 = Sensor.wcdl (Sensor.create ~num_sensors:30 ~clock_ghz:2.5 ()) in
+  check "30 sensors ~30cycles" true (dl30 >= 28 && dl30 <= 34)
+
+let test_sensor_monotonicity () =
+  let dl n = Sensor.wcdl (Sensor.create ~num_sensors:n ~clock_ghz:2.5 ()) in
+  check "more sensors, lower latency" true (dl 300 < dl 100 && dl 100 < dl 30);
+  let at f = Sensor.wcdl (Sensor.create ~num_sensors:100 ~clock_ghz:f ()) in
+  check "faster clock, more cycles" true (at 3.0 > at 2.0)
+
+let test_sensor_inverse () =
+  let n = Sensor.sensors_for ~wcdl:10 ~clock_ghz:2.5 () in
+  check "inverse achieves target" true
+    (Sensor.wcdl (Sensor.create ~num_sensors:n ~clock_ghz:2.5 ()) <= 10);
+  check "area overhead about 1% at 300" true
+    (abs_float (Sensor.area_overhead_percent (Sensor.create ~num_sensors:300 ~clock_ghz:2.5 ()) -. 1.0) < 0.01)
+
+let prop_sensor_latency_in_range =
+  QCheck.Test.make ~name:"detection latency sample in [1,wcdl]" ~count:200
+    QCheck.(pair (int_range 10 300) small_nat)
+    (fun (n, seed) ->
+      let s = Sensor.create ~num_sensors:n ~clock_ghz:2.5 () in
+      let d = Sensor.sample_detection_latency s ~seed in
+      d >= 1 && d <= Sensor.wcdl s)
+
+(* ------------------------------------------------------------------ *)
+(* Store buffer *)
+
+let test_sb_alloc_release () =
+  let sb = Store_buffer.create 2 in
+  check "empty not full" false (Store_buffer.is_full sb);
+  Store_buffer.alloc sb ~addr:8 ~region:0 ~is_ckpt:false ~release_at:None;
+  Store_buffer.alloc sb ~addr:16 ~region:0 ~is_ckpt:true ~release_at:None;
+  check "now full" true (Store_buffer.is_full sb);
+  check "contains addr" true (Store_buffer.contains_addr sb 8);
+  check "not contains" false (Store_buffer.contains_addr sb 24);
+  Alcotest.check_raises "overflow" (Invalid_argument "Store_buffer.alloc: buffer full")
+    (fun () -> Store_buffer.alloc sb ~addr:24 ~region:1 ~is_ckpt:false ~release_at:None);
+  let next = Store_buffer.assign_releases sb ~region:0 ~start:100 in
+  check_int "drain occupies consecutive cycles" 102 next;
+  Alcotest.(check (list (pair int bool))) "released in order" [ (8, false); (16, true) ]
+    (Store_buffer.release_up_to sb 102);
+  check_int "empty after release" 0 (Store_buffer.occupancy sb)
+
+let test_sb_partial_release () =
+  let sb = Store_buffer.create 4 in
+  Store_buffer.alloc sb ~addr:8 ~region:0 ~is_ckpt:false ~release_at:(Some 5);
+  Store_buffer.alloc sb ~addr:16 ~region:1 ~is_ckpt:false ~release_at:(Some 9);
+  check_int "only first released" 1 (List.length (Store_buffer.release_up_to sb 7));
+  Alcotest.(check (option int)) "earliest remaining" (Some 9) (Store_buffer.earliest_release sb)
+
+let test_sb_unreleasable_detection () =
+  let sb = Store_buffer.create 2 in
+  Store_buffer.alloc sb ~addr:8 ~region:7 ~is_ckpt:false ~release_at:None;
+  Store_buffer.alloc sb ~addr:16 ~region:7 ~is_ckpt:false ~release_at:None;
+  check "deadlock detected" true (Store_buffer.all_unreleasable sb ~current_region:7);
+  check "not deadlock for other region" false
+    (Store_buffer.all_unreleasable sb ~current_region:8);
+  Alcotest.(check (list int)) "unverified regions" [ 7 ] (Store_buffer.unverified_regions sb);
+  (match Store_buffer.force_release_oldest sb with
+  | Some (8, false) -> ()
+  | _ -> Alcotest.fail "force release should pop oldest");
+  check_int "one left" 1 (Store_buffer.occupancy sb)
+
+(* ------------------------------------------------------------------ *)
+(* RBB *)
+
+let test_rbb_lifecycle () =
+  let rbb = Rbb.create 2 in
+  check_int "no open region" (-1) (Rbb.current_seq rbb);
+  let r0 = Rbb.open_region rbb ~static_id:5 in
+  check_int "seq 0" 0 r0.Rbb.seq;
+  check_int "current" 0 (Rbb.current_seq rbb);
+  Alcotest.check_raises "double open" (Invalid_argument "Rbb.open_region: a region is already open")
+    (fun () -> ignore (Rbb.open_region rbb ~static_id:6));
+  let r0' = Rbb.close_region rbb ~end_cycle:10 ~wcdl:10 in
+  Alcotest.(check (option int)) "verify time" (Some 20) r0'.Rbb.verify_at;
+  ignore (Rbb.open_region rbb ~static_id:6);
+  check "full at capacity" true (Rbb.is_full rbb);
+  Alcotest.(check (option int)) "next verify" (Some 20) (Rbb.next_verify_time rbb);
+  check_int "nothing verified early" 0 (List.length (Rbb.pop_verified rbb ~cycle:19));
+  let vs = Rbb.pop_verified rbb ~cycle:20 in
+  check_int "one verified" 1 (List.length vs);
+  Alcotest.(check (option int)) "last verified static" (Some 5) (Rbb.last_verified_static rbb);
+  check "not full anymore" false (Rbb.is_full rbb)
+
+let test_rbb_in_order_verification () =
+  let rbb = Rbb.create 4 in
+  ignore (Rbb.open_region rbb ~static_id:0);
+  ignore (Rbb.close_region rbb ~end_cycle:5 ~wcdl:10);
+  ignore (Rbb.open_region rbb ~static_id:1);
+  ignore (Rbb.close_region rbb ~end_cycle:8 ~wcdl:10);
+  let vs = Rbb.pop_verified rbb ~cycle:30 in
+  Alcotest.(check (list int)) "verified in order" [ 0; 1 ]
+    (List.map (fun (r : Rbb.region) -> r.Rbb.seq) vs)
+
+(* ------------------------------------------------------------------ *)
+(* CLQ *)
+
+let test_clq_ideal_exact_matching () =
+  let clq = Clq.create Clq.Ideal in
+  Clq.record_load clq ~region:0 100;
+  Clq.record_load clq ~region:0 300;
+  check "exact conflict" false (Clq.war_free clq ~region:0 100);
+  check "inside range but no match" true (Clq.war_free clq ~region:0 200);
+  check "outside range" true (Clq.war_free clq ~region:0 400)
+
+let test_clq_compact_range_checking () =
+  let clq = Clq.create (Clq.Compact 2) in
+  Clq.record_load clq ~region:0 100;
+  Clq.record_load clq ~region:0 300;
+  check "exact conflict" false (Clq.war_free clq ~region:0 100);
+  check "false positive inside range" false (Clq.war_free clq ~region:0 200);
+  check "outside range ok" true (Clq.war_free clq ~region:0 400)
+
+let test_clq_region_isolation () =
+  let clq = Clq.create (Clq.Compact 2) in
+  Clq.record_load clq ~region:0 100;
+  (* A different region's store is not checked against region 0's loads. *)
+  check "cross region free" true (Clq.war_free clq ~region:1 100)
+
+let test_clq_overflow_automaton () =
+  let clq = Clq.create (Clq.Compact 1) in
+  Clq.record_load clq ~region:0 100;
+  check "enabled" true (Clq.enabled clq);
+  (* A second region needs an entry: overflow disables fast release. *)
+  Clq.record_load clq ~region:1 200;
+  check "disabled after overflow" false (Clq.enabled clq);
+  check_int "overflow counted" 1 (Clq.overflows clq);
+  check "war_free false while disabled" false (Clq.war_free clq ~region:1 999);
+  (* Fig 13: re-enabled at a boundary once at most one region is pending. *)
+  Clq.maybe_enable clq ~unverified_regions:3;
+  check "still disabled" false (Clq.enabled clq);
+  Clq.maybe_enable clq ~unverified_regions:1;
+  check "re-enabled" true (Clq.enabled clq)
+
+let test_clq_verification_clears () =
+  let clq = Clq.create (Clq.Compact 2) in
+  Clq.record_load clq ~region:0 100;
+  Clq.record_load clq ~region:1 200;
+  check_int "two entries" 2 (Clq.entries_in_use clq);
+  Clq.on_region_verified clq ~region:0;
+  check_int "one after verify" 1 (Clq.entries_in_use clq);
+  Clq.sample clq;
+  check_int "max populated" 1 (Clq.max_populated clq)
+
+let prop_clq_compact_conservative =
+  (* The compact design never calls WAR-free a store the ideal design
+     would quarantine: range checking over-approximates exact matching. *)
+  QCheck.Test.make ~name:"compact CLQ is conservative wrt ideal" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 1 20) (int_range 0 40)) (int_range 0 40))
+    (fun (loads, store) ->
+      let ideal = Clq.create Clq.Ideal and compact = Clq.create (Clq.Compact 2) in
+      List.iter
+        (fun a ->
+          Clq.record_load ideal ~region:0 (a * 8);
+          Clq.record_load compact ~region:0 (a * 8))
+        loads;
+      let sa = store * 8 in
+      (* compact WAR-free => ideal WAR-free *)
+      (not (Clq.war_free compact ~region:0 sa)) || Clq.war_free ideal ~region:0 sa)
+
+(* ------------------------------------------------------------------ *)
+(* Coloring *)
+
+let test_coloring_assign_and_verify () =
+  let col = Coloring.create ~nregs:4 in
+  Alcotest.(check (option int)) "nothing verified" None (Coloring.verified_color col ~reg:1);
+  (match Coloring.try_assign col ~reg:1 ~region:0 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "first color should be 0");
+  Alcotest.(check (option int)) "used color" (Some 0) (Coloring.used_color col ~reg:1 ~region:0);
+  Coloring.on_region_verified col ~region:0;
+  Alcotest.(check (option int)) "verified after region" (Some 0)
+    (Coloring.verified_color col ~reg:1);
+  (* Next assign takes a different color; verification recycles the old. *)
+  (match Coloring.try_assign col ~reg:1 ~region:1 with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "second color should be 1");
+  Coloring.on_region_verified col ~region:1;
+  Alcotest.(check (option int)) "verified moves" (Some 1) (Coloring.verified_color col ~reg:1);
+  (match Coloring.try_assign col ~reg:1 ~region:2 with
+  | Some 0 -> () (* color 0 was recycled *)
+  | _ -> Alcotest.fail "recycled color expected")
+
+let test_coloring_pool_exhaustion () =
+  let col = Coloring.create ~nregs:2 in
+  (* 4 un-verified checkpoints exhaust the pool; the 5th falls back. *)
+  for region = 0 to 3 do
+    match Coloring.try_assign col ~reg:1 ~region with
+    | Some _ -> ()
+    | None -> Alcotest.fail "pool should not be exhausted yet"
+  done;
+  (match Coloring.try_assign col ~reg:1 ~region:4 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "pool should be exhausted");
+  check_int "fallbacks counted" 1 (Coloring.fallbacks col);
+  check_int "fast assigns counted" 4 (Coloring.fast_assigned col)
+
+let test_coloring_discard () =
+  let col = Coloring.create ~nregs:2 in
+  ignore (Coloring.try_assign col ~reg:1 ~region:0);
+  ignore (Coloring.try_assign col ~reg:1 ~region:1);
+  Coloring.discard_unverified col ~regions:[ 0; 1 ];
+  (* All colors free again. *)
+  (match Coloring.try_assign col ~reg:1 ~region:2 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "colors should be free after discard")
+
+let test_coloring_force_verified () =
+  let col = Coloring.create ~nregs:2 in
+  ignore (Coloring.try_assign col ~reg:1 ~region:0);
+  Coloring.on_region_verified col ~region:0;
+  (* A fallback checkpoint drains into color 1: it becomes Verified and
+     the old verified color 0 returns to the pool. *)
+  Coloring.force_verified col ~reg:1 ~color:1;
+  Alcotest.(check (option int)) "verified now 1" (Some 1) (Coloring.verified_color col ~reg:1);
+  (match Coloring.try_assign col ~reg:1 ~region:5 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "old verified color should be reusable")
+
+let prop_coloring_single_verified =
+  (* Under random assign/verify/discard sequences, a register never has
+     two verified colors. *)
+  QCheck.Test.make ~name:"coloring: at most one verified color" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 2))
+    (fun ops ->
+      let col = Coloring.create ~nregs:1 in
+      let region = ref 0 in
+      let pending = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+            (match Coloring.try_assign col ~reg:0 ~region:!region with
+            | Some _ -> pending := !region :: !pending
+            | None -> ());
+            incr region
+          | 1 -> (
+            match List.rev !pending with
+            | oldest :: rest ->
+              Coloring.on_region_verified col ~region:oldest;
+              pending := List.rev rest
+            | [] -> ())
+          | _ ->
+            Coloring.discard_unverified col ~regions:!pending;
+            pending := [])
+        ops;
+      (* Count verified colors via the public API: verified_color returns
+         the first; force a scan by checking try_assign invariants. *)
+      match Coloring.verified_color col ~reg:0 with
+      | None -> true
+      | Some c ->
+        (* No other color should read back as verified: temporarily
+           invalidate and confirm none remains. *)
+        Coloring.invalidate_verified col ~reg:0;
+        ignore c;
+        Coloring.verified_color col ~reg:0 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Timing model on hand-built traces *)
+
+let alu ?(dst = Some 1) ?(srcs = []) () = Trace.Alu { dst; srcs }
+
+let simulate ?(machine = Machine.baseline) events =
+  Timing.simulate machine { Trace.events = Array.of_list events; complete = true }
+
+let test_timing_dual_issue () =
+  (* 8 independent ALU ops on a 2-wide machine take ~4 cycles. *)
+  let stats = simulate (List.init 8 (fun i -> alu ~dst:(Some (i + 1)) ())) in
+  check "ipc close to 2" true (Sim_stats.ipc stats > 1.5);
+  check_int "instructions" 8 stats.Sim_stats.instructions
+
+let test_timing_dependent_chain () =
+  (* A dependent chain serializes: one per cycle. *)
+  let events =
+    List.init 8 (fun i ->
+        Trace.Alu { dst = Some ((i mod 2) + 1); srcs = [ ((i + 1) mod 2) + 1 ] })
+  in
+  let stats = simulate events in
+  check "chain serializes" true (stats.Sim_stats.cycles >= 8)
+
+let test_timing_load_latency () =
+  (* A dependent use of a cold load waits for the full memory path. *)
+  let cfg = Mem_hierarchy.default_config in
+  let events =
+    [ Trace.Load { dst = 1; srcs = []; addr = 0x5000; kind = Turnpike_ir.Instr.App_mem };
+      Trace.Alu { dst = Some 2; srcs = [ 1 ] } ]
+  in
+  let stats = simulate events in
+  let full = cfg.Mem_hierarchy.l1_hit + cfg.l2_hit + cfg.mem_latency in
+  check "miss latency exposed" true (stats.Sim_stats.cycles >= full)
+
+let test_timing_branch_prediction () =
+  (* The bimodal predictor starts weakly taken: a not-taken conditional
+     branch mispredicts (one redirect bubble) while a taken one doesn't. *)
+  let br taken = Trace.Branch { srcs = [ 1 ]; taken; pc = 7 } in
+  let mispredicted = simulate [ br false; alu () ] in
+  let predicted = simulate [ br true; alu () ] in
+  check "mispredict costs a bubble" true
+    (mispredicted.Sim_stats.cycles > predicted.Sim_stats.cycles);
+  check_int "mispredict counted" 1 mispredicted.Sim_stats.branch_mispredicts;
+  check_int "predicted not counted" 0 predicted.Sim_stats.branch_mispredicts;
+  (* Training: after two not-taken outcomes the counter flips and further
+     not-taken branches are free. *)
+  let trained = simulate [ br false; br false; br false; br false; alu () ] in
+  check "training reduces mispredicts" true (trained.Sim_stats.branch_mispredicts <= 2)
+
+let test_timing_sb_forwarding () =
+  (* A load to an address quarantined in the SB forwards at L1 speed even
+     when the line would miss in cache. *)
+  let machine = Machine.turnstile ~wcdl:50 () in
+  let addr = 0x9000 in
+  let events =
+    [ Trace.Boundary { region = 0 };
+      Trace.Store { srcs = []; addr; cls = Trace.Regular_app };
+      Trace.Load { dst = 1; srcs = []; addr; kind = Turnpike_ir.Instr.App_mem };
+      Trace.Alu { dst = Some 2; srcs = [ 1 ] } ]
+  in
+  let stats = Timing.simulate machine { Trace.events = Array.of_list events; complete = true } in
+  check_int "forwarded" 1 stats.Sim_stats.sb_forwards;
+  let cfg = machine.Machine.mem in
+  check "no full miss latency on the use" true
+    (stats.Sim_stats.cycles < cfg.Mem_hierarchy.mem_latency)
+
+let test_timing_store_ports () =
+  (* One load and one store can issue the same cycle; two stores cannot. *)
+  let two_stores =
+    simulate
+      [ Trace.Store { srcs = []; addr = 8; cls = Trace.Regular_app };
+        Trace.Store { srcs = []; addr = 16; cls = Trace.Regular_app } ]
+  in
+  let load_store =
+    simulate
+      [ Trace.Load { dst = 1; srcs = []; addr = 8; kind = Turnpike_ir.Instr.App_mem };
+        Trace.Store { srcs = []; addr = 16; cls = Trace.Regular_app } ]
+  in
+  check "two stores serialized" true
+    (two_stores.Sim_stats.cycles > load_store.Sim_stats.cycles)
+
+let test_timing_verification_quarantine () =
+  (* Under verification, stores quarantine until region end + WCDL: with a
+     4-entry SB, a 5th store in the same unfinished window stalls. *)
+  let machine = Machine.turnstile ~wcdl:30 () in
+  let store i = Trace.Store { srcs = []; addr = 8 * i; cls = Trace.Regular_app } in
+  let boundary i = Trace.Boundary { region = i } in
+  let events =
+    [ boundary 0; store 1; store 2; boundary 1; store 3; store 4; boundary 2;
+      store 5 ]
+  in
+  let stats = Timing.simulate machine { Trace.events = Array.of_list events; complete = true } in
+  check "sb-full stall occurred" true (stats.Sim_stats.sb_full_stall_cycles > 0);
+  check "store 5 waited about a WCDL" true (stats.Sim_stats.cycles >= 30)
+
+let test_timing_baseline_no_quarantine () =
+  let store i = Trace.Store { srcs = []; addr = 8 * i; cls = Trace.Regular_app } in
+  let stats = simulate (List.init 8 (fun i -> store (i + 1))) in
+  check "baseline drains freely" true (stats.Sim_stats.cycles < 20);
+  check_int "no quarantine in baseline" 0 stats.Sim_stats.quarantined
+
+let test_timing_war_free_fast_release () =
+  (* WAR-free stores bypass the SB under Turnpike: no sb-full stalls even
+     with many stores per region window. *)
+  let machine = Machine.turnpike ~wcdl:30 () in
+  let store i = Trace.Store { srcs = []; addr = 8 * i; cls = Trace.Regular_app } in
+  let events =
+    Trace.Boundary { region = 0 }
+    :: List.concat
+         (List.init 6 (fun i ->
+              [ store (i + 1); Trace.Boundary { region = i + 1 } ]))
+  in
+  let stats = Timing.simulate machine { Trace.events = Array.of_list events; complete = true } in
+  check_int "all fast released" 6 stats.Sim_stats.war_free_released;
+  check_int "no stalls" 0 stats.Sim_stats.sb_full_stall_cycles
+
+let test_timing_war_dependence_quarantines () =
+  (* A store to an address the region already loaded must quarantine. *)
+  let machine = Machine.turnpike ~wcdl:10 () in
+  let events =
+    [ Trace.Boundary { region = 0 };
+      Trace.Load { dst = 1; srcs = []; addr = 64; kind = Turnpike_ir.Instr.App_mem };
+      Trace.Store { srcs = [ 1 ]; addr = 64; cls = Trace.Regular_app } ]
+  in
+  let stats = Timing.simulate machine { Trace.events = Array.of_list events; complete = true } in
+  check_int "quarantined" 1 stats.Sim_stats.quarantined;
+  check_int "not fast released" 0 stats.Sim_stats.war_free_released
+
+let test_timing_ckpt_coloring () =
+  let machine = Machine.turnpike ~wcdl:10 () in
+  let events =
+    [ Trace.Boundary { region = 0 }; Trace.Ckpt { src = 3 };
+      Trace.Boundary { region = 1 }; Trace.Ckpt { src = 3 } ]
+  in
+  let stats = Timing.simulate machine { Trace.events = Array.of_list events; complete = true } in
+  check_int "both colored" 2 stats.Sim_stats.colored_released;
+  check_int "none quarantined" 0 stats.Sim_stats.quarantined
+
+let test_timing_ckpt_without_coloring_quarantines () =
+  let machine = Machine.turnstile ~wcdl:10 () in
+  let events = [ Trace.Boundary { region = 0 }; Trace.Ckpt { src = 3 } ] in
+  let stats = Timing.simulate machine { Trace.events = Array.of_list events; complete = true } in
+  check_int "quarantined" 1 stats.Sim_stats.quarantined;
+  check_int "counted as ckpt quarantine" 1 stats.Sim_stats.ckpt_quarantined
+
+let test_timing_strict_partitioning_raises () =
+  let machine = { (Machine.turnstile ~wcdl:10 ()) with Machine.strict_partitioning = true } in
+  let store i = Trace.Store { srcs = []; addr = 8 * i; cls = Trace.Regular_app } in
+  let events = Trace.Boundary { region = 0 } :: List.init 5 (fun i -> store i) in
+  check "raises on overfull region" true
+    (try
+       ignore (Timing.simulate machine { Trace.events = Array.of_list events; complete = true });
+       false
+     with Timing.Partitioning_violation _ -> true)
+
+let test_timing_wcdl_monotonic () =
+  (* More WCDL never makes a verified run faster. *)
+  let store i = Trace.Store { srcs = []; addr = 8 * i; cls = Trace.Regular_app } in
+  let events =
+    Trace.Boundary { region = 0 }
+    :: List.concat (List.init 10 (fun i -> [ store i; store (100 + i); Trace.Boundary { region = i + 1 } ]))
+  in
+  let trace = { Trace.events = Array.of_list events; complete = true } in
+  let cycles w = (Timing.simulate (Machine.turnstile ~wcdl:w ()) trace).Sim_stats.cycles in
+  check "monotonic in wcdl" true (cycles 10 <= cycles 30 && cycles 30 <= cycles 50)
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-order comparison core *)
+
+let ooo_simulate ?(cfg = Ooo_timing.default_config) events =
+  Ooo_timing.simulate cfg { Trace.events = Array.of_list events; complete = true }
+
+let test_ooo_hides_independent_latency () =
+  (* A long-latency load overlaps independent ALU work out of order but
+     serializes on the in-order core. *)
+  let events =
+    Trace.Load { dst = 1; srcs = []; addr = 0x7000; kind = Turnpike_ir.Instr.App_mem }
+    :: List.init 20 (fun i -> alu ~dst:(Some (i + 2)) ())
+    @ [ Trace.Alu { dst = Some 30; srcs = [ 1 ] } ]
+  in
+  let ooo = ooo_simulate events in
+  (* The dependent consumer still waits for the load. *)
+  let cfg = Mem_hierarchy.default_config in
+  let full = cfg.Mem_hierarchy.l1_hit + cfg.l2_hit + cfg.mem_latency in
+  check "dependent waits" true (ooo.Sim_stats.cycles >= full);
+  check "independents overlapped" true (ooo.Sim_stats.cycles <= full + 8)
+
+let test_ooo_window_bounds_overlap () =
+  (* With a tiny reorder window the same code cannot overlap past the
+     window edge. *)
+  let mk rob =
+    let cfg = { Ooo_timing.default_config with Ooo_timing.rob_size = rob } in
+    let events =
+      Trace.Load { dst = 1; srcs = []; addr = 0x7040; kind = Turnpike_ir.Instr.App_mem }
+      :: List.init 30 (fun i -> alu ~dst:(Some ((i mod 20) + 2)) ())
+    in
+    (ooo_simulate ~cfg events).Sim_stats.cycles
+  in
+  check "small window is slower" true (mk 2 > mk 64)
+
+let test_ooo_turnstile_cheap () =
+  (* The motivating claim: quarantining stores behind a 40-entry SB barely
+     costs anything out of order. *)
+  let store i = Trace.Store { srcs = []; addr = 8 * i; cls = Trace.Regular_app } in
+  let events =
+    Trace.Boundary { region = 0 }
+    :: List.concat
+         (List.init 12 (fun i ->
+              [ store i; alu ~dst:(Some 2) (); alu ~dst:(Some 3) ();
+                Trace.Boundary { region = i + 1 } ]))
+  in
+  let base = ooo_simulate events in
+  let ts = ooo_simulate ~cfg:(Ooo_timing.turnstile_config ~wcdl:30 ()) events in
+  check "verification nearly free on OoO" true
+    (float_of_int ts.Sim_stats.cycles /. float_of_int base.Sim_stats.cycles < 1.2);
+  check "stores were quarantined" true (ts.Sim_stats.quarantined = 12)
+
+let test_ooo_small_sb_backpressures () =
+  (* Shrink the OoO core's SB to 4: the same quarantine now stalls. *)
+  let store i = Trace.Store { srcs = []; addr = 8 * i; cls = Trace.Regular_app } in
+  let events =
+    Trace.Boundary { region = 0 }
+    :: List.concat
+         (List.init 12 (fun i -> [ store i; Trace.Boundary { region = i + 1 } ]))
+  in
+  let big = ooo_simulate ~cfg:(Ooo_timing.turnstile_config ~wcdl:50 ()) events in
+  let small =
+    ooo_simulate
+      ~cfg:{ (Ooo_timing.turnstile_config ~wcdl:50 ()) with Ooo_timing.sb_size = 4 }
+      events
+  in
+  check "4-entry SB stalls even out of order" true
+    (small.Sim_stats.cycles > big.Sim_stats.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model *)
+
+let test_cost_model_anchors () =
+  let near a b = abs_float (a -. b) < 0.01 in
+  let sb4 = Cost_model.store_buffer ~entries:4 in
+  check "sb4 area" true (near sb4.Cost_model.area_um2 621.28);
+  check "sb4 energy" true (near sb4.Cost_model.energy_pj 0.43099);
+  let sb40 = Cost_model.store_buffer ~entries:40 in
+  check "sb40 area" true (near sb40.Cost_model.area_um2 3132.50);
+  let cmap = Cost_model.color_maps ~nregs:32 in
+  check "color maps area" true (near cmap.Cost_model.area_um2 36.651);
+  let clq = Cost_model.clq ~entries:2 in
+  check "clq area" true (near clq.Cost_model.area_um2 24.434)
+
+let test_cost_model_bytes () =
+  check_int "color map bytes (paper: 24B for 32 regs)" 24 (Cost_model.color_map_bytes ~nregs:32);
+  check_int "clq bytes (paper: 16B for 2 entries)" 16 (Cost_model.clq_bytes ~entries:2)
+
+let test_cost_model_ratios () =
+  let rows = Cost_model.table1 () in
+  check_int "seven rows" 7 (List.length rows);
+  let find label = List.find (fun (r : Cost_model.table1_row) -> r.Cost_model.label = label) rows in
+  let tp = find "Turnpike in total / 4-entry SB [%]" in
+  check "turnpike ~9.8% of SB4 area" true (abs_float (tp.Cost_model.area_um2 -. 9.8) < 0.2);
+  let sb40 = find "40-entry SB / 4-entry SB [%]" in
+  check "40-entry SB ~504% area" true (abs_float (sb40.Cost_model.area_um2 -. 504.2) < 1.0)
+
+let prop_cost_monotonic =
+  QCheck.Test.make ~name:"cost grows with size" ~count:50
+    QCheck.(pair (int_range 1 64) (int_range 1 64))
+    (fun (a, b) ->
+      let small = min a b and big = max a b in
+      small = big
+      || (Cost_model.cam ~entries:small).Cost_model.area_um2
+         <= (Cost_model.cam ~entries:big).Cost_model.area_um2)
+
+let qcheck =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cache_model_equivalence; prop_sensor_latency_in_range;
+      prop_clq_compact_conservative; prop_coloring_single_verified;
+      prop_cost_monotonic ]
+
+let tests =
+  [
+    ("cache hit/miss", `Quick, test_cache_hit_miss);
+    ("cache LRU eviction", `Quick, test_cache_lru_eviction);
+    ("cache writeback", `Quick, test_cache_writeback);
+    ("cache invalid size", `Quick, test_cache_invalid);
+    ("hierarchy latencies", `Quick, test_hierarchy_latencies);
+    ("hierarchy L2 hit", `Quick, test_hierarchy_l2_hit);
+    ("sensor paper anchor", `Quick, test_sensor_anchor);
+    ("sensor monotonicity", `Quick, test_sensor_monotonicity);
+    ("sensor inverse/area", `Quick, test_sensor_inverse);
+    ("store buffer alloc/release", `Quick, test_sb_alloc_release);
+    ("store buffer partial release", `Quick, test_sb_partial_release);
+    ("store buffer deadlock detection", `Quick, test_sb_unreleasable_detection);
+    ("rbb lifecycle", `Quick, test_rbb_lifecycle);
+    ("rbb in-order verification", `Quick, test_rbb_in_order_verification);
+    ("clq ideal exact matching", `Quick, test_clq_ideal_exact_matching);
+    ("clq compact range checking", `Quick, test_clq_compact_range_checking);
+    ("clq region isolation", `Quick, test_clq_region_isolation);
+    ("clq overflow automaton (Fig 13)", `Quick, test_clq_overflow_automaton);
+    ("clq verification clears entries", `Quick, test_clq_verification_clears);
+    ("coloring assign/verify/recycle", `Quick, test_coloring_assign_and_verify);
+    ("coloring pool exhaustion", `Quick, test_coloring_pool_exhaustion);
+    ("coloring discard on recovery", `Quick, test_coloring_discard);
+    ("coloring fallback drain", `Quick, test_coloring_force_verified);
+    ("timing dual issue", `Quick, test_timing_dual_issue);
+    ("timing dependent chain", `Quick, test_timing_dependent_chain);
+    ("timing load miss latency", `Quick, test_timing_load_latency);
+    ("timing branch prediction", `Quick, test_timing_branch_prediction);
+    ("timing SB store-to-load forwarding", `Quick, test_timing_sb_forwarding);
+    ("timing load/store ports", `Quick, test_timing_store_ports);
+    ("timing quarantine stalls (Fig 5)", `Quick, test_timing_verification_quarantine);
+    ("timing baseline no quarantine", `Quick, test_timing_baseline_no_quarantine);
+    ("timing WAR-free fast release", `Quick, test_timing_war_free_fast_release);
+    ("timing WAR dependence quarantines", `Quick, test_timing_war_dependence_quarantines);
+    ("timing checkpoint coloring", `Quick, test_timing_ckpt_coloring);
+    ("timing turnstile ckpt quarantine", `Quick, test_timing_ckpt_without_coloring_quarantines);
+    ("timing strict partitioning", `Quick, test_timing_strict_partitioning_raises);
+    ("timing monotonic in WCDL", `Quick, test_timing_wcdl_monotonic);
+    ("ooo hides independent latency", `Quick, test_ooo_hides_independent_latency);
+    ("ooo window bounds overlap", `Quick, test_ooo_window_bounds_overlap);
+    ("ooo turnstile nearly free", `Quick, test_ooo_turnstile_cheap);
+    ("ooo small SB backpressures", `Quick, test_ooo_small_sb_backpressures);
+    ("cost model paper anchors", `Quick, test_cost_model_anchors);
+    ("cost model structure bytes", `Quick, test_cost_model_bytes);
+    ("cost model table ratios", `Quick, test_cost_model_ratios);
+  ]
+  @ qcheck

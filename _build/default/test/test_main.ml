@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "turnpike"
+    [
+      ("ir", Test_ir.tests);
+      ("ir-internals", Test_ir_internals.tests);
+      ("arch", Test_arch.tests);
+      ("compiler", Test_compiler.tests);
+      ("recovery-codegen", Test_recovery_codegen.tests);
+      ("resilience", Test_resilience.tests);
+      ("workloads", Test_workloads.tests);
+      ("core", Test_core.tests);
+      ("api", Test_api_surface.tests);
+    ]

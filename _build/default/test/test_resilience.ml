@@ -1,0 +1,296 @@
+(* Tests for the resilience engine: fault model, injector, the
+   region-transactional recovery executor and the SDC verifier — including
+   the paper's negative result (Fig 16: checkpoint fast release without
+   coloring is unsound). *)
+
+open Turnpike_ir
+module Recovery = Turnpike_resilience.Recovery
+module Fault = Turnpike_resilience.Fault
+module Injector = Turnpike_resilience.Injector
+module Verifier = Turnpike_resilience.Verifier
+module Pass_pipeline = Turnpike_compiler.Pass_pipeline
+module Suite = Turnpike_workloads.Suite
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bench name = List.hd (Suite.find_by_name name)
+
+let compiled_of name =
+  Turnpike.Run.compile_and_trace ~scale:1 ~fuel:400_000 Turnpike.Scheme.turnpike
+    ~sb_size:4 (bench name)
+
+(* ------------------------------------------------------------------ *)
+(* Fault model *)
+
+let test_fault_validation () =
+  Alcotest.check_raises "zero reg immune"
+    (Invalid_argument "Fault.create: the zero register is immune") (fun () ->
+      ignore (Fault.create ~at_step:1 ~reg:Reg.zero ~xor_mask:1));
+  Alcotest.check_raises "empty mask"
+    (Invalid_argument "Fault.create: empty mask") (fun () ->
+      ignore (Fault.create ~at_step:1 ~reg:3 ~xor_mask:0));
+  Alcotest.check_raises "negative step"
+    (Invalid_argument "Fault.create: negative step") (fun () ->
+      ignore (Fault.create ~at_step:(-1) ~reg:3 ~xor_mask:1));
+  let f = Fault.single_bit ~at_step:5 ~reg:3 ~bit:4 in
+  check_int "single bit mask" 16 f.Fault.xor_mask
+
+let test_injector_campaign_targets () =
+  let c = compiled_of "libquan" in
+  let faults = Injector.campaign ~seed:1 ~count:10 c.Turnpike.Run.trace in
+  check_int "requested count" 10 (List.length faults);
+  List.iter
+    (fun (f : Fault.t) ->
+      check "positive step" true (f.Fault.at_step > 0);
+      check "never zero reg" false (Reg.is_zero f.Fault.reg))
+    faults;
+  (* Deterministic in seed. *)
+  let again = Injector.campaign ~seed:1 ~count:10 c.Turnpike.Run.trace in
+  check "deterministic" true (List.for_all2 Fault.equal faults again)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery executor *)
+
+let test_no_fault_matches_golden () =
+  List.iter
+    (fun name ->
+      let c = compiled_of name in
+      let out = Recovery.run c.Turnpike.Run.compiled in
+      check (name ^ " matches") true
+        (Verifier.compare_states ~golden:c.Turnpike.Run.final
+           ~actual:out.Recovery.state
+        = Verifier.Match);
+      check_int (name ^ " no recoveries") 0 out.Recovery.recoveries)
+    [ "libquan"; "mcf"; "gcc"; "radix" ]
+
+let test_no_fault_turnstile_config () =
+  let c = compiled_of "libquan" in
+  let out = Recovery.run ~config:Recovery.turnstile_config c.Turnpike.Run.compiled in
+  check "turnstile config matches" true
+    (Verifier.compare_states ~golden:c.Turnpike.Run.final ~actual:out.Recovery.state
+    = Verifier.Match);
+  check_int "nothing colored without coloring" 0 out.Recovery.colored_ckpts;
+  check_int "nothing fast released without CLQ" 0 out.Recovery.fast_released_stores;
+  check "everything quarantined" true (out.Recovery.quarantined_writes > 0)
+
+let test_single_fault_recovers () =
+  let c = compiled_of "libquan" in
+  let fault = Fault.single_bit ~at_step:500 ~reg:2 ~bit:3 in
+  let out = Recovery.run ~fault c.Turnpike.Run.compiled in
+  check "recovered" true
+    (Verifier.compare_states ~golden:c.Turnpike.Run.final ~actual:out.Recovery.state
+    = Verifier.Match);
+  check "at least one recovery" true (out.Recovery.recoveries >= 1);
+  check_int "one detection" 1 (List.length out.Recovery.detections)
+
+let test_fault_campaigns_sdc_free () =
+  (* The headline property: across benchmarks and fault sites, Turnpike
+     never silently corrupts output. *)
+  List.iter
+    (fun name ->
+      let c = compiled_of name in
+      let faults = Injector.campaign ~seed:11 ~count:12 c.Turnpike.Run.trace in
+      let rep =
+        Verifier.run_campaign ~golden:c.Turnpike.Run.final
+          ~compiled:c.Turnpike.Run.compiled faults
+      in
+      check_int (name ^ " zero SDC") 0 rep.Verifier.sdc;
+      check_int (name ^ " zero crashes") 0 rep.Verifier.crashed;
+      check_int (name ^ " all recovered") rep.Verifier.total rep.Verifier.recovered)
+    [ "libquan"; "mcf"; "bzip2"; "cactubssn"; "radix"; "hmmer"; "astar"; "gobmk" ]
+
+let test_fault_campaign_turnstile_config () =
+  (* The recovery protocol is also sound without any fast release. *)
+  let c =
+    Turnpike.Run.compile_and_trace ~scale:1 ~fuel:400_000 Turnpike.Scheme.turnstile
+      ~sb_size:4 (bench "libquan")
+  in
+  let faults = Injector.campaign ~seed:4 ~count:10 c.Turnpike.Run.trace in
+  let rep =
+    Verifier.run_campaign ~config:Recovery.turnstile_config
+      ~golden:c.Turnpike.Run.final ~compiled:c.Turnpike.Run.compiled faults
+  in
+  check_int "turnstile zero SDC" 0 rep.Verifier.sdc;
+  check_int "turnstile zero crashes" 0 rep.Verifier.crashed
+
+let test_parity_detection_on_address_taint () =
+  (* Corrupting a register that is then used as a load base triggers the
+     parity/AGU path: detection at the addressing use, before memory is
+     touched. Build the pattern explicitly so the strike deterministically
+     lands on the pointer. *)
+  let b = Builder.create "ptr" in
+  Builder.label b "entry";
+  let data = Builder.alloc_array b ~len:32 ~init:(fun k -> k * 3) in
+  let out = Builder.alloc_array b ~len:1 ~init:(fun _ -> 0) in
+  let p = Builder.fresh_reg b and ob = Builder.fresh_reg b in
+  Builder.mov b ~dst:p (Imm data);
+  Builder.mov b ~dst:ob (Imm out);
+  let i = Builder.fresh_reg b and acc = Builder.fresh_reg b in
+  Builder.mov b ~dst:i (Imm 0);
+  Builder.mov b ~dst:acc (Imm 0);
+  Builder.jump b "loop";
+  Builder.label b "loop";
+  let v = Builder.fresh_reg b in
+  Builder.load b ~dst:v ~base:p ();
+  Builder.add b ~dst:acc ~a:acc (Reg v);
+  Builder.add b ~dst:p ~a:p (Imm Layout.word);
+  Builder.add b ~dst:i ~a:i (Imm 1);
+  let c = Builder.fresh_reg b in
+  Builder.cmp b Instr.Lt ~dst:c ~a:i (Imm 30);
+  Builder.branch b ~cond:c ~if_true:"loop" ~if_false:"fin";
+  Builder.label b "fin";
+  Builder.store b ~src:acc ~base:ob ();
+  Builder.ret b;
+  let prog = Builder.finish b in
+  let opts = Turnpike.Scheme.compile_opts Turnpike.Scheme.turnpike ~sb_size:4 in
+  let compiled = Pass_pipeline.compile ~opts prog in
+  let trace, golden = Interp.trace_run compiled.Pass_pipeline.prog in
+  ignore trace;
+  (* Find the physical register used as the loop's load base and strike it
+     mid-loop: the very next load must trigger parity detection. *)
+  let base_reg =
+    let found = ref None in
+    Turnpike_ir.Func.iter_blocks
+      (fun blk ->
+        Array.iter
+          (fun ins ->
+            match ins with
+            | Instr.Load (_, base, _, Instr.App_mem) when !found = None ->
+              found := Some base
+            | _ -> ())
+          blk.Block.body)
+      compiled.Pass_pipeline.prog.Prog.func;
+    Option.get !found
+  in
+  let fault = Fault.single_bit ~at_step:60 ~reg:base_reg ~bit:1 in
+  let out = Recovery.run ~fault compiled in
+  check "parity detection fired" true (List.mem Recovery.Parity out.Recovery.detections);
+  check "recovered" true
+    (Verifier.compare_states ~golden ~actual:out.Recovery.state = Verifier.Match)
+
+let test_unsafe_ckpt_release_reproduces_fig16 () =
+  (* Releasing checkpoints without coloring overwrites the verified
+     checkpoint storage; some fault in the campaign must then corrupt the
+     output or fail recovery — the corner case of paper Fig 16 that
+     motivates hardware coloring. *)
+  let c = compiled_of "libquan" in
+  let config = { Recovery.default_config with Recovery.coloring = false; unsafe_ckpt_release = true } in
+  let faults = Injector.campaign ~seed:2 ~count:40 c.Turnpike.Run.trace in
+  let rep =
+    Verifier.run_campaign ~config ~golden:c.Turnpike.Run.final
+      ~compiled:c.Turnpike.Run.compiled faults
+  in
+  check "unsafe release corrupts at least one run" true
+    (rep.Verifier.sdc + rep.Verifier.crashed > 0)
+
+let test_detection_near_program_end () =
+  (* A fault on the very last steps is still detected (the sensors keep
+     watching through the final verification windows). *)
+  let c = compiled_of "libquan" in
+  let len = Array.length c.Turnpike.Run.trace.Trace.events in
+  let fault = Fault.single_bit ~at_step:(len - 3) ~reg:1 ~bit:2 in
+  let out = Recovery.run ~fault c.Turnpike.Run.compiled in
+  check_int "detected after halt" 1 (List.length out.Recovery.detections);
+  check "still matches" true
+    (Verifier.compare_states ~golden:c.Turnpike.Run.final ~actual:out.Recovery.state
+    = Verifier.Match)
+
+let test_fault_on_dead_register_harmless () =
+  let c = compiled_of "libquan" in
+  (* Register 30 is a spill scratch; at most steps it is dead. *)
+  let fault = Fault.single_bit ~at_step:100 ~reg:30 ~bit:7 in
+  let out = Recovery.run ~fault c.Turnpike.Run.compiled in
+  check "output intact" true
+    (Verifier.compare_states ~golden:c.Turnpike.Run.final ~actual:out.Recovery.state
+    = Verifier.Match)
+
+let test_multi_fault_recovery () =
+  (* Several well-separated strikes in one run: each is detected and
+     recovered independently, and the output stays bit-exact. *)
+  let c = compiled_of "libquan" in
+  let len = Array.length c.Turnpike.Run.trace.Trace.events in
+  let faults =
+    List.filteri
+      (fun i _ -> i < 3)
+      [ Fault.single_bit ~at_step:(len / 5) ~reg:2 ~bit:4;
+        Fault.single_bit ~at_step:(2 * len / 5) ~reg:3 ~bit:9;
+        Fault.single_bit ~at_step:(4 * len / 5) ~reg:1 ~bit:1 ]
+  in
+  let out = Recovery.run ~faults c.Turnpike.Run.compiled in
+  check "three detections" true (List.length out.Recovery.detections >= 3);
+  check "multi-fault run matches golden" true
+    (Verifier.compare_states ~golden:c.Turnpike.Run.final ~actual:out.Recovery.state
+    = Verifier.Match)
+
+let test_verifier_mismatch_reporting () =
+  let c = compiled_of "libquan" in
+  let golden = c.Turnpike.Run.final in
+  let actual = Interp.init c.Turnpike.Run.compiled.Pass_pipeline.prog in
+  (* Uninitialized run diverges from the golden final state. *)
+  match Verifier.compare_states ~golden ~actual with
+  | Verifier.Mismatch _ -> ()
+  | Verifier.Match -> Alcotest.fail "expected mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: randomized single faults always recover. *)
+
+let prop_random_faults_recover =
+  QCheck.Test.make ~name:"random single-bit faults recover (libquan)" ~count:25
+    QCheck.(pair (int_range 10 4000) (int_range 0 40))
+    (fun (step, bit) ->
+      let c = compiled_of "libquan" in
+      let reg = 1 + (step mod 6) in
+      let fault = Fault.single_bit ~at_step:step ~reg ~bit in
+      let out = Recovery.run ~fault c.Turnpike.Run.compiled in
+      Verifier.compare_states ~golden:c.Turnpike.Run.final ~actual:out.Recovery.state
+      = Verifier.Match)
+
+let prop_random_faults_recover_histogram =
+  QCheck.Test.make ~name:"random single-bit faults recover (radix)" ~count:15
+    QCheck.(pair (int_range 10 3000) (int_range 0 40))
+    (fun (step, bit) ->
+      let c = compiled_of "radix" in
+      let reg = 1 + (step mod 8) in
+      let fault = Fault.single_bit ~at_step:step ~reg ~bit in
+      let out = Recovery.run ~fault c.Turnpike.Run.compiled in
+      Verifier.compare_states ~golden:c.Turnpike.Run.final ~actual:out.Recovery.state
+      = Verifier.Match)
+
+let prop_executor_matches_interp_no_fault =
+  (* With no faults injected, the region-transactional executor (with all
+     of quarantine, CLQ fast release and coloring active) must be
+     observationally identical to the plain interpreter over random
+     kernels. *)
+  QCheck.Test.make ~name:"no-fault executor = interpreter (random kernels)" ~count:15
+    QCheck.(triple (int_range 1 40) (int_range 8 50) (int_range 1 3))
+    (fun (seed, iters, ways) ->
+      let prog = Turnpike_workloads.Templates.stream_store ~seed ~iters ~ways () in
+      let opts = Turnpike.Scheme.compile_opts Turnpike.Scheme.turnpike ~sb_size:4 in
+      let compiled = Turnpike_compiler.Pass_pipeline.compile ~opts prog in
+      let golden = Interp.run ~fuel:2_000_000 compiled.Pass_pipeline.prog in
+      let out = Recovery.run compiled in
+      Verifier.compare_states ~golden ~actual:out.Recovery.state = Verifier.Match)
+
+let qcheck =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_faults_recover; prop_random_faults_recover_histogram;
+      prop_executor_matches_interp_no_fault ]
+
+let tests =
+  [
+    ("fault validation", `Quick, test_fault_validation);
+    ("injector campaign targets", `Quick, test_injector_campaign_targets);
+    ("no-fault matches golden", `Quick, test_no_fault_matches_golden);
+    ("no-fault turnstile config", `Quick, test_no_fault_turnstile_config);
+    ("single fault recovers", `Quick, test_single_fault_recovers);
+    ("fault campaigns SDC-free", `Slow, test_fault_campaigns_sdc_free);
+    ("turnstile-config campaign SDC-free", `Quick, test_fault_campaign_turnstile_config);
+    ("parity detection on address taint", `Quick, test_parity_detection_on_address_taint);
+    ("unsafe release reproduces Fig 16", `Quick, test_unsafe_ckpt_release_reproduces_fig16);
+    ("detection near program end", `Quick, test_detection_near_program_end);
+    ("fault on dead register harmless", `Quick, test_fault_on_dead_register_harmless);
+    ("multi-fault recovery", `Quick, test_multi_fault_recovery);
+    ("verifier mismatch reporting", `Quick, test_verifier_mismatch_reporting);
+  ]
+  @ qcheck
