@@ -8,7 +8,12 @@
      dune exec bench/main.exe                  # all experiments
      dune exec bench/main.exe -- fig19 fig20   # a subset
      dune exec bench/main.exe -- --scale 4     # smaller simulation windows
-     dune exec bench/main.exe -- --micro       # harness micro-benchmarks *)
+     dune exec bench/main.exe -- --jobs 4      # 4 worker domains (0 = auto)
+     dune exec bench/main.exe -- --micro       # harness micro-benchmarks
+
+   Experiment grids run on the Turnpike.Parallel domain pool; --jobs 1
+   (the default) is strictly sequential and any job count produces
+   identical rows. *)
 
 module E = Turnpike.Experiments
 module Report = Turnpike.Report
@@ -520,6 +525,14 @@ let () =
     | "--fuel" :: n :: rest ->
       params := { !params with E.fuel = int_of_string n };
       parse sel rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j ->
+        Turnpike.Parallel.set_default_jobs j;
+        parse sel rest
+      | None ->
+        Printf.eprintf "--jobs expects an integer (0 = one per CPU), got %s\n" n;
+        exit 2)
     | "--csv" :: dir :: rest ->
       (try Unix.mkdir dir 0o755 with _ -> ());
       csv_dir := Some dir;
@@ -529,7 +542,8 @@ let () =
       parse sel rest
     | x :: rest when List.mem_assoc x experiments -> parse (x :: sel) rest
     | x :: _ ->
-      Printf.eprintf "unknown argument %s; known: %s --scale N --fuel N --micro --csv DIR\n" x
+      Printf.eprintf
+        "unknown argument %s; known: %s --scale N --fuel N --jobs N --micro --csv DIR\n" x
         (String.concat " " (List.map fst experiments));
       exit 2
   in

@@ -61,6 +61,21 @@ let scale_arg =
   Arg.(value & opt int Turnpike.Run.default_scale & info [ "scale" ] ~docv:"N"
          ~doc:"Workload scale factor (iteration multiplier).")
 
+(* Worker domains for experiment grids (see Turnpike.Parallel). 0 = auto
+   (CPU count); 1 preserves strictly sequential execution. The term is
+   evaluated for its side effect before the command body runs. *)
+let jobs_arg =
+  let set n = Turnpike.Parallel.set_default_jobs n in
+  Term.(
+    const set
+    $ Arg.(
+        value & opt int 0
+        & info [ "j"; "jobs" ] ~docv:"N"
+            ~doc:
+              "Worker domains for experiment sweeps (0, the default, means \
+               one per CPU; 1 is strictly sequential). Results are \
+               identical at any job count."))
+
 let find_bench name =
   let qualified = List.find_opt (fun b -> Suite.qualified_name b = name) (Suite.all ()) in
   match qualified with
@@ -75,7 +90,7 @@ let json_arg =
 
 let run_cmd =
   let doc = "Compile one benchmark under a scheme and simulate it." in
-  let run name scheme wcdl sb scale json =
+  let run () name scheme wcdl sb scale json =
     match find_bench name with
     | Error e ->
       prerr_endline e;
@@ -97,7 +112,9 @@ let run_cmd =
       end
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ bench_arg $ scheme_arg $ wcdl_arg $ sb_arg $ scale_arg $ json_arg)
+    Term.(
+      const run $ jobs_arg $ bench_arg $ scheme_arg $ wcdl_arg $ sb_arg
+      $ scale_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -109,7 +126,7 @@ let inject_cmd =
   let seed_arg =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
   in
-  let run name faults seed scale =
+  let run () name faults seed scale =
     match find_bench name with
     | Error e ->
       prerr_endline e;
@@ -137,7 +154,7 @@ let inject_cmd =
       if rep.V.sdc > 0 || rep.V.crashed > 0 then exit 1
   in
   Cmd.v (Cmd.info "inject" ~doc)
-    Term.(const run $ bench_arg $ faults_arg $ seed_arg $ scale_arg)
+    Term.(const run $ jobs_arg $ bench_arg $ faults_arg $ seed_arg $ scale_arg)
 
 (* ------------------------------------------------------------------ *)
 

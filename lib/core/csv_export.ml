@@ -44,30 +44,53 @@ let fig18 ~path rows =
            string_of_int r.Experiments.dl_2_5ghz; string_of_int r.Experiments.dl_3_0ghz ])
        rows)
 
+(* Column keys for the sweep exports are collected across ALL rows (in
+   first-appearance order), and a row missing a column emits "nan" instead
+   of raising — a later row lacking a scheme/WCDL must not lose the file. *)
+let columns_of rows keys_of =
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc k -> if List.mem k acc then acc else acc @ [ k ])
+        acc (keys_of r))
+    [] rows
+
 let wcdl_sweep ~path rows =
-  match rows with
-  | [] -> ()
-  | first :: _ ->
-    let wcdls = List.map fst first.Experiments.overheads in
-    write ~path
-      ~header:("benchmark" :: List.map (Printf.sprintf "dl%d") wcdls)
-      (List.map
-         (fun (r : Experiments.wcdl_sweep_row) ->
-           r.Experiments.bench
-           :: List.map (fun (_, ov) -> f ov) r.Experiments.overheads)
-         rows)
+  if rows = [] then ()
+  else
+  let wcdls =
+    columns_of rows (fun r -> List.map fst r.Experiments.overheads)
+  in
+  write ~path
+    ~header:("benchmark" :: List.map (Printf.sprintf "wcdl%d") wcdls)
+    (List.map
+       (fun (r : Experiments.wcdl_sweep_row) ->
+         r.Experiments.bench
+         :: List.map
+              (fun w ->
+                match List.assoc_opt w r.Experiments.overheads with
+                | Some ov -> f ov
+                | None -> "nan")
+              wcdls)
+       rows)
 
 let ladder ~path rows =
-  match rows with
-  | [] -> ()
-  | first :: _ ->
-    let names = List.map fst first.Experiments.by_scheme in
-    write ~path ~header:("benchmark" :: names)
-      (List.map
-         (fun (r : Experiments.fig21_row) ->
-           r.Experiments.bench
-           :: List.map (fun n -> f (List.assoc n r.Experiments.by_scheme)) names)
-         rows)
+  if rows = [] then ()
+  else
+  let names =
+    columns_of rows (fun r -> List.map fst r.Experiments.by_scheme)
+  in
+  write ~path ~header:("benchmark" :: names)
+    (List.map
+       (fun (r : Experiments.fig21_row) ->
+         r.Experiments.bench
+         :: List.map
+              (fun n ->
+                match List.assoc_opt n r.Experiments.by_scheme with
+                | Some ov -> f ov
+                | None -> "nan")
+              names)
+       rows)
 
 let fig23 ~path rows =
   write ~path

@@ -1,7 +1,12 @@
 (* One driver per table/figure of the paper's evaluation (§6). Each driver
    returns structured rows; the bench harness renders them. Benchmarks and
    schemes come from the shared suite, so a single compile+trace per
-   (benchmark, compile-config) is reused across machines and WCDLs. *)
+   (benchmark, compile-config) is reused across machines and WCDLs.
+
+   Every driver submits its full (benchmark × config) grid to the
+   Parallel work pool; Run's domain-safe cache deduplicates compiles
+   across workers, and the pool's index-ordered results keep rows
+   byte-identical at any --jobs count. *)
 
 module Suite = Turnpike_workloads.Suite
 module Sim_stats = Turnpike_arch.Sim_stats
@@ -28,24 +33,22 @@ let spec_benchmarks () =
 type fig4_row = { bench : string; ratio_sb40 : float; ratio_sb4 : float }
 
 let fig4 ?(params = default_params) () =
-  List.map
-    (fun b ->
-      let ratio sb_size =
-        let c =
-          Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel
-            Scheme.turnstile ~sb_size b
-        in
-        let t = c.Run.trace in
-        let n = Turnpike_ir.Trace.num_instructions t in
-        if n = 0 then 0.0
-        else float_of_int (Turnpike_ir.Trace.num_ckpts t) /. float_of_int n
+  Parallel.grid ~items:(spec_benchmarks ()) ~configs:[ 40; 4 ]
+    (fun b sb_size ->
+      let c =
+        Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel
+          Scheme.turnstile ~sb_size b
       in
-      {
-        bench = Suite.qualified_name b;
-        ratio_sb40 = ratio 40;
-        ratio_sb4 = ratio 4;
-      })
-    (spec_benchmarks ())
+      let t = c.Run.trace in
+      let n = Turnpike_ir.Trace.num_instructions t in
+      if n = 0 then 0.0
+      else float_of_int (Turnpike_ir.Trace.num_ckpts t) /. float_of_int n)
+  |> List.map (fun (b, ratios) ->
+         {
+           bench = Suite.qualified_name b;
+           ratio_sb40 = List.assoc 40 ratios;
+           ratio_sb4 = List.assoc 4 ratios;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* Figs 14/15: ideal (infinite CAM) vs compact (2-entry range) CLQ, with
@@ -61,22 +64,21 @@ type clq_design_row = {
 }
 
 let fig14_15 ?(params = default_params) () =
-  List.map
-    (fun b ->
-      let run clq =
-        let scheme = Scheme.with_clq Scheme.fast_release (Some clq) in
-        Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b
-      in
-      let ov_i, r_i = run Clq.Ideal in
-      let ov_c, r_c = run (Clq.Compact 2) in
-      {
-        bench = Suite.qualified_name b;
-        overhead_ideal = ov_i;
-        overhead_compact = ov_c;
-        war_free_ideal = Sim_stats.war_free_ratio r_i.Run.stats;
-        war_free_compact = Sim_stats.war_free_ratio r_c.Run.stats;
-      })
-    (benchmarks ())
+  Parallel.grid ~items:(benchmarks ()) ~configs:[ Clq.Ideal; Clq.Compact 2 ]
+    (fun b clq ->
+      let scheme = Scheme.with_clq Scheme.fast_release (Some clq) in
+      Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b)
+  |> List.map (fun (b, results) ->
+         match results with
+         | [ (_, (ov_i, r_i)); (_, (ov_c, r_c)) ] ->
+           {
+             bench = Suite.qualified_name b;
+             overhead_ideal = ov_i;
+             overhead_compact = ov_c;
+             war_free_ideal = Sim_stats.war_free_ratio r_i.Run.stats;
+             war_free_compact = Sim_stats.war_free_ratio r_c.Run.stats;
+           }
+         | _ -> assert false)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 18: sensor count vs detection latency for three clock rates. *)
@@ -99,19 +101,11 @@ type wcdl_sweep_row = { bench : string; overheads : (int * float) list }
 let wcdls = [ 10; 20; 30; 40; 50 ]
 
 let wcdl_sweep ?(params = default_params) scheme =
-  List.map
-    (fun b ->
-      let overheads =
-        List.map
-          (fun wcdl ->
-            let ov, _ =
-              Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl scheme b
-            in
-            (wcdl, ov))
-          wcdls
-      in
-      { bench = Suite.qualified_name b; overheads })
-    (benchmarks ())
+  Parallel.grid ~items:(benchmarks ()) ~configs:wcdls
+    (fun b wcdl ->
+      fst (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl scheme b))
+  |> List.map (fun (b, overheads) ->
+         { bench = Suite.qualified_name b; overheads })
 
 let fig19 ?params () = wcdl_sweep ?params Scheme.turnpike
 let fig20 ?params () = wcdl_sweep ?params Scheme.turnstile
@@ -121,39 +115,23 @@ let fig20 ?params () = wcdl_sweep ?params Scheme.turnstile
 
 type fig21_row = { bench : string; by_scheme : (string * float) list }
 
-let fig21 ?(params = default_params) () =
-  List.map
-    (fun b ->
-      let by_scheme =
-        List.map
-          (fun s ->
-            let ov, _ =
-              Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10 s b
-            in
-            (s.Scheme.name, ov))
-          Scheme.ladder
-      in
-      { bench = Suite.qualified_name b; by_scheme })
-    (benchmarks ())
+let ladder_at ~params ~wcdl () =
+  Parallel.grid ~items:(benchmarks ()) ~configs:Scheme.ladder
+    (fun b s ->
+      fst (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl s b))
+  |> List.map (fun (b, by) ->
+         {
+           bench = Suite.qualified_name b;
+           by_scheme = List.map (fun (s, ov) -> (s.Scheme.name, ov)) by;
+         })
+
+let fig21 ?(params = default_params) () = ladder_at ~params ~wcdl:10 ()
 
 (* Extension: the ablation ladder at 50-cycle WCDL. The paper only shows
    the ladder at WCDL=10, where hardware fast release dominates; at longer
    detection latencies the compiler rungs (fewer stores to verify) carry
    more of the win, which this sweep exposes. *)
-let fig21_wcdl ?(params = default_params) ~wcdl () =
-  List.map
-    (fun b ->
-      let by_scheme =
-        List.map
-          (fun s ->
-            let ov, _ =
-              Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl s b
-            in
-            (s.Scheme.name, ov))
-          Scheme.ladder
-      in
-      { bench = Suite.qualified_name b; by_scheme })
-    (benchmarks ())
+let fig21_wcdl ?(params = default_params) ~wcdl () = ladder_at ~params ~wcdl ()
 
 (* ------------------------------------------------------------------ *)
 (* Fig 22: SB-size sensitivity at 10-cycle WCDL. Note the overhead is
@@ -169,20 +147,16 @@ let fig22_configs =
       [ 8; 10; 20; 30; 40 ]
 
 let fig22 ?(params = default_params) () =
-  List.map
-    (fun b ->
-      let by_config =
-        List.map
-          (fun (name, scheme, sb) ->
-            let ov, _ =
-              Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10
-                ~sb_size:sb ~baseline_sb:sb scheme b
-            in
-            (name, ov))
-          fig22_configs
-      in
-      { bench = Suite.qualified_name b; by_config })
-    (benchmarks ())
+  Parallel.grid ~items:(benchmarks ()) ~configs:fig22_configs
+    (fun b (_, scheme, sb) ->
+      fst
+        (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10
+           ~sb_size:sb ~baseline_sb:sb scheme b))
+  |> List.map (fun (b, by) ->
+         {
+           bench = Suite.qualified_name b;
+           by_config = List.map (fun ((name, _, _), ov) -> (name, ov)) by;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* Fig 23: breakdown of all stores (of the unoptimized Turnstile binary)
@@ -202,7 +176,9 @@ type fig23_row = {
 }
 
 let fig23 ?(params = default_params) () =
-  List.map
+  (* One task per benchmark: the ladder walk inside is a data-dependent
+     sequence, but distinct benchmarks are independent. *)
+  Parallel.map_list
     (fun b ->
       let trace_of scheme =
         (Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel scheme
@@ -273,7 +249,7 @@ let fig23 ?(params = default_params) () =
 type fig24_row = { bench : string; mean_entries : float; max_entries : int }
 
 let fig24 ?(params = default_params) () =
-  List.map
+  Parallel.map_list
     (fun b ->
       let r = Run.run ~scale:params.scale ~fuel:params.fuel ~wcdl:10 Scheme.turnpike b in
       {
@@ -286,18 +262,16 @@ let fig24 ?(params = default_params) () =
 type fig25_row = { bench : string; overhead_clq2 : float; overhead_clq4 : float }
 
 let fig25 ?(params = default_params) () =
-  List.map
-    (fun b ->
-      let run n =
-        let scheme = Scheme.with_clq Scheme.turnpike (Some (Clq.Compact n)) in
-        fst (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b)
-      in
-      {
-        bench = Suite.qualified_name b;
-        overhead_clq2 = run 2;
-        overhead_clq4 = run 4;
-      })
-    (benchmarks ())
+  Parallel.grid ~items:(benchmarks ()) ~configs:[ 2; 4 ]
+    (fun b n ->
+      let scheme = Scheme.with_clq Scheme.turnpike (Some (Clq.Compact n)) in
+      fst (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b))
+  |> List.map (fun (b, by) ->
+         {
+           bench = Suite.qualified_name b;
+           overhead_clq2 = List.assoc 2 by;
+           overhead_clq4 = List.assoc 4 by;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* Fig 26: dynamic region size and static code-size increase. *)
@@ -305,7 +279,7 @@ let fig25 ?(params = default_params) () =
 type fig26_row = { bench : string; region_size : float; code_increase_pct : float }
 
 let fig26 ?(params = default_params) () =
-  List.map
+  Parallel.map_list
     (fun b ->
       let c =
         Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel Scheme.turnpike
@@ -343,7 +317,7 @@ type motivation_row = {
 }
 
 let motivation ?(params = default_params) ?(wcdl = 10) () =
-  List.map
+  Parallel.map_list
     (fun b ->
       let c =
         Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel Scheme.turnstile
@@ -380,8 +354,8 @@ type unroll_row = {
 let unroll_factors = [ 1; 2; 4 ]
 
 let unroll_ablation ?(params = default_params) ?(wcdl = 50) () =
-  List.map
-    (fun b ->
+  Parallel.grid ~items:(benchmarks ()) ~configs:unroll_factors
+    (fun b factor ->
       let overhead scheme factor =
         let opts =
           { (Scheme.compile_opts scheme ~sb_size:4) with Run.Pass_pipeline.unroll = factor }
@@ -410,15 +384,12 @@ let unroll_ablation ?(params = default_params) ?(wcdl = 50) () =
         in
         float_of_int cycles /. float_of_int (max 1 base_cycles)
       in
-      {
-        bench = Suite.qualified_name b;
-        by_factor =
-          List.map
-            (fun f ->
-              (f, overhead Scheme.turnstile f, overhead Scheme.turnpike f))
-            unroll_factors;
-      })
-    (benchmarks ())
+      (overhead Scheme.turnstile factor, overhead Scheme.turnpike factor))
+  |> List.map (fun (b, by) ->
+         {
+           bench = Suite.qualified_name b;
+           by_factor = List.map (fun (f, (ts, tp)) -> (f, ts, tp)) by;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* Beyond the paper's figures: per-benchmark energy of the resilience
@@ -443,26 +414,28 @@ let resilience_energy stats ~sb_size =
   +. (float_of_int (stats.Sim_stats.loads + Sim_stats.sb_writes stats) *. clq)
 
 let energy ?(params = default_params) () =
-  List.map
-    (fun b ->
-      let per_kinstr scheme =
-        let r = Run.run ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b in
-        let e =
-          match scheme.Scheme.clq with
-          | None ->
-            (* Turnstile has no CLQ and no color maps: only CAM traffic. *)
-            2.0 *. float_of_int r.Run.stats.Sim_stats.quarantined
-            *. (Cost_model.store_buffer ~entries:4).Cost_model.energy_pj
-          | Some _ -> resilience_energy r.Run.stats ~sb_size:4
-        in
-        1000.0 *. e /. float_of_int (max 1 r.Run.stats.Sim_stats.instructions)
+  Parallel.grid ~items:(benchmarks ())
+    ~configs:[ Scheme.turnstile; Scheme.turnpike ]
+    (fun b scheme ->
+      let r = Run.run ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b in
+      let e =
+        match scheme.Scheme.clq with
+        | None ->
+          (* Turnstile has no CLQ and no color maps: only CAM traffic. *)
+          2.0 *. float_of_int r.Run.stats.Sim_stats.quarantined
+          *. (Cost_model.store_buffer ~entries:4).Cost_model.energy_pj
+        | Some _ -> resilience_energy r.Run.stats ~sb_size:4
       in
-      {
-        bench = Suite.qualified_name b;
-        turnstile_pj_per_kinstr = per_kinstr Scheme.turnstile;
-        turnpike_pj_per_kinstr = per_kinstr Scheme.turnpike;
-      })
-    (benchmarks ())
+      1000.0 *. e /. float_of_int (max 1 r.Run.stats.Sim_stats.instructions))
+  |> List.map (fun (b, by) ->
+         match by with
+         | [ (_, ts); (_, tp) ] ->
+           {
+             bench = Suite.qualified_name b;
+             turnstile_pj_per_kinstr = ts;
+             turnpike_pj_per_kinstr = tp;
+           }
+         | _ -> assert false)
 
 (* ------------------------------------------------------------------ *)
 (* Beyond the paper's figures: an SDC-freedom fault-injection campaign,
@@ -479,7 +452,7 @@ type resilience_row = {
 }
 
 let resilience_campaign ?(params = default_params) ?(faults = 24) ?(seed = 7) () =
-  List.filter_map
+  Parallel.map_list
     (fun b ->
       let c =
         Run.compile_and_trace ~scale:(max 1 (params.scale / 4)) ~fuel:params.fuel
@@ -495,3 +468,4 @@ let resilience_campaign ?(params = default_params) ?(faults = 24) ?(seed = 7) ()
         Some { bench = Suite.qualified_name b; report }
       end)
     (benchmarks ())
+  |> List.filter_map Fun.id

@@ -2,7 +2,13 @@
    its dynamic trace, replay the trace on the scheme's machine, and report
    counters. Compilation and tracing are cached per (benchmark, scale,
    compile key): traces depend only on the binary, so a single trace serves
-   every WCDL / machine variation of the same scheme. *)
+   every WCDL / machine variation of the same scheme.
+
+   The cache is domain-safe: entries are published under a mutex, and a
+   key being compiled by one worker is marked in-flight so other workers
+   block on it instead of compiling the same binary twice. A generation
+   counter makes [clear_cache] sound against in-flight compilations: a
+   worker that started before the clear refuses to publish its result. *)
 
 open Turnpike_ir
 module Pass_pipeline = Turnpike_compiler.Pass_pipeline
@@ -28,9 +34,21 @@ type result = {
 let default_scale = 8
 let default_fuel = 400_000
 
-let cache : (string, compiled_run) Hashtbl.t = Hashtbl.create 64
+type slot = Ready of compiled_run | In_flight
 
-let clear_cache () = Hashtbl.reset cache
+let cache : (string, slot) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
+let cache_cond = Condition.create ()
+let cache_generation = ref 0 (* guarded by cache_mutex *)
+
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  incr cache_generation;
+  Hashtbl.reset cache;
+  (* Wake any worker waiting on an in-flight entry; the key is gone, so it
+     will recompile under the new generation. *)
+  Condition.broadcast cache_cond;
+  Mutex.unlock cache_mutex
 
 let compile_and_trace ?(scale = default_scale) ?(fuel = default_fuel)
     (scheme : Scheme.t) ~sb_size (bench : Suite.entry) =
@@ -38,16 +56,45 @@ let compile_and_trace ?(scale = default_scale) ?(fuel = default_fuel)
     Printf.sprintf "%s/%d/%d/%s" (Suite.qualified_name bench) scale fuel
       (Scheme.compile_key scheme ~sb_size)
   in
-  match Hashtbl.find_opt cache key with
-  | Some c -> c
-  | None ->
-    let prog = bench.Suite.build ~scale in
-    let opts = Scheme.compile_opts scheme ~sb_size in
-    let compiled = Pass_pipeline.compile ~opts prog in
-    let trace, final = Interp.trace_run ~fuel compiled.Pass_pipeline.prog in
-    let c = { compiled; trace; final } in
-    Hashtbl.replace cache key c;
-    c
+  Mutex.lock cache_mutex;
+  let rec acquire () =
+    match Hashtbl.find_opt cache key with
+    | Some (Ready c) -> `Hit c
+    | Some In_flight ->
+      Condition.wait cache_cond cache_mutex;
+      acquire ()
+    | None ->
+      Hashtbl.replace cache key In_flight;
+      `Compute !cache_generation
+  in
+  let claim = acquire () in
+  Mutex.unlock cache_mutex;
+  match claim with
+  | `Hit c -> c
+  | `Compute generation -> (
+    let publish outcome =
+      Mutex.lock cache_mutex;
+      if !cache_generation = generation then begin
+        match outcome with
+        | Ok c -> Hashtbl.replace cache key (Ready c)
+        | Error _ -> Hashtbl.remove cache key
+      end;
+      Condition.broadcast cache_cond;
+      Mutex.unlock cache_mutex
+    in
+    match
+      let prog = bench.Suite.build ~scale in
+      let opts = Scheme.compile_opts scheme ~sb_size in
+      let compiled = Pass_pipeline.compile ~opts prog in
+      let trace, final = Interp.trace_run ~fuel compiled.Pass_pipeline.prog in
+      { compiled; trace; final }
+    with
+    | c ->
+      publish (Ok c);
+      c
+    | exception e ->
+      publish (Error e);
+      raise e)
 
 let run ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10) ?(sb_size = 4)
     (scheme : Scheme.t) (bench : Suite.entry) =
@@ -62,8 +109,16 @@ let run ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10) ?(sb_size =
     trace = c.trace;
   }
 
+exception Degenerate_baseline of string
+
 let overhead ~baseline result =
-  if baseline.stats.Sim_stats.cycles = 0 then 1.0
+  if baseline.stats.Sim_stats.cycles = 0 then
+    raise
+      (Degenerate_baseline
+         (Printf.sprintf
+            "Run.overhead: baseline %s/%s simulated 0 cycles (empty or \
+             truncated trace) while normalizing %s/%s"
+            baseline.benchmark baseline.scheme result.benchmark result.scheme))
   else
     float_of_int result.stats.Sim_stats.cycles
     /. float_of_int baseline.stats.Sim_stats.cycles

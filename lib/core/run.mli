@@ -2,7 +2,11 @@
     it, replay the trace on the scheme's machine, and report counters.
     Compilation and tracing are cached per (benchmark, scale, compile key):
     traces depend only on the binary, so one trace serves every WCDL /
-    machine variation of a scheme. *)
+    machine variation of a scheme.
+
+    The cache is domain-safe and in-flight-latched: concurrent
+    {!Parallel} workers asking for the same key block until the first
+    worker publishes, so a binary is never compiled twice. *)
 
 open Turnpike_ir
 module Pass_pipeline = Turnpike_compiler.Pass_pipeline
@@ -28,6 +32,10 @@ val default_scale : int
 val default_fuel : int
 
 val clear_cache : unit -> unit
+(** Drop every cached compile/trace (forcing recompilation on the next
+    {!compile_and_trace}) and invalidate in-flight compilations: a worker
+    that started compiling before the clear will complete but not publish
+    its result. *)
 
 val compile_and_trace :
   ?scale:int -> ?fuel:int -> Scheme.t -> sb_size:int -> Suite.entry -> compiled_run
@@ -35,9 +43,15 @@ val compile_and_trace :
 val run :
   ?scale:int -> ?fuel:int -> ?wcdl:int -> ?sb_size:int -> Scheme.t -> Suite.entry -> result
 
+exception Degenerate_baseline of string
+(** Raised by {!overhead} when the baseline simulated zero cycles — an
+    empty or truncated trace that would otherwise masquerade as "no
+    overhead". The message names both runs. *)
+
 val overhead : baseline:result -> result -> float
 (** Normalized execution time (the paper's y-axis): cycles divided by the
-    baseline run's cycles. *)
+    baseline run's cycles.
+    @raise Degenerate_baseline if the baseline simulated 0 cycles. *)
 
 val normalized :
   ?scale:int ->

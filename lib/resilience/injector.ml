@@ -26,14 +26,20 @@ let written_regs_by_step (trace : Trace.t) =
     trace.Trace.events;
   Array.of_list (List.rev !acc)
 
+(* Register values are 63-bit OCaml ints and Fault.single_bit accepts bits
+   0..62; draw over the full width so high bits are struck too. *)
+let value_bits = 63
+
 let campaign ?(seed = 42) ~count (trace : Trace.t) =
   let sites = written_regs_by_step trace in
   let n = Array.length sites in
+  let last_step = Array.length trace.Trace.events - 1 in
   if n = 0 then []
   else
     List.init count (fun k ->
         let step, reg = sites.(mix seed k mod n) in
-        let bit = mix seed (k * 7 + 1) mod 48 in
+        let bit = mix seed (k * 7 + 1) mod value_bits in
         (* Strike one step after the write so the fault lands on a live,
-           freshly produced value. *)
-        Fault.single_bit ~at_step:(step + 1) ~reg ~bit)
+           freshly produced value — clamped into the trace when the
+           sampled write is its final event. *)
+        Fault.single_bit ~at_step:(min (step + 1) last_step) ~reg ~bit)

@@ -6,4 +6,6 @@ open Turnpike_ir
 
 val campaign : ?seed:int -> count:int -> Trace.t -> Fault.t list
 (** Build [count] single-bit faults from a reference trace of the program
-    (empty when the trace writes no registers). Deterministic in [seed]. *)
+    (empty when the trace writes no registers). Bits are drawn over the
+    full 63-bit register value width, and strike sites are clamped inside
+    the trace. Deterministic in [seed]. *)

@@ -115,6 +115,22 @@ let test_sensor_inverse () =
   check "area overhead about 1% at 300" true
     (abs_float (Sensor.area_overhead_percent (Sensor.create ~num_sensors:300 ~clock_ghz:2.5 ()) -. 1.0) < 0.01)
 
+let test_sensor_round_trip () =
+  (* sensors_for must be a sound inverse of wcdl at every paper clock
+     rate: deploying the count it returns achieves (at most) the target
+     latency, for every target in 1..50. *)
+  List.iter
+    (fun clock_ghz ->
+      for target = 1 to 50 do
+        let n = Sensor.sensors_for ~wcdl:target ~clock_ghz () in
+        let achieved = Sensor.wcdl (Sensor.create ~num_sensors:n ~clock_ghz ()) in
+        check
+          (Printf.sprintf "wcdl %d @%.1fGHz achievable with %d sensors" target
+             clock_ghz n)
+          true (achieved <= target)
+      done)
+    [ 2.0; 2.5; 3.0 ]
+
 let prop_sensor_latency_in_range =
   QCheck.Test.make ~name:"detection latency sample in [1,wcdl]" ~count:200
     QCheck.(pair (int_range 10 300) small_nat)
@@ -645,6 +661,7 @@ let tests =
     ("sensor paper anchor", `Quick, test_sensor_anchor);
     ("sensor monotonicity", `Quick, test_sensor_monotonicity);
     ("sensor inverse/area", `Quick, test_sensor_inverse);
+    ("sensor round trip wcdl<->sensors", `Quick, test_sensor_round_trip);
     ("store buffer alloc/release", `Quick, test_sb_alloc_release);
     ("store buffer partial release", `Quick, test_sb_partial_release);
     ("store buffer deadlock detection", `Quick, test_sb_unreleasable_detection);

@@ -79,6 +79,37 @@ let test_run_cache_consistency () =
   let c = Run.compile_and_trace ~scale:1 Scheme.turnstile ~sb_size:4 (bench "mcf") in
   check "different scheme, different compile" true (a != c)
 
+let test_clear_cache_forces_recompile () =
+  Run.clear_cache ();
+  let a = Run.compile_and_trace ~scale:1 Scheme.turnpike ~sb_size:4 (bench "mcf") in
+  Run.clear_cache ();
+  let b = Run.compile_and_trace ~scale:1 Scheme.turnpike ~sb_size:4 (bench "mcf") in
+  (* A fresh compilation produces fresh Static_stats (and a fresh pipeline
+     value); a stale cache would hand back the very same objects. *)
+  check "fresh compiled_run after clear" true (a != b);
+  check "fresh Static_stats after clear" true
+    (a.Run.compiled.Run.Pass_pipeline.stats
+    != b.Run.compiled.Run.Pass_pipeline.stats);
+  check "recompilation is deterministic" true
+    (a.Run.compiled.Run.Pass_pipeline.stats
+    = b.Run.compiled.Run.Pass_pipeline.stats)
+
+let test_overhead_degenerate_baseline_raises () =
+  (* A baseline that simulated zero cycles (empty/degenerate trace) used to
+     silently report 1.0x overhead. It must raise instead. *)
+  let real = Run.run ~scale:1 Scheme.turnpike (bench "libquan") in
+  let degenerate =
+    { real with Run.stats = Sim_stats.create (); scheme = "baseline" }
+  in
+  check_int "fabricated baseline has zero cycles" 0
+    degenerate.Run.stats.Sim_stats.cycles;
+  check "degenerate baseline raises" true
+    (match Run.overhead ~baseline:degenerate real with
+    | (_ : float) -> false
+    | exception Run.Degenerate_baseline _ -> true);
+  check "healthy baseline still divides" true
+    (abs_float (Run.overhead ~baseline:real real -. 1.0) < 1e-9)
+
 let test_turnpike_beats_turnstile_everywhere () =
   (* The paper's headline: Turnpike outperforms Turnstile on every
      benchmark (Fig 19 vs Fig 20). Allow half-percent simulator noise. *)
@@ -221,6 +252,8 @@ let tests =
     ("run baseline sanity", `Quick, test_run_baseline_sanity);
     ("overhead normalization", `Quick, test_run_overhead_normalization);
     ("run cache consistency", `Quick, test_run_cache_consistency);
+    ("clear_cache forces recompilation", `Quick, test_clear_cache_forces_recompile);
+    ("degenerate baseline raises", `Quick, test_overhead_degenerate_baseline_raises);
     ("turnpike beats turnstile everywhere", `Slow, test_turnpike_beats_turnstile_everywhere);
     ("overhead grows with WCDL", `Quick, test_overhead_grows_with_wcdl);
     ("turnstile improves with bigger SB", `Quick, test_turnstile_improves_with_bigger_sb);

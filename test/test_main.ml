@@ -9,5 +9,6 @@ let () =
       ("resilience", Test_resilience.tests);
       ("workloads", Test_workloads.tests);
       ("core", Test_core.tests);
+      ("parallel", Test_parallel.tests);
       ("api", Test_api_surface.tests);
     ]
