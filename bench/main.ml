@@ -9,11 +9,12 @@
      dune exec bench/main.exe -- fig19 fig20   # a subset
      dune exec bench/main.exe -- --scale 4     # smaller simulation windows
      dune exec bench/main.exe -- --jobs 4      # 4 worker domains (0 = auto)
+     dune exec bench/main.exe -- resilience --faults 100 --seed 3
      dune exec bench/main.exe -- --micro       # harness micro-benchmarks
 
-   Experiment grids run on the Turnpike.Parallel domain pool; --jobs 1
-   (the default) is strictly sequential and any job count produces
-   identical rows. *)
+   Experiment grids — and the per-fault injection campaign — run on the
+   turnpike.parallel domain pool; --jobs 1 is strictly sequential and any
+   job count produces identical rows. *)
 
 module E = Turnpike.Experiments
 module Report = Turnpike.Report
@@ -23,6 +24,8 @@ module Suite = Turnpike_workloads.Suite
 
 let params = ref E.default_params
 let csv_dir : string option ref = ref None
+let campaign_faults = ref 24
+let campaign_seed = ref 7
 
 let csv name render rows =
   match !csv_dir with
@@ -402,7 +405,10 @@ let run_table1 () =
 
 let run_resilience () =
   Report.section "Fault injection: SDC-freedom campaign (beyond the paper's figures)";
-  let rows = E.resilience_campaign ~params:!params () in
+  let rows =
+    E.resilience_campaign ~params:!params ~faults:!campaign_faults
+      ~seed:!campaign_seed ()
+  in
   let cols =
     Report.[ { title = "benchmark"; width = 18 }; { title = "faults"; width = 7 };
              { title = "recovered"; width = 9 }; { title = "SDC"; width = 5 };
@@ -459,7 +465,9 @@ let micro () =
   let open Toolkit in
   let bench = List.hd (Suite.find_by_name "libquan") in
   let compiled =
-    Run.compile_and_trace ~scale:2 ~fuel:100_000 Scheme.turnpike ~sb_size:4 bench
+    Run.compile_with
+      { Run.default_params with scale = 2; fuel = 100_000 }
+      Scheme.turnpike bench
   in
   let machine = Turnpike_arch.Machine.turnpike ~wcdl:10 () in
   let prog = bench.Suite.build ~scale:1 in
@@ -525,6 +533,12 @@ let () =
     | "--fuel" :: n :: rest ->
       params := { !params with E.fuel = int_of_string n };
       parse sel rest
+    | "--faults" :: n :: rest ->
+      campaign_faults := int_of_string n;
+      parse sel rest
+    | "--seed" :: n :: rest ->
+      campaign_seed := int_of_string n;
+      parse sel rest
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some j ->
@@ -543,7 +557,9 @@ let () =
     | x :: rest when List.mem_assoc x experiments -> parse (x :: sel) rest
     | x :: _ ->
       Printf.eprintf
-        "unknown argument %s; known: %s --scale N --fuel N --jobs N --micro --csv DIR\n" x
+        "unknown argument %s; known: %s --scale N --fuel N --jobs N --faults N \
+         --seed S --micro --csv DIR\n"
+        x
         (String.concat " " (List.map fst experiments));
       exit 2
   in

@@ -96,7 +96,11 @@ let run_cmd =
       prerr_endline e;
       exit 1
     | Ok b ->
-      let ov, r = Turnpike.Run.normalized ~scale ~wcdl ~sb_size:sb scheme b in
+      let ov, r =
+        Turnpike.Run.normalized_with
+          { Turnpike.Run.default_params with scale; wcdl; sb_size = sb }
+          scheme b
+      in
       if json then
         Printf.printf
           "{\"benchmark\":\"%s\",\"scheme\":\"%s\",\"wcdl\":%d,\"sb\":%d,\"overhead\":%.4f,\"stats\":%s}\n"
@@ -119,9 +123,15 @@ let run_cmd =
 (* ------------------------------------------------------------------ *)
 
 let inject_cmd =
-  let doc = "Run a fault-injection campaign and verify SDC-freedom." in
+  let doc =
+    "Run a fault-injection campaign and verify SDC-freedom. Faults fan out \
+     over the --jobs worker domains (one interpreter replay each); the \
+     report is identical at any job count for a fixed --seed."
+  in
   let faults_arg =
-    Arg.(value & opt int 30 & info [ "n"; "faults" ] ~docv:"N" ~doc:"Number of faults.")
+    Arg.(value & opt int 30
+         & info [ "n"; "faults" ] ~docv:"N"
+             ~doc:"Campaign size: number of injected faults.")
   in
   let seed_arg =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
@@ -133,7 +143,9 @@ let inject_cmd =
       exit 1
     | Ok b ->
       let c =
-        Turnpike.Run.compile_and_trace ~scale Turnpike.Scheme.turnpike ~sb_size:4 b
+        Turnpike.Run.compile_with
+          { Turnpike.Run.default_params with scale }
+          Turnpike.Scheme.turnpike b
       in
       if not c.Turnpike.Run.trace.Turnpike_ir.Trace.complete then begin
         prerr_endline "trace truncated; lower --scale";

@@ -15,9 +15,18 @@ module Sensor = Turnpike_arch.Sensor
 module Cost_model = Turnpike_arch.Cost_model
 module Clq = Turnpike_arch.Clq
 
-type params = { scale : int; fuel : int }
+(* The run configuration is Run.params itself (re-exported so the record
+   fields are in scope here and for the harness): drivers pin the knobs a
+   figure mandates with [{ params with ... }] and inherit the rest. *)
+type params = Run.params = {
+  scale : int;
+  fuel : int;
+  wcdl : int;
+  sb_size : int;
+  baseline_sb : int;
+}
 
-let default_params = { scale = Run.default_scale; fuel = Run.default_fuel }
+let default_params = Run.default_params
 
 let benchmarks () = Suite.all ()
 
@@ -35,10 +44,7 @@ type fig4_row = { bench : string; ratio_sb40 : float; ratio_sb4 : float }
 let fig4 ?(params = default_params) () =
   Parallel.grid ~items:(spec_benchmarks ()) ~configs:[ 40; 4 ]
     (fun b sb_size ->
-      let c =
-        Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel
-          Scheme.turnstile ~sb_size b
-      in
+      let c = Run.compile_with { params with sb_size } Scheme.turnstile b in
       let t = c.Run.trace in
       let n = Turnpike_ir.Trace.num_instructions t in
       if n = 0 then 0.0
@@ -67,7 +73,7 @@ let fig14_15 ?(params = default_params) () =
   Parallel.grid ~items:(benchmarks ()) ~configs:[ Clq.Ideal; Clq.Compact 2 ]
     (fun b clq ->
       let scheme = Scheme.with_clq Scheme.fast_release (Some clq) in
-      Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b)
+      Run.normalized_with { params with wcdl = 10 } scheme b)
   |> List.map (fun (b, results) ->
          match results with
          | [ (_, (ov_i, r_i)); (_, (ov_c, r_c)) ] ->
@@ -102,8 +108,7 @@ let wcdls = [ 10; 20; 30; 40; 50 ]
 
 let wcdl_sweep ?(params = default_params) scheme =
   Parallel.grid ~items:(benchmarks ()) ~configs:wcdls
-    (fun b wcdl ->
-      fst (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl scheme b))
+    (fun b wcdl -> fst (Run.normalized_with { params with wcdl } scheme b))
   |> List.map (fun (b, overheads) ->
          { bench = Suite.qualified_name b; overheads })
 
@@ -117,8 +122,7 @@ type fig21_row = { bench : string; by_scheme : (string * float) list }
 
 let ladder_at ~params ~wcdl () =
   Parallel.grid ~items:(benchmarks ()) ~configs:Scheme.ladder
-    (fun b s ->
-      fst (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl s b))
+    (fun b s -> fst (Run.normalized_with { params with wcdl } s b))
   |> List.map (fun (b, by) ->
          {
            bench = Suite.qualified_name b;
@@ -150,8 +154,9 @@ let fig22 ?(params = default_params) () =
   Parallel.grid ~items:(benchmarks ()) ~configs:fig22_configs
     (fun b (_, scheme, sb) ->
       fst
-        (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10
-           ~sb_size:sb ~baseline_sb:sb scheme b))
+        (Run.normalized_with
+           { params with wcdl = 10; sb_size = sb; baseline_sb = sb }
+           scheme b))
   |> List.map (fun (b, by) ->
          {
            bench = Suite.qualified_name b;
@@ -181,9 +186,7 @@ let fig23 ?(params = default_params) () =
   Parallel.map_list
     (fun b ->
       let trace_of scheme =
-        (Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel scheme
-           ~sb_size:4 b)
-          .Run.trace
+        (Run.compile_with { params with sb_size = 4 } scheme b).Run.trace
       in
       let sbw t = float_of_int (Turnpike_ir.Trace.num_sb_writes t) in
       let ck t = float_of_int (Turnpike_ir.Trace.num_ckpts t) in
@@ -212,9 +215,7 @@ let fig23 ?(params = default_params) () =
         let ra_elim = max 0.0 (sbw t_sched -. sbw t_ra) in
         let ivm_elim = max 0.0 (sbw t_ra -. sbw t_turnpike) in
         (* Final Turnpike machine run for the dynamic release classes. *)
-        let r =
-          Run.run ~scale:params.scale ~fuel:params.fuel ~wcdl:10 Scheme.turnpike b
-        in
+        let r = Run.run_with { params with wcdl = 10 } Scheme.turnpike b in
         let colored = float_of_int r.Run.stats.Sim_stats.colored_released in
         let war_free = float_of_int r.Run.stats.Sim_stats.war_free_released in
         let others = float_of_int r.Run.stats.Sim_stats.quarantined in
@@ -251,7 +252,7 @@ type fig24_row = { bench : string; mean_entries : float; max_entries : int }
 let fig24 ?(params = default_params) () =
   Parallel.map_list
     (fun b ->
-      let r = Run.run ~scale:params.scale ~fuel:params.fuel ~wcdl:10 Scheme.turnpike b in
+      let r = Run.run_with { params with wcdl = 10 } Scheme.turnpike b in
       {
         bench = Suite.qualified_name b;
         mean_entries = r.Run.stats.Sim_stats.clq_mean_populated;
@@ -265,7 +266,7 @@ let fig25 ?(params = default_params) () =
   Parallel.grid ~items:(benchmarks ()) ~configs:[ 2; 4 ]
     (fun b n ->
       let scheme = Scheme.with_clq Scheme.turnpike (Some (Clq.Compact n)) in
-      fst (Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b))
+      fst (Run.normalized_with { params with wcdl = 10 } scheme b))
   |> List.map (fun (b, by) ->
          {
            bench = Suite.qualified_name b;
@@ -281,10 +282,7 @@ type fig26_row = { bench : string; region_size : float; code_increase_pct : floa
 let fig26 ?(params = default_params) () =
   Parallel.map_list
     (fun b ->
-      let c =
-        Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel Scheme.turnpike
-          ~sb_size:4 b
-      in
+      let c = Run.compile_with { params with sb_size = 4 } Scheme.turnpike b in
       let t = c.Run.trace in
       let regions = max 1 (Turnpike_ir.Trace.num_boundaries t) in
       {
@@ -317,24 +315,17 @@ type motivation_row = {
 }
 
 let motivation ?(params = default_params) ?(wcdl = 10) () =
+  let params = { params with wcdl; sb_size = 4 } in
   Parallel.map_list
     (fun b ->
-      let c =
-        Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel Scheme.turnstile
-          ~sb_size:4 b
-      in
-      let base =
-        Run.compile_and_trace ~scale:params.scale ~fuel:params.fuel Scheme.baseline
-          ~sb_size:4 b
-      in
+      let c = Run.compile_with params Scheme.turnstile b in
+      let base = Run.compile_with params Scheme.baseline b in
       let ooo cfg trace = (Ooo.simulate cfg trace).Sim_stats.cycles in
       let ooo_overhead =
         float_of_int (ooo (Ooo.turnstile_config ~wcdl ()) c.Run.trace)
         /. float_of_int (max 1 (ooo Ooo.default_config base.Run.trace))
       in
-      let inorder_overhead, _ =
-        Run.normalized ~scale:params.scale ~fuel:params.fuel ~wcdl Scheme.turnstile b
-      in
+      let inorder_overhead, _ = Run.normalized_with params Scheme.turnstile b in
       { bench = Suite.qualified_name b; ooo_overhead; inorder_overhead })
     (benchmarks ())
 
@@ -417,7 +408,7 @@ let energy ?(params = default_params) () =
   Parallel.grid ~items:(benchmarks ())
     ~configs:[ Scheme.turnstile; Scheme.turnpike ]
     (fun b scheme ->
-      let r = Run.run ~scale:params.scale ~fuel:params.fuel ~wcdl:10 scheme b in
+      let r = Run.run_with { params with wcdl = 10 } scheme b in
       let e =
         match scheme.Scheme.clq with
         | None ->
@@ -452,12 +443,15 @@ type resilience_row = {
 }
 
 let resilience_campaign ?(params = default_params) ?(faults = 24) ?(seed = 7) () =
-  Parallel.map_list
+  (* Benchmarks are walked sequentially (compiles are cached and cheap
+     next to a campaign); the fan-out happens per FAULT inside
+     [Verifier.run_campaign], where each task replays the whole
+     interpreter under the recovery executor — the heaviest simulation
+     work the pool carries. *)
+  let params = { params with scale = max 1 (params.scale / 4); sb_size = 4 } in
+  List.filter_map
     (fun b ->
-      let c =
-        Run.compile_and_trace ~scale:(max 1 (params.scale / 4)) ~fuel:params.fuel
-          Scheme.turnpike ~sb_size:4 b
-      in
+      let c = Run.compile_with params Scheme.turnpike b in
       if not c.Run.trace.Turnpike_ir.Trace.complete then None
       else begin
         let golden = c.Run.final in
@@ -468,4 +462,3 @@ let resilience_campaign ?(params = default_params) ?(faults = 24) ?(seed = 7) ()
         Some { bench = Suite.qualified_name b; report }
       end)
     (benchmarks ())
-  |> List.filter_map Fun.id

@@ -8,7 +8,16 @@ module Sensor = Turnpike_arch.Sensor
 module Cost_model = Turnpike_arch.Cost_model
 module Verifier = Turnpike_resilience.Verifier
 
-type params = { scale : int; fuel : int }
+type params = Run.params = {
+  scale : int;
+  fuel : int;
+  wcdl : int;
+  sb_size : int;
+  baseline_sb : int;
+}
+(** Run configuration shared by every driver — {!Run.params} re-exported.
+    Figure drivers pin the knobs their figure mandates (e.g. the paper's
+    10-cycle WCDL) with [{ params with ... }] and inherit the rest. *)
 
 val default_params : params
 

@@ -1,37 +1,10 @@
-(** Domain-based work pool for the experiment grid.
+(** Compatibility alias for {!Turnpike_parallel}, the domain work pool.
 
-    Tasks are indexed and workers pull indices from an atomic counter, so
-    scheduling is dynamic but results are always delivered in task order:
-    output is identical regardless of the number of domains. Combined with
-    the domain-safe compile/trace cache in {!Run}, every figure driver
-    produces byte-identical rows at any job count. *)
+    The implementation moved into its own dune library
+    ([turnpike.parallel]) so that it can sit below [turnpike.resilience]
+    (the fault-campaign fan-out) as well as below the experiment grid.
+    [Turnpike.Parallel] and [Turnpike_parallel] are the same module: the
+    pool width set through either (or through [--jobs N]) governs both
+    the experiment grid and {!Turnpike_resilience.Verifier.run_campaign}. *)
 
-val set_default_jobs : int -> unit
-(** Set the pool width used when [?jobs] is not passed. [0] restores the
-    default: [Domain.recommended_domain_count ()]. This is what the
-    [--jobs N] flag of the executables sets. *)
-
-val effective_jobs : unit -> int
-(** The pool width that an unqualified {!map} will use right now. *)
-
-val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map f tasks] applies [f] to every task, distributing tasks over
-    [jobs] domains (default {!effective_jobs}); [results.(i) = f tasks.(i)].
-    With [jobs = 1] (or a single task) everything runs sequentially in the
-    calling domain — bit-for-bit the pre-parallel behaviour. If any task
-    raises, all workers drain and the exception of the lowest-indexed
-    failing task is re-raised. *)
-
-val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** {!map} over lists, preserving order. *)
-
-val grid :
-  ?jobs:int ->
-  items:'a list ->
-  configs:'c list ->
-  ('a -> 'c -> 'b) ->
-  ('a * ('c * 'b) list) list
-(** [grid ~items ~configs f] evaluates [f item config] over the full
-    cartesian product as one flat task list (so the pool sees the whole
-    (benchmark × config) grid at once), then regroups the results per item
-    in input order. *)
+include module type of Turnpike_parallel

@@ -34,6 +34,22 @@ type result = {
 let default_scale = 8
 let default_fuel = 400_000
 
+(* One record instead of the ?scale ?fuel ?wcdl ?sb_size ?baseline_sb
+   sprawl: drivers build variations with [{ params with ... }] and thread
+   a single value through compile, simulate and normalize. The historical
+   optional-argument entry points below are thin wrappers kept for one
+   release. *)
+type params = {
+  scale : int;  (* workload scale factor *)
+  fuel : int;  (* interpreter step budget *)
+  wcdl : int;  (* worst-case detection latency, cycles *)
+  sb_size : int;  (* store-buffer entries (compile AND machine) *)
+  baseline_sb : int;  (* store-buffer entries of the normalization baseline *)
+}
+
+let default_params =
+  { scale = default_scale; fuel = default_fuel; wcdl = 10; sb_size = 4; baseline_sb = 4 }
+
 type slot = Ready of compiled_run | In_flight
 
 let cache : (string, slot) Hashtbl.t = Hashtbl.create 64
@@ -50,11 +66,10 @@ let clear_cache () =
   Condition.broadcast cache_cond;
   Mutex.unlock cache_mutex
 
-let compile_and_trace ?(scale = default_scale) ?(fuel = default_fuel)
-    (scheme : Scheme.t) ~sb_size (bench : Suite.entry) =
+let compile_with (p : params) (scheme : Scheme.t) (bench : Suite.entry) =
   let key =
-    Printf.sprintf "%s/%d/%d/%s" (Suite.qualified_name bench) scale fuel
-      (Scheme.compile_key scheme ~sb_size)
+    Printf.sprintf "%s/%d/%d/%s" (Suite.qualified_name bench) p.scale p.fuel
+      (Scheme.compile_key scheme ~sb_size:p.sb_size)
   in
   Mutex.lock cache_mutex;
   let rec acquire () =
@@ -83,10 +98,10 @@ let compile_and_trace ?(scale = default_scale) ?(fuel = default_fuel)
       Mutex.unlock cache_mutex
     in
     match
-      let prog = bench.Suite.build ~scale in
-      let opts = Scheme.compile_opts scheme ~sb_size in
+      let prog = bench.Suite.build ~scale:p.scale in
+      let opts = Scheme.compile_opts scheme ~sb_size:p.sb_size in
       let compiled = Pass_pipeline.compile ~opts prog in
-      let trace, final = Interp.trace_run ~fuel compiled.Pass_pipeline.prog in
+      let trace, final = Interp.trace_run ~fuel:p.fuel compiled.Pass_pipeline.prog in
       { compiled; trace; final }
     with
     | c ->
@@ -96,10 +111,9 @@ let compile_and_trace ?(scale = default_scale) ?(fuel = default_fuel)
       publish (Error e);
       raise e)
 
-let run ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10) ?(sb_size = 4)
-    (scheme : Scheme.t) (bench : Suite.entry) =
-  let c = compile_and_trace ~scale ~fuel scheme ~sb_size bench in
-  let machine = Scheme.machine scheme ~wcdl ~sb_size in
+let run_with (p : params) (scheme : Scheme.t) (bench : Suite.entry) =
+  let c = compile_with p scheme bench in
+  let machine = Scheme.machine scheme ~wcdl:p.wcdl ~sb_size:p.sb_size in
   let stats = Timing.simulate machine c.trace in
   {
     scheme = scheme.Scheme.name;
@@ -123,8 +137,26 @@ let overhead ~baseline result =
     float_of_int result.stats.Sim_stats.cycles
     /. float_of_int baseline.stats.Sim_stats.cycles
 
-let normalized ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10)
-    ?(sb_size = 4) ?(baseline_sb = 4) (scheme : Scheme.t) (bench : Suite.entry) =
-  let base = run ~scale ~fuel ~wcdl ~sb_size:baseline_sb Scheme.baseline bench in
-  let r = run ~scale ~fuel ~wcdl ~sb_size scheme bench in
+let normalized_with (p : params) (scheme : Scheme.t) (bench : Suite.entry) =
+  let base = run_with { p with sb_size = p.baseline_sb } Scheme.baseline bench in
+  let r = run_with p scheme bench in
   (overhead ~baseline:base r, r)
+
+(* ------------------------------------------------------------------ *)
+(* Optional-argument wrappers, kept for one release so existing callers
+   keep compiling; new code should build a [params] and use the [_with]
+   forms above. *)
+
+let compile_and_trace ?(scale = default_scale) ?(fuel = default_fuel) scheme
+    ~sb_size bench =
+  compile_with { default_params with scale; fuel; sb_size } scheme bench
+
+let run ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10)
+    ?(sb_size = 4) scheme bench =
+  run_with { default_params with scale; fuel; wcdl; sb_size } scheme bench
+
+let normalized ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10)
+    ?(sb_size = 4) ?(baseline_sb = 4) scheme bench =
+  normalized_with
+    { scale; fuel; wcdl; sb_size; baseline_sb }
+    scheme bench

@@ -31,6 +31,29 @@ type result = {
 val default_scale : int
 val default_fuel : int
 
+type params = {
+  scale : int;  (** workload scale factor (iteration multiplier) *)
+  fuel : int;  (** interpreter step budget *)
+  wcdl : int;  (** worst-case detection latency in cycles *)
+  sb_size : int;  (** store-buffer entries (compile target and machine) *)
+  baseline_sb : int;  (** store-buffer entries of the normalization baseline *)
+}
+(** The complete run configuration as one record. Drivers derive
+    variations with [{ params with ... }] instead of threading five
+    optional arguments through every call. *)
+
+val default_params : params
+(** [scale 8, fuel 400_000, wcdl 10, sb_size 4, baseline_sb 4] — the
+    paper's default operating point. *)
+
+val compile_with : params -> Scheme.t -> Suite.entry -> compiled_run
+val run_with : params -> Scheme.t -> Suite.entry -> result
+
+val normalized_with : params -> Scheme.t -> Suite.entry -> float * result
+(** Run baseline (at [baseline_sb]) and scheme, returning
+    (overhead, result).
+    @raise Degenerate_baseline if the baseline simulated 0 cycles. *)
+
 val clear_cache : unit -> unit
 (** Drop every cached compile/trace (forcing recompilation on the next
     {!compile_and_trace}) and invalidate in-flight compilations: a worker
@@ -39,9 +62,11 @@ val clear_cache : unit -> unit
 
 val compile_and_trace :
   ?scale:int -> ?fuel:int -> Scheme.t -> sb_size:int -> Suite.entry -> compiled_run
+(** Optional-argument wrapper over {!compile_with}, kept for one release. *)
 
 val run :
   ?scale:int -> ?fuel:int -> ?wcdl:int -> ?sb_size:int -> Scheme.t -> Suite.entry -> result
+(** Optional-argument wrapper over {!run_with}, kept for one release. *)
 
 exception Degenerate_baseline of string
 (** Raised by {!overhead} when the baseline simulated zero cycles — an
@@ -62,4 +87,5 @@ val normalized :
   Scheme.t ->
   Suite.entry ->
   float * result
-(** Convenience: run baseline and scheme, returning (overhead, result). *)
+(** Optional-argument wrapper over {!normalized_with}, kept for one
+    release. *)

@@ -1,0 +1,92 @@
+(* Domain-based work pool. Tasks are indexed; workers pull the next index
+   from an atomic counter, so scheduling is dynamic but results are always
+   delivered in task order — identical output regardless of the number of
+   domains. [jobs = 1] runs every task in the calling domain, preserving
+   strictly sequential behaviour.
+
+   The pool sits below every simulation layer (it has no Turnpike
+   dependencies), so both the experiment grid in [Turnpike.Experiments]
+   and the per-fault campaign fan-out in [Turnpike_resilience.Verifier]
+   run on the same domain budget. A map issued from inside a worker runs
+   sequentially in that worker (tracked with a domain-local flag): nested
+   fan-out never multiplies the domain count past the configured width. *)
+
+let default_jobs : int Atomic.t = Atomic.make 0
+(* 0 means "auto": the runtime's recommended domain count. *)
+
+let set_default_jobs n = Atomic.set default_jobs (max 0 n)
+
+let effective_jobs () =
+  match Atomic.get default_jobs with
+  | 0 -> Domain.recommended_domain_count ()
+  | n -> n
+
+(* True while the current domain is executing tasks on behalf of a pool;
+   a nested [map] then degrades to sequential instead of spawning. *)
+let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Exceptions raised by tasks are captured per-index and the one with the
+   lowest task index is re-raised after all workers drain — so failure
+   behaviour is deterministic too, and no domain is left unjoined. *)
+let map ?jobs (f : 'a -> 'b) (tasks : 'a array) : 'b array =
+  let n = Array.length tasks in
+  let jobs =
+    min n (match jobs with Some j -> max 1 j | None -> effective_jobs ())
+  in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then Array.map f tasks
+  else begin
+    let results : 'b option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f tasks.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> errors.(i) <- Some e);
+        worker ()
+      end
+    in
+    let guarded_worker () =
+      Domain.DLS.set inside_worker true;
+      Fun.protect worker ~finally:(fun () -> Domain.DLS.set inside_worker false)
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn guarded_worker) in
+    guarded_worker ();
+    List.iter Domain.join helpers;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function Some v -> v | None -> assert false (* all indices visited *))
+      results
+  end
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
+
+(* The (item × config) grid pattern used by the figure drivers: flatten the
+   cartesian product into one task list, fan it out, and regroup the
+   results per item (each item owns a consecutive run of |configs| tasks,
+   so regrouping is deterministic). *)
+let grid ?jobs ~items ~configs (f : 'a -> 'c -> 'b) : ('a * ('c * 'b) list) list =
+  let tasks =
+    List.concat_map (fun it -> List.map (fun c -> (it, c)) configs) items
+  in
+  let results = map_list ?jobs (fun (it, c) -> f it c) tasks in
+  let k = List.length configs in
+  let rec split acc rs = function
+    | [] ->
+      assert (rs = []);
+      List.rev acc
+    | it :: items ->
+      let rec take n rs =
+        if n = 0 then ([], rs)
+        else
+          match rs with
+          | r :: rest ->
+            let taken, rest = take (n - 1) rest in
+            (r :: taken, rest)
+          | [] -> assert false
+      in
+      let mine, rest = take k rs in
+      split ((it, List.combine configs mine) :: acc) rest items
+  in
+  split [] results items

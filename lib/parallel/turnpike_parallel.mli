@@ -1,0 +1,45 @@
+(** Domain-based work pool underlying every Turnpike fan-out.
+
+    Tasks are indexed and workers pull indices from an atomic counter, so
+    scheduling is dynamic but results are always delivered in task order:
+    output is identical regardless of the number of domains. The library
+    has no simulator dependencies and sits below everything else in the
+    stack — the experiment grid ({!Turnpike.Experiments}), the per-fault
+    injection campaign ({!Turnpike_resilience.Verifier}) and the
+    executables all share one pool configuration.
+
+    A {!map} issued from inside a pool worker runs sequentially in that
+    worker, so nested fan-outs (a campaign inside a grid cell) never
+    multiply the domain count past the configured width — and stay
+    deterministic. *)
+
+val set_default_jobs : int -> unit
+(** Set the pool width used when [?jobs] is not passed. [0] restores the
+    default: [Domain.recommended_domain_count ()]. This is what the
+    [--jobs N] flag of the executables sets. *)
+
+val effective_jobs : unit -> int
+(** The pool width that an unqualified {!map} will use right now. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f tasks] applies [f] to every task, distributing tasks over
+    [jobs] domains (default {!effective_jobs}); [results.(i) = f tasks.(i)].
+    With [jobs = 1] (or a single task, or when called from inside another
+    [map]'s worker) everything runs sequentially in the calling domain —
+    bit-for-bit the pre-parallel behaviour. If any task raises, all
+    workers drain and the exception of the lowest-indexed failing task is
+    re-raised. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)
+
+val grid :
+  ?jobs:int ->
+  items:'a list ->
+  configs:'c list ->
+  ('a -> 'c -> 'b) ->
+  ('a * ('c * 'b) list) list
+(** [grid ~items ~configs f] evaluates [f item config] over the full
+    cartesian product as one flat task list (so the pool sees the whole
+    (benchmark × config) grid at once), then regroups the results per item
+    in input order. *)

@@ -2,32 +2,54 @@
    run (with faults injected) against a golden baseline run of the same
    source program. The observable output is the application data segment —
    spill slots and checkpoint storage are implementation details that
-   legitimately differ between compilation schemes. *)
+   legitimately differ between compilation schemes.
+
+   The campaign is structured as a pure per-fault function [run_one]
+   fanned out on the Turnpike_parallel domain pool, followed by a
+   deterministic index-ordered reduction [reduce]. Each fault replays the
+   whole interpreter under the recovery executor, so this is where the
+   pool parallelizes real simulation work; the reduction folds outcomes
+   in fault order, so the report (floating-point sums included) is
+   bit-identical at any job count. *)
 
 open Turnpike_ir
+module Parallel = Turnpike_parallel
 
 type verdict = Match | Mismatch of { addr : int; golden : int; actual : int }
 
 let data_segment_only k = k >= Layout.data_base && k < Layout.spill_base
 
+(* The reported mismatch is the LOWEST-ADDRESS one, not the first found:
+   Hashtbl iteration order depends on insertion history and hash seeding,
+   so "first found" would make reports unstable across runs and OCaml
+   versions. *)
 let compare_states ~(golden : Interp.state) ~(actual : Interp.state) =
   let bad = ref None in
+  let note addr m =
+    match !bad with
+    | Some (a, _) when a <= addr -> ()
+    | Some _ | None -> bad := Some (addr, m)
+  in
   let check a b flip =
     Hashtbl.iter
       (fun k v ->
-        if !bad = None && data_segment_only k && v <> 0 then begin
+        if data_segment_only k && v <> 0 then begin
           let v' = Option.value (Hashtbl.find_opt b.Interp.mem k) ~default:0 in
           if v <> v' then
-            bad :=
-              Some
-                (if flip then Mismatch { addr = k; golden = v'; actual = v }
-                 else Mismatch { addr = k; golden = v; actual = v' })
+            note k
+              (if flip then Mismatch { addr = k; golden = v'; actual = v }
+               else Mismatch { addr = k; golden = v; actual = v' })
         end)
       a.Interp.mem
   in
   check golden actual false;
   check actual golden true;
-  Option.value !bad ~default:Match
+  match !bad with Some (_, m) -> m | None -> Match
+
+type outcome =
+  | Recovered of { detections : Recovery.detection list; reexec_overhead : float }
+  | Sdc of { detections : Recovery.detection list; mismatch : verdict }
+  | Crashed of { reason : string }
 
 type campaign_report = {
   total : int;
@@ -41,42 +63,61 @@ type campaign_report = {
          the execution-time cost of rollback and re-execution *)
 }
 
-let run_campaign ?(config = Recovery.default_config) ~golden ~compiled faults =
-  let total = List.length faults in
+let run_one ?(config = Recovery.default_config) ~golden ~compiled fault =
+  match Recovery.run ~fault ~config compiled with
+  | outcome -> (
+    let detections = outcome.Recovery.detections in
+    match compare_states ~golden ~actual:outcome.Recovery.state with
+    | Match ->
+      let golden_steps = max 1 golden.Interp.steps in
+      Recovered
+        {
+          detections;
+          reexec_overhead =
+            (float_of_int outcome.Recovery.state.Interp.steps
+            /. float_of_int golden_steps)
+            -. 1.0;
+        }
+    | Mismatch _ as mismatch -> Sdc { detections; mismatch })
+  | exception Recovery.Recovery_failed reason ->
+    Crashed { reason = "recovery failed: " ^ reason }
+  | exception Interp.Out_of_fuel -> Crashed { reason = "out of fuel" }
+
+let reduce outcomes =
   let recovered = ref 0
   and sdc = ref 0
   and crashed = ref 0
   and parity = ref 0
   and sensor = ref 0
   and reexec_sum = ref 0.0 in
-  let golden_steps = max 1 golden.Interp.steps in
+  let count_detections =
+    List.iter (function
+      | Recovery.Parity -> incr parity
+      | Recovery.Sensor -> incr sensor)
+  in
   List.iter
-    (fun fault ->
-      match Recovery.run ~fault ~config compiled with
-      | outcome ->
-        List.iter
-          (function
-            | Recovery.Parity -> incr parity
-            | Recovery.Sensor -> incr sensor)
-          outcome.Recovery.detections;
-        (match compare_states ~golden ~actual:outcome.Recovery.state with
-        | Match ->
-          incr recovered;
-          reexec_sum :=
-            !reexec_sum
-            +. (float_of_int outcome.Recovery.state.Interp.steps
-                /. float_of_int golden_steps)
-            -. 1.0
-        | Mismatch _ -> incr sdc)
-      | exception (Recovery.Recovery_failed _ | Interp.Out_of_fuel) -> incr crashed)
-    faults;
+    (function
+      | Recovered { detections; reexec_overhead } ->
+        count_detections detections;
+        incr recovered;
+        reexec_sum := !reexec_sum +. reexec_overhead
+      | Sdc { detections; _ } ->
+        count_detections detections;
+        incr sdc
+      | Crashed _ -> incr crashed)
+    outcomes;
   {
-    total;
+    total = List.length outcomes;
     recovered = !recovered;
     sdc = !sdc;
     crashed = !crashed;
     parity_detections = !parity;
     sensor_detections = !sensor;
     mean_reexec_overhead =
+      (* Guard against a campaign with no recovered runs: report 0.0, not
+         a NaN that would poison every downstream mean. *)
       (if !recovered = 0 then 0.0 else !reexec_sum /. float_of_int !recovered);
   }
+
+let run_campaign ?jobs ?config ~golden ~compiled faults =
+  Parallel.map_list ?jobs (run_one ?config ~golden ~compiled) faults |> reduce

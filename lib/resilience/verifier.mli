@@ -1,13 +1,42 @@
 (** SDC-freedom verification: compares the observable output (application
     data segment) of a resilient, fault-injected run against a golden
     baseline run. Spill slots and checkpoint storage are implementation
-    details and are excluded from the comparison. *)
+    details and are excluded from the comparison.
+
+    A campaign is [run_one] per fault — a pure function replaying the
+    recovery executor — fanned out on the {!Turnpike_parallel} domain
+    pool, then folded by the deterministic, fault-ordered {!reduce}. The
+    resulting {!campaign_report} is identical at any job count. *)
 
 open Turnpike_ir
 
 type verdict = Match | Mismatch of { addr : int; golden : int; actual : int }
 
 val compare_states : golden:Interp.state -> actual:Interp.state -> verdict
+(** When several data words differ, the lowest-address mismatch is
+    reported (stable across hash-table iteration orders and OCaml
+    versions). *)
+
+type outcome =
+  | Recovered of { detections : Recovery.detection list; reexec_overhead : float }
+      (** Output identical to the golden run; [reexec_overhead] is
+          (faulted-run steps / golden steps) − 1, the execution cost of
+          rollback and re-execution. *)
+  | Sdc of { detections : Recovery.detection list; mismatch : verdict }
+      (** Silent data corruption: the run completed but its output
+          diverges — [mismatch] is the lowest-address difference. *)
+  | Crashed of { reason : string }
+      (** Recovery failure or fuel exhaustion. *)
+
+val run_one :
+  ?config:Recovery.config ->
+  golden:Interp.state ->
+  compiled:Turnpike_compiler.Pass_pipeline.t ->
+  Fault.t ->
+  outcome
+(** Inject one fault, replay the program under the recovery executor and
+    classify the result. Pure (fresh executor state per call): safe to
+    fan out across domains. *)
 
 type campaign_report = {
   total : int;
@@ -18,12 +47,23 @@ type campaign_report = {
   sensor_detections : int;
   mean_reexec_overhead : float;
       (** mean of (faulted-run steps / golden steps) − 1 over recovered
-          runs: the execution cost of rollback and re-execution *)
+          runs ([0.0] when none recovered): the execution cost of rollback
+          and re-execution *)
 }
 
+val reduce : outcome list -> campaign_report
+(** Fold outcomes (in fault order) into a report. Sequential and
+    deterministic: the floating-point overhead sum is accumulated in list
+    order, so equal outcome lists give bit-equal reports. *)
+
 val run_campaign :
+  ?jobs:int ->
   ?config:Recovery.config ->
   golden:Interp.state ->
   compiled:Turnpike_compiler.Pass_pipeline.t ->
   Fault.t list ->
   campaign_report
+(** [Parallel.map_list run_one faults |> reduce]: every fault replays the
+    interpreter independently on the domain pool ([?jobs] overrides the
+    pool width, default the global [--jobs] setting), and the report is
+    identical at any job count. *)

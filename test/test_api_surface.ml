@@ -126,6 +126,48 @@ let test_report_formatting () =
   Alcotest.(check string) "pct format" "12.50%" (Turnpike.Report.fmt_pct 12.5)
 
 (* ------------------------------------------------------------------ *)
+(* Run.params: the record form and the optional-argument wrappers must
+   agree (the wrappers are thin shims over the _with functions). *)
+
+let test_run_params_record () =
+  let module Run = Turnpike.Run in
+  let d = Run.default_params in
+  check_int "default scale" Run.default_scale d.Run.scale;
+  check_int "default fuel" Run.default_fuel d.Run.fuel;
+  check_int "default wcdl" 10 d.Run.wcdl;
+  check_int "default sb" 4 d.Run.sb_size;
+  check_int "default baseline sb" 4 d.Run.baseline_sb;
+  let b = List.hd (Suite.find_by_name "libquan") in
+  let p = { d with Run.scale = 1; wcdl = 20 } in
+  let r_rec = Run.run_with p Turnpike.Scheme.turnpike b in
+  let r_opt = Run.run ~scale:1 ~wcdl:20 Turnpike.Scheme.turnpike b in
+  check "record and wrapper forms agree" true
+    (r_rec.Run.stats = r_opt.Run.stats);
+  let ov_rec, _ = Run.normalized_with p Turnpike.Scheme.turnstile b in
+  let ov_opt, _ = Run.normalized ~scale:1 ~wcdl:20 Turnpike.Scheme.turnstile b in
+  check "normalized agrees too" true (ov_rec = ov_opt)
+
+(* ------------------------------------------------------------------ *)
+(* Verifier.outcome: the exposed per-fault classification. *)
+
+let test_verifier_outcome_surface () =
+  let module Run = Turnpike.Run in
+  let module V = Turnpike_resilience.Verifier in
+  let module Fault = Turnpike_resilience.Fault in
+  let b = List.hd (Suite.find_by_name "libquan") in
+  let c = Run.compile_with { Run.default_params with Run.scale = 1 } Turnpike.Scheme.turnpike b in
+  let fault = Fault.single_bit ~at_step:500 ~reg:2 ~bit:3 in
+  (match V.run_one ~golden:c.Run.final ~compiled:c.Run.compiled fault with
+  | V.Recovered { detections; reexec_overhead } ->
+    check "recovered run was detected" true (detections <> []);
+    check "reexec overhead non-negative" true (reexec_overhead >= 0.0)
+  | V.Sdc _ | V.Crashed _ -> Alcotest.fail "expected Recovered");
+  let rep = V.reduce [ V.Crashed { reason = "synthetic" } ] in
+  check_int "crash counted" 1 rep.V.crashed;
+  check "no recovered runs -> 0.0 mean, not nan" true
+    (rep.V.mean_reexec_overhead = 0.0)
+
+(* ------------------------------------------------------------------ *)
 (* Run-driver bookkeeping *)
 
 let test_run_stats_accessors () =
@@ -174,6 +216,8 @@ let tests =
     ("csv write roundtrip", `Quick, test_csv_roundtrip);
     ("csv experiment renderers", `Quick, test_csv_experiment_renderers);
     ("report formatting", `Quick, test_report_formatting);
+    ("Run.params record form", `Quick, test_run_params_record);
+    ("Verifier.outcome surface", `Quick, test_verifier_outcome_surface);
     ("run stats accessors", `Quick, test_run_stats_accessors);
     ("sim stats json", `Quick, test_sim_stats_json);
     ("suite descriptions", `Quick, test_suite_descriptions_nonempty);

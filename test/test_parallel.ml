@@ -7,6 +7,8 @@ module Parallel = Turnpike.Parallel
 module Run = Turnpike.Run
 module Scheme = Turnpike.Scheme
 module E = Turnpike.Experiments
+module Injector = Turnpike_resilience.Injector
+module Verifier = Turnpike_resilience.Verifier
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -59,11 +61,32 @@ let test_default_jobs_setting () =
   check "auto width positive" true (Parallel.effective_jobs () >= 1);
   Parallel.set_default_jobs saved
 
+let test_alias_shares_pool_config () =
+  (* Turnpike.Parallel is a re-export of the standalone turnpike.parallel
+     library: configuring one configures the other. *)
+  let saved = Parallel.effective_jobs () in
+  Turnpike_parallel.set_default_jobs 5;
+  check_int "alias sees library setting" 5 (Parallel.effective_jobs ());
+  Parallel.set_default_jobs saved;
+  check_int "library sees alias setting" saved (Turnpike_parallel.effective_jobs ())
+
+let test_nested_map_degrades_sequentially () =
+  (* A map issued from inside a worker must not spawn another pool; it
+     runs sequentially in that worker and still returns ordered results. *)
+  let rows =
+    Parallel.map ~jobs:4
+      (fun i ->
+        Array.to_list (Parallel.map ~jobs:4 (fun j -> (i * 10) + j) [| 0; 1; 2 |]))
+      (Array.init 6 (fun i -> i))
+  in
+  check "nested results ordered" true
+    (rows = Array.init 6 (fun i -> [ i * 10; (i * 10) + 1; (i * 10) + 2 ]))
+
 (* ------------------------------------------------------------------ *)
 (* The acceptance property: a full-figure sweep produces byte-identical
    CSV rows at --jobs 1 and --jobs 4. *)
 
-let small = { E.scale = 1; fuel = 20_000 }
+let small = { E.default_params with E.scale = 1; fuel = 20_000 }
 
 let sweep_csv ~jobs =
   Run.clear_cache ();
@@ -103,6 +126,54 @@ let test_parallel_cache_shared () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* The campaign acceptance property: Verifier.run_campaign produces an
+   identical campaign_report at any job count for a fixed seed — the
+   per-fault mirror of the fig19 CSV check above. *)
+
+let campaign_fixture () =
+  Run.clear_cache ();
+  let bench = List.hd (Turnpike_workloads.Suite.find_by_name "libquan") in
+  let c =
+    Run.compile_with { Run.default_params with scale = 1 } Scheme.turnpike bench
+  in
+  let faults = Injector.campaign ~seed:5 ~count:16 c.Run.trace in
+  (c, faults)
+
+let test_campaign_report_identical_across_jobs () =
+  let c, faults = campaign_fixture () in
+  let report jobs =
+    Verifier.run_campaign ~jobs ~golden:c.Run.final ~compiled:c.Run.compiled faults
+  in
+  let r1 = report 1 and r4 = report 4 in
+  check "campaign_report identical at jobs 1 vs 4" true (r1 = r4);
+  check_int "every fault accounted" 16 r1.Verifier.total;
+  check_int "campaign is SDC-free" 0 r1.Verifier.sdc
+
+let test_run_one_reduce_composition () =
+  (* run_campaign IS map run_one |> reduce: composing the pieces by hand
+     must give the same report. *)
+  let c, faults = campaign_fixture () in
+  let composed =
+    List.map
+      (Verifier.run_one ~golden:c.Run.final ~compiled:c.Run.compiled)
+      faults
+    |> Verifier.reduce
+  in
+  let whole =
+    Verifier.run_campaign ~jobs:2 ~golden:c.Run.final ~compiled:c.Run.compiled
+      faults
+  in
+  check "composition equals run_campaign" true (composed = whole)
+
+let test_reduce_empty_campaign () =
+  (* No outcomes: every counter zero and the overhead mean guarded to 0.0
+     (not a NaN from 0/0). *)
+  let rep = Verifier.reduce [] in
+  check_int "empty total" 0 rep.Verifier.total;
+  check "mean overhead is 0.0, not nan" true
+    (rep.Verifier.mean_reexec_overhead = 0.0)
+
+(* ------------------------------------------------------------------ *)
 (* CSV robustness: a later row missing a scheme must not raise. *)
 
 let test_ladder_csv_tolerates_missing_scheme () =
@@ -127,7 +198,12 @@ let tests =
     ("map re-raises lowest-index failure", `Quick, test_map_reraises_lowest_index);
     ("grid regroups per item in order", `Quick, test_grid_regroups_in_order);
     ("default jobs setting", `Quick, test_default_jobs_setting);
+    ("Turnpike.Parallel aliases turnpike.parallel", `Quick, test_alias_shares_pool_config);
+    ("nested map degrades to sequential", `Quick, test_nested_map_degrades_sequentially);
     ("fig19 sweep byte-identical at jobs 1 vs 4", `Slow, test_sweep_deterministic_across_jobs);
+    ("campaign report identical at jobs 1 vs 4", `Slow, test_campaign_report_identical_across_jobs);
+    ("run_one |> reduce composes to run_campaign", `Quick, test_run_one_reduce_composition);
+    ("reduce of empty campaign", `Quick, test_reduce_empty_campaign);
     ("racing workers share one compile", `Quick, test_parallel_cache_shared);
     ("ladder CSV tolerates missing scheme", `Quick, test_ladder_csv_tolerates_missing_scheme);
   ]

@@ -232,6 +232,32 @@ let test_verifier_mismatch_reporting () =
   | Verifier.Mismatch _ -> ()
   | Verifier.Match -> Alcotest.fail "expected mismatch"
 
+let test_verifier_reports_lowest_address_mismatch () =
+  (* With several corrupted words, the report must name the lowest address
+     — not whichever Hashtbl iteration happens to visit first. *)
+  let f = Func.create ~name:"cmp" ~entry:"a" [ Block.create "a" ] in
+  let prog = Prog.create f in
+  let golden = Interp.init prog and actual = Interp.init prog in
+  let addr k = Layout.data_base + (k * Layout.word) in
+  Interp.set_mem golden (addr 9) 1;
+  Interp.set_mem actual (addr 9) 6;
+  Interp.set_mem golden (addr 2) 5;
+  (* addr 2 differs (5 vs 0) and addr 9 differs (1 vs 6). *)
+  (match Verifier.compare_states ~golden ~actual with
+  | Verifier.Mismatch { addr = a; golden = g; actual = v } ->
+    check_int "lowest address reported" (addr 2) a;
+    check_int "golden value" 5 g;
+    check_int "actual value" 0 v
+  | Verifier.Match -> Alcotest.fail "expected mismatch");
+  (* Symmetric: the extra word on the ACTUAL side at a lower address. *)
+  Interp.set_mem actual (addr 1) 3;
+  match Verifier.compare_states ~golden ~actual with
+  | Verifier.Mismatch { addr = a; golden = g; actual = v } ->
+    check_int "actual-side extra word wins" (addr 1) a;
+    check_int "golden side is 0" 0 g;
+    check_int "actual side is 3" 3 v
+  | Verifier.Match -> Alcotest.fail "expected mismatch"
+
 (* ------------------------------------------------------------------ *)
 (* QCheck: randomized single faults always recover. *)
 
@@ -292,5 +318,8 @@ let tests =
     ("fault on dead register harmless", `Quick, test_fault_on_dead_register_harmless);
     ("multi-fault recovery", `Quick, test_multi_fault_recovery);
     ("verifier mismatch reporting", `Quick, test_verifier_mismatch_reporting);
+    ( "verifier reports lowest-address mismatch",
+      `Quick,
+      test_verifier_reports_lowest_address_mismatch );
   ]
   @ qcheck

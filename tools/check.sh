@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the parallel-determinism smoke tests.
+#
+#   tools/check.sh            build, run the test suite, then verify that
+#                             --jobs 1 and --jobs 4 produce byte-identical
+#                             output for both the experiment grid (fig19
+#                             CSV) and the fault-injection campaign
+#                             (resilience table).
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== determinism smoke: fig19 CSV at --jobs 1 vs --jobs 4 =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/csv1" "$tmp/csv4"
+dune exec --no-build bench/main.exe -- fig19 --scale 1 --fuel 20000 \
+  --jobs 1 --csv "$tmp/csv1" > "$tmp/fig19_j1.txt"
+dune exec --no-build bench/main.exe -- fig19 --scale 1 --fuel 20000 \
+  --jobs 4 --csv "$tmp/csv4" > "$tmp/fig19_j4.txt"
+diff -r "$tmp/csv1" "$tmp/csv4"
+# The "[csv written to ...]" line names the (different) temp dirs; every
+# other stdout byte must match.
+diff <(grep -v '^\[csv written' "$tmp/fig19_j1.txt") \
+     <(grep -v '^\[csv written' "$tmp/fig19_j4.txt")
+
+echo "== determinism smoke: injection campaign at --jobs 1 vs --jobs 4 =="
+dune exec --no-build bench/main.exe -- resilience --scale 2 --fuel 20000 \
+  --faults 8 --seed 3 --jobs 1 > "$tmp/camp_j1.txt"
+dune exec --no-build bench/main.exe -- resilience --scale 2 --fuel 20000 \
+  --faults 8 --seed 3 --jobs 4 > "$tmp/camp_j4.txt"
+diff "$tmp/camp_j1.txt" "$tmp/camp_j4.txt"
+
+echo "check.sh: OK"
