@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- --jobs 4      # 4 worker domains (0 = auto)
      dune exec bench/main.exe -- resilience --faults 100 --seed 3
      dune exec bench/main.exe -- --micro       # harness micro-benchmarks
+     dune exec bench/main.exe -- --profile     # per-pass spans + pool utilization
 
    Experiment grids — and the per-fault injection campaign — run on the
    turnpike.parallel domain pool; --jobs 1 is strictly sequential and any
@@ -21,6 +22,7 @@ module Report = Turnpike.Report
 module Scheme = Turnpike.Scheme
 module Run = Turnpike.Run
 module Suite = Turnpike_workloads.Suite
+module Telemetry = Turnpike_telemetry
 
 let params = ref E.default_params
 let csv_dir : string option ref = ref None
@@ -511,6 +513,69 @@ let micro () =
     (List.map (fun t -> Test.make_grouped ~name:"turnpike" [ t ]) tests)
 
 (* ------------------------------------------------------------------ *)
+(* --profile: wall-clock telemetry for the harness itself — per-pass
+   compile spans and pool utilization. The Run compile cache memoizes
+   compilation, so the pass profile drives [Pass_pipeline.compile]
+   directly (a cache hit would emit no spans). *)
+
+let profile () =
+  Telemetry.Clock.set Unix.gettimeofday;
+  let scale = (!params).Run.scale in
+  Report.section
+    (Printf.sprintf "Profile: per-pass compile spans (libquan, turnpike opts, scale %d)"
+       scale);
+  let bench = List.hd (Suite.find_by_name "libquan") in
+  let prog = bench.Suite.build ~scale in
+  let opts = Scheme.compile_opts Scheme.turnpike ~sb_size:4 in
+  let tel = Telemetry.create () in
+  ignore (Turnpike_compiler.Pass_pipeline.compile ~opts ~tel prog);
+  let spans =
+    List.filter
+      (fun (e : Telemetry.event) -> String.equal e.Telemetry.cat "compiler")
+      (Telemetry.events tel)
+  in
+  let cols =
+    Report.[ { title = "pass"; width = 26 }; { title = "us"; width = 8 };
+             { title = "stat deltas"; width = 44 } ]
+  in
+  Report.print_header cols;
+  List.iter
+    (fun (e : Telemetry.event) ->
+      let dur = match e.Telemetry.kind with Telemetry.Complete d -> d | _ -> 0 in
+      let deltas =
+        String.concat " "
+          (List.map
+             (fun (k, v) ->
+               match v with
+               | Telemetry.Int i -> Printf.sprintf "%s%+d" k i
+               | _ -> k)
+             e.Telemetry.args)
+      in
+      Report.print_row cols [ e.Telemetry.name; string_of_int dur; deltas ])
+    spans;
+  Printf.printf "%d pass spans (pipeline declares %d passes)\n" (List.length spans)
+    (List.length (Turnpike_compiler.Pass_pipeline.pass_names opts));
+
+  Report.section "Profile: pool utilization (fig19 grid)";
+  let pool_tel = Telemetry.create ~capacity:65536 () in
+  Turnpike.Parallel.set_telemetry pool_tel;
+  ignore (E.fig19 ~params:!params ());
+  Turnpike.Parallel.set_telemetry Telemetry.null;
+  (match Turnpike.Parallel.last_map_stats () with
+  | None -> print_endline "no parallel map ran"
+  | Some s ->
+    Printf.printf "last map: %d tasks on %d worker(s), wall %d us, utilization %.1f%%\n"
+      s.Turnpike.Parallel.tasks s.Turnpike.Parallel.jobs s.Turnpike.Parallel.wall_us
+      (100. *. Turnpike.Parallel.utilization s);
+    Array.iteri
+      (fun w busy ->
+        Printf.printf "  worker %d: busy %8d us, %3d task(s)\n" w busy
+          s.Turnpike.Parallel.worker_tasks.(w))
+      s.Turnpike.Parallel.busy_us);
+  Printf.printf "pool span events recorded: %d (dropped: %d)\n"
+    (Telemetry.length pool_tel) (Telemetry.dropped pool_tel)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -554,17 +619,24 @@ let () =
     | "--micro" :: rest ->
       micro ();
       parse sel rest
+    | "--profile" :: rest ->
+      profile ();
+      parse sel rest
     | x :: rest when List.mem_assoc x experiments -> parse (x :: sel) rest
     | x :: _ ->
       Printf.eprintf
         "unknown argument %s; known: %s --scale N --fuel N --jobs N --faults N \
-         --seed S --micro --csv DIR\n"
+         --seed S --micro --profile --csv DIR\n"
         x
         (String.concat " " (List.map fst experiments));
       exit 2
   in
   let selected = parse [] args in
-  let selected = if selected = [] && not (List.mem "--micro" args) then List.map fst experiments else selected in
+  let selected =
+    if selected = [] && not (List.mem "--micro" args || List.mem "--profile" args)
+    then List.map fst experiments
+    else selected
+  in
   (* fig14 and fig15 share a driver; avoid printing it twice. *)
   let selected =
     if List.mem "fig14" selected && List.mem "fig15" selected then

@@ -1,0 +1,125 @@
+(* Measures what the telemetry sink costs: re-runs every simulation of the
+   fig19 grid (all suite benchmarks x the paper's WCDL sweep, turnpike
+   scheme) twice — once with the disabled [Telemetry.null] sink (the
+   default everywhere) and once with an enabled sink capturing the full
+   cycle-level timeline — and reports both wall-clock totals as JSON on
+   stdout. The compile pipeline is timed the same way.
+
+   Usage:
+     dune exec bench/telemetry_overhead.exe -- [--scale N] [--fuel N] \
+       > BENCH_telemetry_overhead.json
+
+   Runs strictly sequentially so the two passes are comparable; see the
+   "note" field in the output for the single-core caveat. *)
+
+module E = Turnpike.Experiments
+module Run = Turnpike.Run
+module Scheme = Turnpike.Scheme
+module Suite = Turnpike_workloads.Suite
+module Telemetry = Turnpike_telemetry
+
+let () = Telemetry.Clock.set Unix.gettimeofday
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let () =
+  let params = ref { Run.default_params with Run.scale = 1 } in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+      params := { !params with Run.scale = int_of_string n };
+      parse rest
+    | "--fuel" :: n :: rest ->
+      params := { !params with Run.fuel = int_of_string n };
+      parse rest
+    | x :: _ ->
+      Printf.eprintf "unknown argument %s; known: --scale N --fuel N\n" x;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let params = !params in
+  let benches = Suite.all () in
+  let points =
+    List.concat_map
+      (fun b -> List.map (fun wcdl -> (b, wcdl)) E.wcdls)
+      benches
+  in
+  (* Compile + trace once per point (cached, not timed): both passes then
+     time exactly the same [Timing.simulate] calls. *)
+  let prepared =
+    List.map
+      (fun (b, wcdl) ->
+        let p = { params with Run.wcdl } in
+        let r = Run.compile_with p Scheme.turnpike b in
+        let machine = Scheme.machine Scheme.turnpike ~wcdl ~sb_size:p.Run.sb_size in
+        (machine, r.Run.trace))
+      points
+  in
+  let disabled_s, () =
+    time (fun () ->
+        List.iter
+          (fun (machine, trace) ->
+            ignore (Turnpike_arch.Timing.simulate machine trace))
+          prepared)
+  in
+  let events = ref 0 in
+  let enabled_s, () =
+    time (fun () ->
+        List.iter
+          (fun (machine, trace) ->
+            let tel = Telemetry.create () in
+            ignore (Turnpike_arch.Timing.simulate ~tel machine trace);
+            events := !events + Telemetry.length tel + Telemetry.dropped tel)
+          prepared)
+  in
+  let compile_disabled_s, () =
+    time (fun () ->
+        List.iter
+          (fun b ->
+            let prog = b.Suite.build ~scale:params.Run.scale in
+            ignore
+              (Turnpike_compiler.Pass_pipeline.compile
+                 ~opts:Turnpike_compiler.Pass_pipeline.turnpike_opts prog))
+          benches)
+  in
+  let compile_enabled_s, () =
+    time (fun () ->
+        List.iter
+          (fun b ->
+            let prog = b.Suite.build ~scale:params.Run.scale in
+            ignore
+              (Turnpike_compiler.Pass_pipeline.compile
+                 ~opts:Turnpike_compiler.Pass_pipeline.turnpike_opts
+                 ~tel:(Telemetry.create ()) prog))
+          benches)
+  in
+  let pct base v = if base > 0. then 100. *. (v -. base) /. base else 0. in
+  Printf.printf
+    "{\n\
+    \  \"grid\": \"fig19 (turnpike scheme, WCDL sweep %s)\",\n\
+    \  \"scale\": %d,\n\
+    \  \"fuel\": %d,\n\
+    \  \"jobs\": 1,\n\
+    \  \"benchmarks\": %d,\n\
+    \  \"simulation_points\": %d,\n\
+    \  \"simulate_disabled_s\": %.3f,\n\
+    \  \"simulate_enabled_s\": %.3f,\n\
+    \  \"simulate_overhead_percent\": %.2f,\n\
+    \  \"timeline_events_emitted\": %d,\n\
+    \  \"compile_disabled_s\": %.3f,\n\
+    \  \"compile_enabled_s\": %.3f,\n\
+    \  \"compile_overhead_percent\": %.2f,\n\
+    \  \"note\": \"wall-clock on a single core (--jobs 1 equivalent); the \
+     disabled pass exercises the production default (Telemetry.null, one \
+     enabled-flag branch per would-be event). Absolute times are \
+     host-dependent; the overhead percentages are the portable signal.\"\n\
+     }\n"
+    (String.concat "/" (List.map string_of_int E.wcdls))
+    params.Run.scale params.Run.fuel (List.length benches) (List.length points)
+    disabled_s enabled_s
+    (pct disabled_s enabled_s)
+    !events compile_disabled_s compile_enabled_s
+    (pct compile_disabled_s compile_enabled_s)

@@ -2,6 +2,7 @@
 
    turnpike-cli list                          benchmark inventory
    turnpike-cli run -b mcf -s turnpike -w 30  compile + simulate one benchmark
+   turnpike-cli trace -b mcf --timeline t.json  cycle-level Perfetto timeline
    turnpike-cli inject -b lbm -n 50           fault-injection campaign
    turnpike-cli recovery -b libquan           dump generated recovery blocks
    turnpike-cli cost                          hardware cost table
@@ -10,6 +11,12 @@
 open Cmdliner
 module Suite = Turnpike_workloads.Suite
 module Sim_stats = Turnpike_arch.Sim_stats
+module Telemetry = Turnpike_telemetry
+
+(* Real wall clock for compile-pass profiling spans; the telemetry library
+   itself stays dependency-free with a Sys.time default. The deterministic
+   [trace] exports never read this clock. *)
+let () = Telemetry.Clock.set Unix.gettimeofday
 
 let schemes =
   List.map (fun (s : Turnpike.Scheme.t) -> (s.Turnpike.Scheme.name, s))
@@ -103,9 +110,10 @@ let run_cmd =
       in
       if json then
         Printf.printf
-          "{\"benchmark\":\"%s\",\"scheme\":\"%s\",\"wcdl\":%d,\"sb\":%d,\"overhead\":%.4f,\"stats\":%s}\n"
+          "{\"benchmark\":\"%s\",\"scheme\":\"%s\",\"wcdl\":%d,\"sb\":%d,\"overhead\":%.4f,\"stats\":%s,\"static_stats\":%s}\n"
           (Suite.qualified_name b) r.Turnpike.Run.scheme wcdl sb ov
           (Sim_stats.to_json r.Turnpike.Run.stats)
+          (Turnpike_compiler.Static_stats.to_json r.Turnpike.Run.static_stats)
       else begin
         Printf.printf "%s under %s (WCDL=%d, SB=%d):\n" (Suite.qualified_name b)
           r.Turnpike.Run.scheme wcdl sb;
@@ -119,6 +127,68 @@ let run_cmd =
     Term.(
       const run $ jobs_arg $ bench_arg $ scheme_arg $ wcdl_arg $ sb_arg
       $ scale_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let doc =
+    "Capture a cycle-level timeline of one benchmark across the full \
+     ablation ladder and export it as Chrome trace-event JSON (loadable in \
+     Perfetto / chrome://tracing) or JSONL. Events carry simulated cycles, \
+     so the export is byte-identical at any --jobs count."
+  in
+  let timeline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Write the Chrome trace-event timeline to $(docv) ('-' for \
+             stdout). One process per ladder rung; tracks: regions, stalls, \
+             verify windows, store-buffer events, CLQ events.")
+  in
+  let jsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Also write the merged events as self-describing JSONL.")
+  in
+  let run () name wcdl sb scale timeline jsonl =
+    match find_bench name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok b ->
+      let params =
+        { Turnpike.Run.default_params with scale; wcdl; sb_size = sb }
+      in
+      let t = Turnpike.Timeline.capture ~params b in
+      let write dest contents =
+        match dest with
+        | "-" -> print_string contents
+        | path -> Telemetry.Export.to_file path contents
+      in
+      (match timeline with
+      | Some dest -> write dest (Turnpike.Timeline.chrome t)
+      | None -> ());
+      (match jsonl with
+      | Some dest -> write dest (Turnpike.Timeline.jsonl t)
+      | None -> ());
+      Printf.printf "%s: %d events across %d schemes (wcdl=%d sb=%d)\n"
+        t.Turnpike.Timeline.benchmark
+        (List.length t.Turnpike.Timeline.events)
+        (List.length t.Turnpike.Timeline.schemes)
+        wcdl sb;
+      List.iter2
+        (fun s n -> Printf.printf "  %-24s %6d events\n" s n)
+        t.Turnpike.Timeline.schemes t.Turnpike.Timeline.per_task;
+      Printf.printf "  sensor config: %s\n" (Turnpike.Timeline.sensor_metadata t)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ jobs_arg $ bench_arg $ wcdl_arg $ sb_arg $ scale_arg
+      $ timeline_arg $ jsonl_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -178,7 +248,11 @@ let recovery_cmd =
       prerr_endline e;
       exit 1
     | Ok b ->
-      let c = Turnpike.Run.compile_and_trace ~scale Turnpike.Scheme.turnpike ~sb_size:4 b in
+      let c =
+        Turnpike.Run.compile_with
+          { Turnpike.Run.default_params with scale }
+          Turnpike.Scheme.turnpike b
+      in
       let blocks =
         Turnpike_compiler.Recovery_codegen.generate ~compiled:c.Turnpike.Run.compiled
           ~nregs:32
@@ -224,4 +298,5 @@ let () =
   let info = Cmd.info "turnpike-cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; inject_cmd; recovery_cmd; cost_cmd; wcdl_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; inject_cmd; recovery_cmd; cost_cmd; wcdl_cmd ]))

@@ -64,7 +64,11 @@ let () =
 
   (* 3. The same API, one call: run a benchmark from the built-in suite. *)
   let bench = List.hd (Turnpike_workloads.Suite.find_by_name "libquan") in
-  let ov, r = Turnpike.Run.normalized ~wcdl:10 Turnpike.Scheme.turnpike bench in
+  let ov, r =
+    Turnpike.Run.normalized_with
+      { Turnpike.Run.default_params with Turnpike.Run.wcdl = 10 }
+      Turnpike.Scheme.turnpike bench
+  in
   Printf.printf "\nsuite benchmark %s under turnpike: overhead %.3fx, %s\n"
     r.Turnpike.Run.benchmark ov
     (if r.Turnpike.Run.stats.Turnpike_arch.Sim_stats.complete then "complete" else "truncated")

@@ -11,6 +11,8 @@ module Clq = Turnpike_arch.Clq
 module Scheme = Turnpike.Scheme
 module Run = Turnpike.Run
 
+let params = Run.default_params
+
 let () =
   let bench = List.hd (Turnpike_workloads.Suite.find_by_name "lbm") in
   Printf.printf "benchmark: %s (%s)\n\n" (Turnpike_workloads.Suite.qualified_name bench)
@@ -20,8 +22,8 @@ let () =
   List.iter
     (fun wcdl ->
       let sensors = Sensor.sensors_for ~wcdl ~clock_ghz:2.5 () in
-      let ts, _ = Run.normalized ~wcdl Scheme.turnstile bench in
-      let tp, _ = Run.normalized ~wcdl Scheme.turnpike bench in
+      let ts, _ = Run.normalized_with { params with Run.wcdl } Scheme.turnstile bench in
+      let tp, _ = Run.normalized_with { params with Run.wcdl } Scheme.turnpike bench in
       Printf.printf
         "   WCDL %2d cycles (~%3d sensors, ~%.2f%% die): turnstile %.3fx turnpike %.3fx\n"
         wcdl sensors
@@ -32,8 +34,9 @@ let () =
   print_endline "\n2. Store-buffer size (WCDL=10; baseline uses the same SB):";
   List.iter
     (fun sb ->
-      let ts, _ = Run.normalized ~wcdl:10 ~sb_size:sb ~baseline_sb:sb Scheme.turnstile bench in
-      let tp, _ = Run.normalized ~wcdl:10 ~sb_size:sb ~baseline_sb:sb Scheme.turnpike bench in
+      let p = { params with Run.wcdl = 10; sb_size = sb; baseline_sb = sb } in
+      let ts, _ = Run.normalized_with p Scheme.turnstile bench in
+      let tp, _ = Run.normalized_with p Scheme.turnpike bench in
       let cost = Turnpike_arch.Cost_model.store_buffer ~entries:sb in
       Printf.printf "   SB %2d entries (%.0f um^2): turnstile %.3fx turnpike %.3fx\n" sb
         cost.Turnpike_arch.Cost_model.area_um2 ts tp)
@@ -43,7 +46,7 @@ let () =
   List.iter
     (fun (label, design) ->
       let scheme = Scheme.with_clq Scheme.turnpike (Some design) in
-      let ov, r = Run.normalized ~wcdl:10 scheme bench in
+      let ov, r = Run.normalized_with { params with Run.wcdl = 10 } scheme bench in
       Printf.printf "   %-16s overhead %.3fx, WAR-free released %d\n" label ov
         r.Run.stats.Turnpike_arch.Sim_stats.war_free_released)
     [ ("compact, 1 entry", Clq.Compact 1); ("compact, 2 entries", Clq.Compact 2);

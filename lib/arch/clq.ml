@@ -52,21 +52,27 @@ let disable t =
   t.overflows <- t.overflows + 1
 
 let record_load t ~region addr =
-  if t.enabled then begin
+  if not t.enabled then false
+  else begin
     match find_region t region with
     | Some e ->
       t.inserted_loads <- t.inserted_loads + 1;
       e.addrs <- ISet.add addr e.addrs;
       if addr < e.lo then e.lo <- addr;
       if addr > e.hi then e.hi <- addr;
-      e.any <- true
+      e.any <- true;
+      false
     | None ->
-      if entries_in_use t >= capacity t then disable t
+      if entries_in_use t >= capacity t then begin
+        disable t;
+        true
+      end
       else begin
         t.inserted_loads <- t.inserted_loads + 1;
         t.entries <-
           t.entries
-          @ [ { region; addrs = ISet.singleton addr; lo = addr; hi = addr; any = true } ]
+          @ [ { region; addrs = ISet.singleton addr; lo = addr; hi = addr; any = true } ];
+        false
       end
   end
 

@@ -20,10 +20,12 @@ val enabled : t -> bool
 
 val entries_in_use : t -> int
 
-val record_load : t -> region:int -> int -> unit
+val record_load : t -> region:int -> int -> bool
 (** Record a committed load address for its dynamic region. If a new region
     needs an entry and none is free, the automaton disables fast release and
-    clears the queue (overflow). No-op while disabled. *)
+    clears the queue; [true] is returned exactly when that overflow
+    transition fired (so the timing model can stamp a timeline event at the
+    cycle it happened). No-op returning [false] while disabled. *)
 
 val war_free : t -> region:int -> int -> bool
 (** [war_free t ~region addr]: may a store to [addr] from [region] bypass

@@ -87,7 +87,8 @@ let settle t ~cycle =
         Store_buffer.assign_releases t.sb ~region:r.Rbb.seq ~start:(max v t.drain_free_at))
     (Rbb.pop_verified t.rbb ~cycle);
   List.iter
-    (fun (addr, _) -> Mem_hierarchy.store_release t.mem addr)
+    (fun (r : Store_buffer.released) ->
+      Mem_hierarchy.store_release t.mem r.Store_buffer.addr)
     (Store_buffer.release_up_to t.sb cycle)
 
 (* Claim one unit of a resource pool no earlier than [at]; the pool grants

@@ -35,6 +35,16 @@ let sensors_for ~wcdl:target ~clock_ghz ?(die_area_mm2 = 1.0) () =
   in
   max 1 (int_of_float (ceil n))
 
+let for_wcdl ?(die_area_mm2 = 1.0) ~wcdl:target ~clock_ghz () =
+  let num_sensors = sensors_for ~wcdl:target ~clock_ghz ~die_area_mm2 () in
+  create ~die_area_mm2 ~num_sensors ~clock_ghz ()
+
+let to_json t =
+  Printf.sprintf
+    {|{"num_sensors": %d, "clock_ghz": %.6g, "die_area_mm2": %.6g, "wcdl": %d, "area_overhead_percent": %.6g}|}
+    t.num_sensors t.clock_ghz t.die_area_mm2 (wcdl t)
+    (float_of_int t.num_sensors /. 300.0 *. 1.0)
+
 let area_overhead_percent t =
   (* Paper: ~300 sensors cost about 1% of die area; cost scales linearly
      with the sensor count. *)

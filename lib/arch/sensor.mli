@@ -16,8 +16,19 @@ val wcdl : t -> int
 val sensors_for : wcdl:int -> clock_ghz:float -> ?die_area_mm2:float -> unit -> int
 (** Minimum sensor count achieving a target WCDL. *)
 
+val for_wcdl : ?die_area_mm2:float -> wcdl:int -> clock_ghz:float -> unit -> t
+(** The minimal deployment (per {!sensors_for}) achieving a target WCDL —
+    what a timeline export uses to describe the sensor configuration behind
+    a simulated verification window.
+    @raise Invalid_argument on a non-positive target. *)
+
 val area_overhead_percent : t -> float
 (** Die-area overhead of the deployed sensors (≈1% for 300 sensors). *)
+
+val to_json : t -> string
+(** One-line JSON description of the deployment (sensor count, clock,
+    die area, resulting WCDL and area overhead) — embedded as trace
+    metadata by the timeline exporter. *)
 
 val sample_detection_latency : t -> seed:int -> int
 (** Deterministic sample of an actual detection latency in [1, wcdl];

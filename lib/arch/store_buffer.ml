@@ -52,6 +52,8 @@ let assign_releases t ~region ~start =
     t.entries;
   !next
 
+type released = { addr : int; is_ckpt : bool; region : int; at : int }
+
 let release_up_to t cycle =
   let released, kept =
     List.partition
@@ -59,7 +61,15 @@ let release_up_to t cycle =
       t.entries
   in
   t.entries <- kept;
-  List.map (fun e -> (e.addr, e.is_ckpt)) released
+  List.map
+    (fun (e : entry) ->
+      {
+        addr = e.addr;
+        is_ckpt = e.is_ckpt;
+        region = e.region;
+        at = (match e.release_at with Some r -> r | None -> cycle);
+      })
+    released
 
 let earliest_release t =
   List.fold_left

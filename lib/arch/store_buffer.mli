@@ -29,9 +29,17 @@ val assign_releases : t -> region:int -> start:int -> int
 (** Give the quarantined entries of a verified region consecutive drain
     cycles from [start]; returns the next free drain cycle. *)
 
-val release_up_to : t -> int -> (int * bool) list
-(** Remove and return the [(address, is_checkpoint)] of entries whose
-    release time has passed. *)
+type released = {
+  addr : int;
+  is_ckpt : bool;
+  region : int;  (** dynamic region the entry belonged to *)
+  at : int;  (** the drain cycle the entry was assigned *)
+}
+(** What {!release_up_to} reports per drained entry — enough to stamp a
+    timeline release event with its true drain cycle and region. *)
+
+val release_up_to : t -> int -> released list
+(** Remove and return the entries whose release time has passed. *)
 
 val earliest_release : t -> int option
 (** Earliest assigned release time, if any entry has one. *)

@@ -14,10 +14,24 @@
      stores bypass the store buffer entirely. *)
 
 open Turnpike_ir
+module Telemetry = Turnpike_telemetry
 
 exception Partitioning_violation of string
 
+(* Timeline track (tid) layout, mirrored by [Telemetry.Export.chrome]
+   thread-name metadata in the timeline driver:
+   0 regions (B/E spans), 1 stalls (sb_full / rbb_full X-spans),
+   2 sensor verification windows (X-spans of length WCDL),
+   3 store-buffer quarantine / release instants,
+   4 CLQ bypass / overflow instants. Counters ride on tid 0. *)
+let track_regions = 0
+let track_stalls = 1
+let track_verify = 2
+let track_sb = 3
+let track_clq = 4
+
 type t = {
+  tel : Telemetry.sink;
   machine : Machine.t;
   mem : Mem_hierarchy.t;
   sb : Store_buffer.t;
@@ -35,8 +49,9 @@ type t = {
   mutable drain_free_at : int; (* next free SB->L1 drain cycle *)
 }
 
-let create (machine : Machine.t) =
+let create ?(tel = Telemetry.null) (machine : Machine.t) =
   {
+    tel;
     machine;
     mem = Mem_hierarchy.create machine.mem;
     sb = Store_buffer.create machine.sb_size;
@@ -59,6 +74,48 @@ let ready_time t r =
 
 let set_ready t r c = if not (Reg.is_zero r) then Hashtbl.replace t.reg_ready r c
 
+(* Cycle-stamped timeline events. Every site guards on the sink's immutable
+   [enabled] flag, so a disabled run pays one field load per site and
+   allocates nothing. Timestamps are simulated cycles, never wall clock —
+   that is what makes the export deterministic across [--jobs]. *)
+let ev_enabled t = Telemetry.enabled t.tel
+
+let ev_stall t ~name ~from ~until =
+  if ev_enabled t && until > from then
+    Telemetry.complete t.tel ~ts:from ~dur:(until - from) ~tid:track_stalls
+      ~cat:"stall" name
+
+(* Open/close the region span on track 0, sample the occupancy counters at
+   the boundary, and stamp the sensor verification window that closing a
+   region schedules: the region verifies error-free only once every strike
+   that could corrupt it has had WCDL cycles to reach a sensor. *)
+let ev_region_open t ~static_id ~seq =
+  if ev_enabled t then begin
+    Telemetry.span_begin t.tel ~ts:t.cycle ~tid:track_regions ~cat:"region"
+      ~args:[ ("static_id", Telemetry.Int static_id); ("seq", Telemetry.Int seq) ]
+      "region";
+    Telemetry.counter t.tel ~ts:t.cycle "occupancy"
+      [
+        ("sb_occupancy", Telemetry.Int (Store_buffer.occupancy t.sb));
+        ("rbb_unverified", Telemetry.Int (Rbb.unverified_count t.rbb));
+        ( "clq_entries",
+          Telemetry.Int
+            (match t.clq with Some c -> Clq.entries_in_use c | None -> 0) );
+      ]
+  end
+
+let ev_region_close t (r : Rbb.region) =
+  if ev_enabled t then begin
+    Telemetry.span_end t.tel ~ts:t.cycle ~tid:track_regions ~cat:"region"
+      ~args:[ ("seq", Telemetry.Int r.seq) ]
+      "region";
+    if t.machine.verification then
+      Telemetry.complete t.tel ~ts:t.cycle ~dur:t.machine.wcdl
+        ~tid:track_verify ~cat:"sensor"
+        ~args:[ ("seq", Telemetry.Int r.seq) ]
+        "verify_window"
+  end
+
 (* Process background events (region verifications, SB drains) up to and
    including [cycle]. *)
 let settle t ~cycle =
@@ -78,7 +135,17 @@ let settle t ~cycle =
       | None -> ())
     verified;
   List.iter
-    (fun (addr, _is_ckpt) -> Mem_hierarchy.store_release t.mem addr)
+    (fun (r : Store_buffer.released) ->
+      Mem_hierarchy.store_release t.mem r.addr;
+      if ev_enabled t then
+        Telemetry.instant t.tel ~ts:r.at ~tid:track_sb ~cat:"sb"
+          ~args:
+            [
+              ("addr", Telemetry.Int r.addr);
+              ("region", Telemetry.Int r.region);
+              ("is_ckpt", Telemetry.Bool r.is_ckpt);
+            ]
+          "release")
     (Store_buffer.release_up_to t.sb cycle)
 
 (* Move the issue point to [c] (settling background state), resetting the
@@ -162,16 +229,18 @@ let wait_for_sb_entry t =
     end
   in
   go ();
-  if t.cycle > waited_from then
+  if t.cycle > waited_from then begin
     t.stats.sb_full_stall_cycles <-
-      t.stats.sb_full_stall_cycles + (t.cycle - waited_from)
+      t.stats.sb_full_stall_cycles + (t.cycle - waited_from);
+    ev_stall t ~name:"sb_full" ~from:waited_from ~until:t.cycle
+  end
 
 let handle_boundary t ~static_id =
   settle t ~cycle:t.cycle;
   (* Close the running region, if any. *)
   (match Rbb.current t.rbb with
   | Some _ ->
-    ignore (Rbb.close_region t.rbb ~end_cycle:t.cycle ~wcdl:t.machine.wcdl)
+    ev_region_close t (Rbb.close_region t.rbb ~end_cycle:t.cycle ~wcdl:t.machine.wcdl)
   | None -> ());
   (* A new region needs an RBB entry: stall while too many regions are
      still unverified. *)
@@ -185,14 +254,17 @@ let handle_boundary t ~static_id =
     advance_to t next;
     settle t ~cycle:t.cycle
   done;
-  if t.cycle > waited_from then
+  if t.cycle > waited_from then begin
     t.stats.rbb_stall_cycles <- t.stats.rbb_stall_cycles + (t.cycle - waited_from);
+    ev_stall t ~name:"rbb_full" ~from:waited_from ~until:t.cycle
+  end;
   (match t.clq with
   | Some clq ->
     Clq.maybe_enable clq ~unverified_regions:(Rbb.unverified_count t.rbb);
     Clq.sample clq
   | None -> ());
-  ignore (Rbb.open_region t.rbb ~static_id);
+  let r = Rbb.open_region t.rbb ~static_id in
+  ev_region_open t ~static_id ~seq:r.Rbb.seq;
   Store_buffer.sample t.sb;
   t.stats.boundaries <- t.stats.boundaries + 1
 
@@ -215,16 +287,28 @@ let handle_store t ~srcs ~addr ~is_ckpt =
     in
     if fast then begin
       let c = issue t ~srcs ~port:Store_port in
-      ignore c;
       Mem_hierarchy.store_release t.mem addr;
-      t.stats.war_free_released <- t.stats.war_free_released + 1
+      t.stats.war_free_released <- t.stats.war_free_released + 1;
+      if ev_enabled t then
+        Telemetry.instant t.tel ~ts:c ~tid:track_clq ~cat:"clq"
+          ~args:[ ("addr", Telemetry.Int addr); ("region", Telemetry.Int region) ]
+          "bypass"
     end
     else begin
       if Store_buffer.is_full t.sb then wait_for_sb_entry t;
-      ignore (issue t ~srcs ~port:Store_port);
+      let c = issue t ~srcs ~port:Store_port in
       Store_buffer.alloc t.sb ~addr ~region ~is_ckpt ~release_at:None;
       t.stats.quarantined <- t.stats.quarantined + 1;
-      if is_ckpt then t.stats.ckpt_quarantined <- t.stats.ckpt_quarantined + 1
+      if is_ckpt then t.stats.ckpt_quarantined <- t.stats.ckpt_quarantined + 1;
+      if ev_enabled t then
+        Telemetry.instant t.tel ~ts:c ~tid:track_sb ~cat:"sb"
+          ~args:
+            [
+              ("addr", Telemetry.Int addr);
+              ("region", Telemetry.Int region);
+              ("is_ckpt", Telemetry.Bool is_ckpt);
+            ]
+          "quarantine"
     end
   end
 
@@ -240,9 +324,12 @@ let handle_ckpt t ~src =
   match fast_color with
   | Some color ->
     let c = issue t ~srcs:[ src ] ~port:Store_port in
-    ignore c;
     Mem_hierarchy.store_release t.mem (Layout.ckpt_slot ~reg:src ~color);
-    t.stats.colored_released <- t.stats.colored_released + 1
+    t.stats.colored_released <- t.stats.colored_released + 1;
+    if ev_enabled t then
+      Telemetry.instant t.tel ~ts:c ~tid:track_clq ~cat:"coloring"
+        ~args:[ ("reg", Telemetry.Int src); ("color", Telemetry.Int color) ]
+        "colored_bypass"
   | None ->
     let addr = Layout.ckpt_slot ~reg:(max src 0) ~color:0 in
     handle_store t ~srcs:[ src ] ~addr ~is_ckpt:true
@@ -271,7 +358,11 @@ let run_event t (e : Trace.event) =
     set_ready t dst (c + lat);
     (match t.clq with
     | Some clq when t.machine.verification ->
-      Clq.record_load clq ~region:(Rbb.current_seq t.rbb) addr
+      let overflowed = Clq.record_load clq ~region:(Rbb.current_seq t.rbb) addr in
+      if overflowed && ev_enabled t then
+        Telemetry.instant t.tel ~ts:c ~tid:track_clq ~cat:"clq"
+          ~args:[ ("addr", Telemetry.Int addr) ]
+          "overflow"
     | Some _ | None -> ());
     t.stats.loads <- t.stats.loads + 1;
     t.stats.instructions <- t.stats.instructions + 1
@@ -298,6 +389,11 @@ let run_event t (e : Trace.event) =
     t.stats.instructions <- t.stats.instructions + 1
 
 let finalize t (trace : Trace.t) =
+  (* Balance the timeline: the final region never sees another boundary,
+     so close its span at the last simulated cycle. *)
+  (match Rbb.current t.rbb with
+  | Some r when ev_enabled t -> ev_region_close t r
+  | Some _ | None -> ());
   t.stats.cycles <- t.cycle + 1;
   t.stats.complete <- trace.Trace.complete;
   (match t.clq with
@@ -314,11 +410,12 @@ let finalize t (trace : Trace.t) =
   t.stats.branch_mispredicts <- Branch_predictor.mispredicts t.predictor;
   t.stats
 
-let simulate machine trace =
-  let t = create machine in
+let simulate ?tel machine trace =
+  let t = create ?tel machine in
   (* An implicit region is open from program start even before the first
      boundary marker (the compiler always emits one at the entry, but raw
      un-partitioned programs must still simulate). *)
-  ignore (Rbb.open_region t.rbb ~static_id:(-1));
+  let r = Rbb.open_region t.rbb ~static_id:(-1) in
+  ev_region_open t ~static_id:(-1) ~seq:r.Rbb.seq;
   Trace.iter (run_event t) trace;
   finalize t trace

@@ -11,5 +11,15 @@ exception Partitioning_violation of string
 (** Raised in [strict_partitioning] mode when a single region fills the
     whole store buffer — a bug in SB-aware region partitioning. *)
 
-val simulate : Machine.t -> Turnpike_ir.Trace.t -> Sim_stats.t
-(** Replay a trace on a machine configuration and return its counters. *)
+val simulate :
+  ?tel:Turnpike_telemetry.sink -> Machine.t -> Turnpike_ir.Trace.t -> Sim_stats.t
+(** Replay a trace on a machine configuration and return its counters.
+
+    [tel] (default {!Turnpike_telemetry.null}) receives a cycle-stamped
+    timeline of the run: region begin/end spans and occupancy counters
+    (SB, RBB, CLQ) on track 0, [sb_full]/[rbb_full] stall spans on
+    track 1, WCDL-long sensor verification windows on track 2,
+    store-buffer quarantine/release instants on track 3 and CLQ
+    bypass/overflow (plus colored checkpoint bypass) instants on track 4.
+    Timestamps are simulated cycles, so the event stream is a pure
+    function of (machine, trace) — identical at any pool width. *)

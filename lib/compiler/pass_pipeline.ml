@@ -9,6 +9,7 @@
    yields exactly Turnstile's code. *)
 
 open Turnpike_ir
+module Telemetry = Turnpike_telemetry
 
 type opts = {
   nregs : int;
@@ -111,30 +112,74 @@ let live_in_table func regions =
       })
     (Regions.regions regions)
 
-let compile ?(opts = turnstile_opts) (prog : Prog.t) =
+(* The exact pass sequence [compile] runs for [opts], in order. The
+   per-pass profiling spans use these names, so
+   [List.length (pass_names opts)] equals the span count of a compile. *)
+let pass_names (opts : opts) =
+  (if opts.unroll > 1 then [ "unroll" ] else [])
+  @ (if opts.livm then [ "livm" ] else [])
+  @ [ "regalloc" ]
+  @
+  if not opts.resilient then []
+  else
+    [ "partition_and_checkpoint" ]
+    @ (if opts.pruning then [ "pruning" ] else [])
+    @ (if opts.licm then [ "licm_sink" ] else [])
+    @ (if opts.sched then [ "scheduling" ] else [])
+    @ [ "region_metadata" ]
+
+(* Run one pass under a wall-clock profiling span whose args carry the
+   [Static_stats] delta the pass contributed (category ["compiler"]). With
+   a disabled sink this is just [f ()]: no snapshot, no clock reads. *)
+let run_pass tel stats name f =
+  if not (Telemetry.enabled tel) then f ()
+  else begin
+    let before = Static_stats.copy stats in
+    let start = Telemetry.span_start tel in
+    let v = f () in
+    let args =
+      List.map
+        (fun (k, d) -> (k, Telemetry.Int d))
+        (Static_stats.diff ~before ~after:stats)
+    in
+    Telemetry.span_finish tel ~start ~cat:"compiler" ~args name;
+    v
+  end
+
+let compile ?(opts = turnstile_opts) ?(tel = Telemetry.null) (prog : Prog.t) =
   let stats = Static_stats.create () in
   let prog = Prog.with_func prog (Func.copy prog.Prog.func) in
   let func = prog.Prog.func in
   (* Phase 0: generic -O3-style unrolling (all schemes equally). *)
-  if opts.unroll > 1 then ignore (Unroll.run ~factor:opts.unroll func);
+  if opts.unroll > 1 then
+    run_pass tel stats "unroll" (fun () ->
+        ignore (Unroll.run ~factor:opts.unroll func));
   (* Phase 1a: loop induction variable merging (virtual registers). *)
-  if opts.livm then begin
-    let r = Livm.run func in
-    stats.Static_stats.livm_merged_ivs <- r.Livm.merged
-  end;
+  if opts.livm then
+    run_pass tel stats "livm" (fun () ->
+        let r = Livm.run func in
+        stats.Static_stats.livm_merged_ivs <- r.Livm.merged);
   (* Phase 1b: register allocation. *)
-  let ra_config =
-    { Regalloc.default_config with nregs = opts.nregs; store_aware = opts.store_aware_ra }
-  in
-  let ra = Regalloc.run ~config:ra_config func in
-  stats.Static_stats.spill_stores <- ra.Regalloc.spill_stores;
-  stats.Static_stats.spill_loads <- ra.Regalloc.spill_loads;
-  stats.Static_stats.spilled_vregs <- ra.Regalloc.spilled_vregs;
-  let reg_init, extra_mem = Regalloc.remap_inputs ra prog.Prog.reg_init in
   let prog =
-    { prog with Prog.reg_init; mem_init = prog.Prog.mem_init @ extra_mem }
+    run_pass tel stats "regalloc" (fun () ->
+        let ra_config =
+          {
+            Regalloc.default_config with
+            nregs = opts.nregs;
+            store_aware = opts.store_aware_ra;
+          }
+        in
+        let ra = Regalloc.run ~config:ra_config func in
+        stats.Static_stats.spill_stores <- ra.Regalloc.spill_stores;
+        stats.Static_stats.spill_loads <- ra.Regalloc.spill_loads;
+        stats.Static_stats.spilled_vregs <- ra.Regalloc.spilled_vregs;
+        let reg_init, extra_mem = Regalloc.remap_inputs ra prog.Prog.reg_init in
+        let prog =
+          { prog with Prog.reg_init; mem_init = prog.Prog.mem_init @ extra_mem }
+        in
+        stats.Static_stats.base_code_size <- count_code_size func;
+        prog)
   in
-  stats.Static_stats.base_code_size <- count_code_size func;
   if not opts.resilient then begin
     stats.Static_stats.code_size <- stats.Static_stats.base_code_size;
     {
@@ -147,33 +192,40 @@ let compile ?(opts = turnstile_opts) (prog : Prog.t) =
   end
   else begin
     (* Phase 2: regions + eager checkpoints. *)
-    let entry_live = List.map fst prog.Prog.reg_init in
-    ignore (partition_and_checkpoint func ~sb_size:opts.sb_size ~entry_live stats);
+    run_pass tel stats "partition_and_checkpoint" (fun () ->
+        let entry_live = List.map fst prog.Prog.reg_init in
+        ignore
+          (partition_and_checkpoint func ~sb_size:opts.sb_size ~entry_live stats));
     (* Phase 3: checkpoint pruning. *)
     let recovery_exprs =
-      if opts.pruning then begin
-        let r = Pruning.run func in
-        stats.Static_stats.ckpts_pruned <- r.Pruning.pruned;
-        r.Pruning.exprs
-      end
+      if opts.pruning then
+        run_pass tel stats "pruning" (fun () ->
+            let r = Pruning.run func in
+            stats.Static_stats.ckpts_pruned <- r.Pruning.pruned;
+            r.Pruning.exprs)
       else Hashtbl.create 0
     in
     (* Phase 4: LICM checkpoint sinking. *)
-    if opts.licm then begin
-      let r = Licm_sink.run func in
-      stats.Static_stats.ckpts_licm_moved <- r.Licm_sink.moved;
-      stats.Static_stats.ckpts_licm_eliminated <- r.Licm_sink.eliminated
-    end;
+    if opts.licm then
+      run_pass tel stats "licm_sink" (fun () ->
+          let r = Licm_sink.run func in
+          stats.Static_stats.ckpts_licm_moved <- r.Licm_sink.moved;
+          stats.Static_stats.ckpts_licm_eliminated <- r.Licm_sink.eliminated);
     (* Phase 5: checkpoint-aware scheduling. *)
-    if opts.sched then begin
-      let r = Scheduling.run ~separation:opts.sched_separation func in
-      stats.Static_stats.sched_moved <- r.Scheduling.moved
-    end;
-    stats.Static_stats.code_size <- count_code_size func;
-    let structure = Regions.of_func func in
-    let infos = live_in_table func structure in
-    let regions = Array.of_list infos in
-    Array.sort (fun a b -> compare a.id b.id) regions;
+    if opts.sched then
+      run_pass tel stats "scheduling" (fun () ->
+          let r = Scheduling.run ~separation:opts.sched_separation func in
+          stats.Static_stats.sched_moved <- r.Scheduling.moved);
+    (* Phase 6: recovery metadata. *)
+    let regions =
+      run_pass tel stats "region_metadata" (fun () ->
+          stats.Static_stats.code_size <- count_code_size func;
+          let structure = Regions.of_func func in
+          let infos = live_in_table func structure in
+          let regions = Array.of_list infos in
+          Array.sort (fun a b -> compare a.id b.id) regions;
+          regions)
+    in
     { prog; opts; regions; recovery_exprs; stats }
   end
 

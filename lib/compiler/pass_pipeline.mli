@@ -45,8 +45,16 @@ type t = {
   stats : Static_stats.t;
 }
 
-val compile : ?opts:opts -> Prog.t -> t
-(** Compile a virtual-register program. The input program is not
-    mutated. *)
+val pass_names : opts -> string list
+(** The exact pass sequence {!compile} runs for these options, in order —
+    the profiling span per compile is one per name here. *)
+
+val compile : ?opts:opts -> ?tel:Turnpike_telemetry.sink -> Prog.t -> t
+(** Compile a virtual-register program. The input program is not mutated.
+
+    [tel] (default {!Turnpike_telemetry.null}) receives one wall-clock
+    span per executed pass (category ["compiler"], names per
+    {!pass_names}), each carrying the non-zero {!Static_stats} deltas that
+    pass contributed as args. *)
 
 val region_info : t -> int -> region_info option

@@ -31,6 +31,32 @@ let create () =
     code_size = 0;
   }
 
+let copy t = { t with regions = t.regions }
+
+let to_assoc t =
+  [
+    ("regions", t.regions);
+    ("ckpts_inserted", t.ckpts_inserted);
+    ("ckpts_pruned", t.ckpts_pruned);
+    ("ckpts_licm_moved", t.ckpts_licm_moved);
+    ("ckpts_licm_eliminated", t.ckpts_licm_eliminated);
+    ("livm_merged_ivs", t.livm_merged_ivs);
+    ("livm_ckpts_eliminated", t.livm_ckpts_eliminated);
+    ("spill_stores", t.spill_stores);
+    ("spill_loads", t.spill_loads);
+    ("spilled_vregs", t.spilled_vregs);
+    ("sched_moved", t.sched_moved);
+    ("base_code_size", t.base_code_size);
+    ("code_size", t.code_size);
+  ]
+
+let diff ~before ~after =
+  List.filter_map
+    (fun ((name, b), (name', a)) ->
+      assert (name = name');
+      if a <> b then Some (name, a - b) else None)
+    (List.combine (to_assoc before) (to_assoc after))
+
 let code_size_increase t =
   if t.base_code_size = 0 then 0.0
   else
@@ -48,3 +74,15 @@ let pp fmt t =
     t.code_size (code_size_increase t)
 
 let to_string t = Format.asprintf "%a" pp t
+
+(* Mirrors [Sim_stats.to_json]: flat object, trailing derived ratio. *)
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "\"%s\":%d," name v))
+    (to_assoc t);
+  Buffer.add_string b
+    (Printf.sprintf "\"code_size_increase_percent\":%.4f" (code_size_increase t));
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -20,8 +20,23 @@ type t = {
 
 val create : unit -> t
 
+val copy : t -> t
+(** Snapshot the current counter values (the pass profiler diffs a copy
+    taken before a pass against the live record after it). *)
+
+val to_assoc : t -> (string * int) list
+(** Every counter as [(field_name, value)], in declaration order. *)
+
+val diff : before:t -> after:t -> (string * int) list
+(** The non-zero counter deltas between two snapshots — what one compile
+    pass contributed, attached to its profiling span. *)
+
 val code_size_increase : t -> float
 (** Percent code-size increase over the baseline (paper Fig 26). *)
+
+val to_json : t -> string
+(** One-line JSON object mirroring {!Turnpike_arch.Sim_stats.to_json}:
+    every counter plus the derived [code_size_increase_percent]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

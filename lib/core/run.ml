@@ -36,9 +36,7 @@ let default_fuel = 400_000
 
 (* One record instead of the ?scale ?fuel ?wcdl ?sb_size ?baseline_sb
    sprawl: drivers build variations with [{ params with ... }] and thread
-   a single value through compile, simulate and normalize. The historical
-   optional-argument entry points below are thin wrappers kept for one
-   release. *)
+   a single value through compile, simulate and normalize. *)
 type params = {
   scale : int;  (* workload scale factor *)
   fuel : int;  (* interpreter step budget *)
@@ -111,10 +109,10 @@ let compile_with (p : params) (scheme : Scheme.t) (bench : Suite.entry) =
       publish (Error e);
       raise e)
 
-let run_with (p : params) (scheme : Scheme.t) (bench : Suite.entry) =
+let run_with ?tel (p : params) (scheme : Scheme.t) (bench : Suite.entry) =
   let c = compile_with p scheme bench in
   let machine = Scheme.machine scheme ~wcdl:p.wcdl ~sb_size:p.sb_size in
-  let stats = Timing.simulate machine c.trace in
+  let stats = Timing.simulate ?tel machine c.trace in
   {
     scheme = scheme.Scheme.name;
     benchmark = Suite.qualified_name bench;
@@ -142,21 +140,3 @@ let normalized_with (p : params) (scheme : Scheme.t) (bench : Suite.entry) =
   let r = run_with p scheme bench in
   (overhead ~baseline:base r, r)
 
-(* ------------------------------------------------------------------ *)
-(* Optional-argument wrappers, kept for one release so existing callers
-   keep compiling; new code should build a [params] and use the [_with]
-   forms above. *)
-
-let compile_and_trace ?(scale = default_scale) ?(fuel = default_fuel) scheme
-    ~sb_size bench =
-  compile_with { default_params with scale; fuel; sb_size } scheme bench
-
-let run ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10)
-    ?(sb_size = 4) scheme bench =
-  run_with { default_params with scale; fuel; wcdl; sb_size } scheme bench
-
-let normalized ?(scale = default_scale) ?(fuel = default_fuel) ?(wcdl = 10)
-    ?(sb_size = 4) ?(baseline_sb = 4) scheme bench =
-  normalized_with
-    { scale; fuel; wcdl; sb_size; baseline_sb }
-    scheme bench

@@ -47,7 +47,14 @@ val default_params : params
     paper's default operating point. *)
 
 val compile_with : params -> Scheme.t -> Suite.entry -> compiled_run
-val run_with : params -> Scheme.t -> Suite.entry -> result
+
+val run_with :
+  ?tel:Turnpike_telemetry.sink -> params -> Scheme.t -> Suite.entry -> result
+(** Compile (cached), trace (cached) and simulate. [tel] (default
+    {!Turnpike_telemetry.null}) receives the simulation's cycle-stamped
+    timeline (see {!Turnpike_arch.Timing.simulate}); compile spans are
+    not routed here because a cache hit would skip them — profile
+    compiles with {!Pass_pipeline.compile} directly. *)
 
 val normalized_with : params -> Scheme.t -> Suite.entry -> float * result
 (** Run baseline (at [baseline_sb]) and scheme, returning
@@ -56,17 +63,9 @@ val normalized_with : params -> Scheme.t -> Suite.entry -> float * result
 
 val clear_cache : unit -> unit
 (** Drop every cached compile/trace (forcing recompilation on the next
-    {!compile_and_trace}) and invalidate in-flight compilations: a worker
+    {!compile_with}) and invalidate in-flight compilations: a worker
     that started compiling before the clear will complete but not publish
     its result. *)
-
-val compile_and_trace :
-  ?scale:int -> ?fuel:int -> Scheme.t -> sb_size:int -> Suite.entry -> compiled_run
-(** Optional-argument wrapper over {!compile_with}, kept for one release. *)
-
-val run :
-  ?scale:int -> ?fuel:int -> ?wcdl:int -> ?sb_size:int -> Scheme.t -> Suite.entry -> result
-(** Optional-argument wrapper over {!run_with}, kept for one release. *)
 
 exception Degenerate_baseline of string
 (** Raised by {!overhead} when the baseline simulated zero cycles — an
@@ -77,15 +76,3 @@ val overhead : baseline:result -> result -> float
 (** Normalized execution time (the paper's y-axis): cycles divided by the
     baseline run's cycles.
     @raise Degenerate_baseline if the baseline simulated 0 cycles. *)
-
-val normalized :
-  ?scale:int ->
-  ?fuel:int ->
-  ?wcdl:int ->
-  ?sb_size:int ->
-  ?baseline_sb:int ->
-  Scheme.t ->
-  Suite.entry ->
-  float * result
-(** Optional-argument wrapper over {!normalized_with}, kept for one
-    release. *)

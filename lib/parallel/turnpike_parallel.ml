@@ -11,8 +11,38 @@
    sequentially in that worker (tracked with a domain-local flag): nested
    fan-out never multiplies the domain count past the configured width. *)
 
+module Telemetry = Turnpike_telemetry
+
 let default_jobs : int Atomic.t = Atomic.make 0
 (* 0 means "auto": the runtime's recommended domain count. *)
+
+(* Pool telemetry. When a sink is installed, every [map] records one
+   wall-clock span per task (tid = worker index) plus a map-level span,
+   and publishes a [map_stats] summary — per-worker busy time against the
+   map's wall time, the utilization evidence the multi-core scaling
+   numbers need. The default [Telemetry.null] sink keeps the task loop
+   free of clock reads. *)
+let telemetry : Telemetry.sink Atomic.t = Atomic.make Telemetry.null
+
+let set_telemetry s = Atomic.set telemetry s
+
+type map_stats = {
+  tasks : int;
+  jobs : int;
+  wall_us : int;
+  busy_us : int array; (* per worker; index 0 is the calling domain *)
+  worker_tasks : int array;
+}
+
+let utilization (s : map_stats) =
+  if s.wall_us <= 0 || s.jobs = 0 then 0.0
+  else
+    let busy = Array.fold_left ( + ) 0 s.busy_us in
+    float_of_int busy /. (float_of_int s.wall_us *. float_of_int s.jobs)
+
+let last_stats : map_stats option Atomic.t = Atomic.make None
+
+let last_map_stats () = Atomic.get last_stats
 
 let set_default_jobs n = Atomic.set default_jobs (max 0 n)
 
@@ -33,27 +63,93 @@ let map ?jobs (f : 'a -> 'b) (tasks : 'a array) : 'b array =
   let jobs =
     min n (match jobs with Some j -> max 1 j | None -> effective_jobs ())
   in
-  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then Array.map f tasks
+  let nested = Domain.DLS.get inside_worker in
+  let tel = Atomic.get telemetry in
+  (* A nested map is accounted to the enclosing worker's task span, so it
+     records nothing of its own. *)
+  let record = Telemetry.enabled tel && not nested in
+  if jobs <= 1 || n <= 1 || nested then
+    if not record then Array.map f tasks
+    else begin
+      let t0 = Telemetry.Clock.now_us () in
+      let busy = ref 0 in
+      let results =
+        Array.mapi
+          (fun i x ->
+            let s = Telemetry.Clock.now_us () in
+            let v = f x in
+            let d = Telemetry.Clock.now_us () - s in
+            busy := !busy + d;
+            Telemetry.complete tel ~ts:s ~dur:d ~tid:0 ~cat:"pool"
+              ~args:[ ("index", Telemetry.Int i) ]
+              "task";
+            v)
+          tasks
+      in
+      let wall = Telemetry.Clock.now_us () - t0 in
+      Telemetry.complete tel ~ts:t0 ~dur:wall ~tid:1 ~cat:"pool"
+        ~args:[ ("tasks", Telemetry.Int n); ("jobs", Telemetry.Int 1) ]
+        "map";
+      Atomic.set last_stats
+        (Some
+           {
+             tasks = n;
+             jobs = 1;
+             wall_us = wall;
+             busy_us = [| !busy |];
+             worker_tasks = [| n |];
+           });
+      results
+    end
   else begin
     let results : 'b option array = Array.make n None in
     let errors : exn option array = Array.make n None in
     let next = Atomic.make 0 in
-    let rec worker () =
+    let t0 = if record then Telemetry.Clock.now_us () else 0 in
+    (* Each slot is written by exactly its own worker. *)
+    let busy = Array.make jobs 0 in
+    let worker_tasks = Array.make jobs 0 in
+    let run_task i =
+      match f tasks.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some e
+    in
+    let rec worker w =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        (match f tasks.(i) with
-        | v -> results.(i) <- Some v
-        | exception e -> errors.(i) <- Some e);
-        worker ()
+        if record then begin
+          let s = Telemetry.Clock.now_us () in
+          run_task i;
+          let d = Telemetry.Clock.now_us () - s in
+          busy.(w) <- busy.(w) + d;
+          worker_tasks.(w) <- worker_tasks.(w) + 1;
+          Telemetry.complete tel ~ts:s ~dur:d ~tid:w ~cat:"pool"
+            ~args:[ ("index", Telemetry.Int i) ]
+            "task"
+        end
+        else run_task i;
+        worker w
       end
     in
-    let guarded_worker () =
+    let guarded_worker w () =
       Domain.DLS.set inside_worker true;
-      Fun.protect worker ~finally:(fun () -> Domain.DLS.set inside_worker false)
+      Fun.protect
+        (fun () -> worker w)
+        ~finally:(fun () -> Domain.DLS.set inside_worker false)
     in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn guarded_worker) in
-    guarded_worker ();
+    let helpers =
+      List.init (jobs - 1) (fun k -> Domain.spawn (guarded_worker (k + 1)))
+    in
+    guarded_worker 0 ();
     List.iter Domain.join helpers;
+    if record then begin
+      let wall = Telemetry.Clock.now_us () - t0 in
+      Telemetry.complete tel ~ts:t0 ~dur:wall ~tid:jobs ~cat:"pool"
+        ~args:[ ("tasks", Telemetry.Int n); ("jobs", Telemetry.Int jobs) ]
+        "map";
+      Atomic.set last_stats
+        (Some { tasks = n; jobs; wall_us = wall; busy_us = busy; worker_tasks })
+    end;
     Array.iter (function Some e -> raise e | None -> ()) errors;
     Array.map
       (function Some v -> v | None -> assert false (* all indices visited *))

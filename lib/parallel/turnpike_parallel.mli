@@ -13,6 +13,33 @@
     multiply the domain count past the configured width — and stay
     deterministic. *)
 
+val set_telemetry : Turnpike_telemetry.sink -> unit
+(** Install a pool telemetry sink. While an enabled sink is installed,
+    every {!map} records one wall-clock span per task (tid = executing
+    worker index, ["pool"] category), a map-level span, and publishes a
+    {!map_stats} summary via {!last_map_stats}. Install
+    {!Turnpike_telemetry.null} (the initial state) to turn recording off;
+    the task loop then performs no clock reads. Nested maps record
+    nothing: their time is accounted to the enclosing worker's task
+    span. *)
+
+type map_stats = {
+  tasks : int;
+  jobs : int;  (** workers used, including the calling domain *)
+  wall_us : int;  (** wall-clock of the whole map call *)
+  busy_us : int array;  (** per-worker task time; index 0 = calling domain *)
+  worker_tasks : int array;  (** tasks executed per worker *)
+}
+
+val utilization : map_stats -> float
+(** Mean worker utilization in [0, 1]: total busy time over
+    [jobs × wall]. The pool-health number multi-core scaling claims rest
+    on. *)
+
+val last_map_stats : unit -> map_stats option
+(** The summary of the most recent recorded (non-nested) {!map}, if any
+    map ran while an enabled telemetry sink was installed. *)
+
 val set_default_jobs : int -> unit
 (** Set the pool width used when [?jobs] is not passed. [0] restores the
     default: [Domain.recommended_domain_count ()]. This is what the

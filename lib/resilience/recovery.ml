@@ -222,7 +222,7 @@ let on_store ex st addr value =
 
 let on_load ex addr =
   match ex.clq with
-  | Some clq -> Clq.record_load clq ~region:(current_region ex).seq addr
+  | Some clq -> ignore (Clq.record_load clq ~region:(current_region ex).seq addr)
   | None -> ()
 
 let on_ckpt ex st reg =

@@ -126,8 +126,9 @@ let test_report_formatting () =
   Alcotest.(check string) "pct format" "12.50%" (Turnpike.Report.fmt_pct 12.5)
 
 (* ------------------------------------------------------------------ *)
-(* Run.params: the record form and the optional-argument wrappers must
-   agree (the wrappers are thin shims over the _with functions). *)
+(* Run.params: the single run-configuration record. Runs derived with
+   [{ params with ... }] must agree with runs of an identical literal, and
+   normalization must be reproducible (cache-independent). *)
 
 let test_run_params_record () =
   let module Run = Turnpike.Run in
@@ -140,12 +141,22 @@ let test_run_params_record () =
   let b = List.hd (Suite.find_by_name "libquan") in
   let p = { d with Run.scale = 1; wcdl = 20 } in
   let r_rec = Run.run_with p Turnpike.Scheme.turnpike b in
-  let r_opt = Run.run ~scale:1 ~wcdl:20 Turnpike.Scheme.turnpike b in
-  check "record and wrapper forms agree" true
-    (r_rec.Run.stats = r_opt.Run.stats);
-  let ov_rec, _ = Run.normalized_with p Turnpike.Scheme.turnstile b in
-  let ov_opt, _ = Run.normalized ~scale:1 ~wcdl:20 Turnpike.Scheme.turnstile b in
-  check "normalized agrees too" true (ov_rec = ov_opt)
+  let r_lit =
+    Run.run_with
+      {
+        Run.scale = 1;
+        fuel = Run.default_fuel;
+        wcdl = 20;
+        sb_size = 4;
+        baseline_sb = 4;
+      }
+      Turnpike.Scheme.turnpike b
+  in
+  check "derived and literal params agree" true (r_rec.Run.stats = r_lit.Run.stats);
+  let ov1, _ = Run.normalized_with p Turnpike.Scheme.turnstile b in
+  Run.clear_cache ();
+  let ov2, _ = Run.normalized_with p Turnpike.Scheme.turnstile b in
+  check "normalization reproducible across cache clear" true (ov1 = ov2)
 
 (* ------------------------------------------------------------------ *)
 (* Verifier.outcome: the exposed per-fault classification. *)
@@ -170,9 +181,15 @@ let test_verifier_outcome_surface () =
 (* ------------------------------------------------------------------ *)
 (* Run-driver bookkeeping *)
 
-let test_run_stats_accessors () =
+let run_libquan () =
+  let module Run = Turnpike.Run in
   let b = List.hd (Suite.find_by_name "libquan") in
-  let r = Turnpike.Run.run ~scale:1 ~wcdl:10 Turnpike.Scheme.turnpike b in
+  Run.run_with
+    { Run.default_params with Run.scale = 1; wcdl = 10 }
+    Turnpike.Scheme.turnpike b
+
+let test_run_stats_accessors () =
+  let r = run_libquan () in
   let s = r.Turnpike.Run.stats in
   let module S = Turnpike_arch.Sim_stats in
   check "ipc positive" true (S.ipc s > 0.0);
@@ -186,8 +203,7 @@ let test_run_stats_accessors () =
     (String.length (Turnpike_compiler.Static_stats.to_string r.Turnpike.Run.static_stats) > 0)
 
 let test_sim_stats_json () =
-  let b = List.hd (Suite.find_by_name "libquan") in
-  let r = Turnpike.Run.run ~scale:1 ~wcdl:10 Turnpike.Scheme.turnpike b in
+  let r = run_libquan () in
   let j = Turnpike_arch.Sim_stats.to_json r.Turnpike.Run.stats in
   check "starts as object" true (j.[0] = '{' && j.[String.length j - 1] = '}');
   let contains sub =

@@ -154,8 +154,13 @@ let test_sb_alloc_release () =
     (fun () -> Store_buffer.alloc sb ~addr:24 ~region:1 ~is_ckpt:false ~release_at:None);
   let next = Store_buffer.assign_releases sb ~region:0 ~start:100 in
   check_int "drain occupies consecutive cycles" 102 next;
+  let released = Store_buffer.release_up_to sb 102 in
   Alcotest.(check (list (pair int bool))) "released in order" [ (8, false); (16, true) ]
-    (Store_buffer.release_up_to sb 102);
+    (List.map
+       (fun (r : Store_buffer.released) -> (r.Store_buffer.addr, r.Store_buffer.is_ckpt))
+       released);
+  Alcotest.(check (list int)) "stamped with their drain cycles" [ 100; 101 ]
+    (List.map (fun (r : Store_buffer.released) -> r.Store_buffer.at) released);
   check_int "empty after release" 0 (Store_buffer.occupancy sb)
 
 let test_sb_partial_release () =
@@ -215,33 +220,34 @@ let test_rbb_in_order_verification () =
 
 let test_clq_ideal_exact_matching () =
   let clq = Clq.create Clq.Ideal in
-  Clq.record_load clq ~region:0 100;
-  Clq.record_load clq ~region:0 300;
+  ignore (Clq.record_load clq ~region:0 100);
+  ignore (Clq.record_load clq ~region:0 300);
   check "exact conflict" false (Clq.war_free clq ~region:0 100);
   check "inside range but no match" true (Clq.war_free clq ~region:0 200);
   check "outside range" true (Clq.war_free clq ~region:0 400)
 
 let test_clq_compact_range_checking () =
   let clq = Clq.create (Clq.Compact 2) in
-  Clq.record_load clq ~region:0 100;
-  Clq.record_load clq ~region:0 300;
+  ignore (Clq.record_load clq ~region:0 100);
+  ignore (Clq.record_load clq ~region:0 300);
   check "exact conflict" false (Clq.war_free clq ~region:0 100);
   check "false positive inside range" false (Clq.war_free clq ~region:0 200);
   check "outside range ok" true (Clq.war_free clq ~region:0 400)
 
 let test_clq_region_isolation () =
   let clq = Clq.create (Clq.Compact 2) in
-  Clq.record_load clq ~region:0 100;
+  ignore (Clq.record_load clq ~region:0 100);
   (* A different region's store is not checked against region 0's loads. *)
   check "cross region free" true (Clq.war_free clq ~region:1 100)
 
 let test_clq_overflow_automaton () =
   let clq = Clq.create (Clq.Compact 1) in
-  Clq.record_load clq ~region:0 100;
+  check "no overflow on first region" false (Clq.record_load clq ~region:0 100);
   check "enabled" true (Clq.enabled clq);
   (* A second region needs an entry: overflow disables fast release. *)
-  Clq.record_load clq ~region:1 200;
+  check "overflow reported" true (Clq.record_load clq ~region:1 200);
   check "disabled after overflow" false (Clq.enabled clq);
+  check "no-op while disabled" false (Clq.record_load clq ~region:1 300);
   check_int "overflow counted" 1 (Clq.overflows clq);
   check "war_free false while disabled" false (Clq.war_free clq ~region:1 999);
   (* Fig 13: re-enabled at a boundary once at most one region is pending. *)
@@ -252,8 +258,8 @@ let test_clq_overflow_automaton () =
 
 let test_clq_verification_clears () =
   let clq = Clq.create (Clq.Compact 2) in
-  Clq.record_load clq ~region:0 100;
-  Clq.record_load clq ~region:1 200;
+  ignore (Clq.record_load clq ~region:0 100);
+  ignore (Clq.record_load clq ~region:1 200);
   check_int "two entries" 2 (Clq.entries_in_use clq);
   Clq.on_region_verified clq ~region:0;
   check_int "one after verify" 1 (Clq.entries_in_use clq);
@@ -269,8 +275,8 @@ let prop_clq_compact_conservative =
       let ideal = Clq.create Clq.Ideal and compact = Clq.create (Clq.Compact 2) in
       List.iter
         (fun a ->
-          Clq.record_load ideal ~region:0 (a * 8);
-          Clq.record_load compact ~region:0 (a * 8))
+          ignore (Clq.record_load ideal ~region:0 (a * 8));
+          ignore (Clq.record_load compact ~region:0 (a * 8)))
         loads;
       let sa = store * 8 in
       (* compact WAR-free => ideal WAR-free *)

@@ -58,32 +58,34 @@ let test_compile_keys_distinguish () =
 (* ------------------------------------------------------------------ *)
 (* Run driver *)
 
+let p1 = { Run.default_params with Run.scale = 1 }
+
 let test_run_baseline_sanity () =
-  let r = Run.run ~scale:1 Scheme.baseline (bench "libquan") in
+  let r = Run.run_with p1 Scheme.baseline (bench "libquan") in
   check "cycles positive" true (r.Run.stats.Sim_stats.cycles > 0);
   check "complete" true r.Run.stats.Sim_stats.complete;
   check_int "baseline has no ckpts" 0 r.Run.stats.Sim_stats.ckpts;
   check_int "baseline has no regions" 0 r.Run.stats.Sim_stats.boundaries
 
 let test_run_overhead_normalization () =
-  let base = Run.run ~scale:1 Scheme.baseline (bench "libquan") in
+  let base = Run.run_with p1 Scheme.baseline (bench "libquan") in
   check "self overhead is 1" true (abs_float (Run.overhead ~baseline:base base -. 1.0) < 1e-9);
-  let ov, _ = Run.normalized ~scale:1 ~wcdl:10 Scheme.turnstile (bench "libquan") in
+  let ov, _ = Run.normalized_with { p1 with Run.wcdl = 10 } Scheme.turnstile (bench "libquan") in
   check "turnstile overhead >= 1" true (ov >= 1.0)
 
 let test_run_cache_consistency () =
   Run.clear_cache ();
-  let a = Run.compile_and_trace ~scale:1 Scheme.turnpike ~sb_size:4 (bench "mcf") in
-  let b = Run.compile_and_trace ~scale:1 Scheme.turnpike ~sb_size:4 (bench "mcf") in
+  let a = Run.compile_with p1 Scheme.turnpike (bench "mcf") in
+  let b = Run.compile_with p1 Scheme.turnpike (bench "mcf") in
   check "cache returns the same object" true (a == b);
-  let c = Run.compile_and_trace ~scale:1 Scheme.turnstile ~sb_size:4 (bench "mcf") in
+  let c = Run.compile_with p1 Scheme.turnstile (bench "mcf") in
   check "different scheme, different compile" true (a != c)
 
 let test_clear_cache_forces_recompile () =
   Run.clear_cache ();
-  let a = Run.compile_and_trace ~scale:1 Scheme.turnpike ~sb_size:4 (bench "mcf") in
+  let a = Run.compile_with p1 Scheme.turnpike (bench "mcf") in
   Run.clear_cache ();
-  let b = Run.compile_and_trace ~scale:1 Scheme.turnpike ~sb_size:4 (bench "mcf") in
+  let b = Run.compile_with p1 Scheme.turnpike (bench "mcf") in
   (* A fresh compilation produces fresh Static_stats (and a fresh pipeline
      value); a stale cache would hand back the very same objects. *)
   check "fresh compiled_run after clear" true (a != b);
@@ -97,7 +99,7 @@ let test_clear_cache_forces_recompile () =
 let test_overhead_degenerate_baseline_raises () =
   (* A baseline that simulated zero cycles (empty/degenerate trace) used to
      silently report 1.0x overhead. It must raise instead. *)
-  let real = Run.run ~scale:1 Scheme.turnpike (bench "libquan") in
+  let real = Run.run_with p1 Scheme.turnpike (bench "libquan") in
   let degenerate =
     { real with Run.stats = Sim_stats.create (); scheme = "baseline" }
   in
@@ -115,15 +117,17 @@ let test_turnpike_beats_turnstile_everywhere () =
      benchmark (Fig 19 vs Fig 20). Allow half-percent simulator noise. *)
   List.iter
     (fun b ->
-      let ts, _ = Run.normalized ~scale:1 ~wcdl:10 Scheme.turnstile b in
-      let tp, _ = Run.normalized ~scale:1 ~wcdl:10 Scheme.turnpike b in
+      let ts, _ = Run.normalized_with { p1 with Run.wcdl = 10 } Scheme.turnstile b in
+      let tp, _ = Run.normalized_with { p1 with Run.wcdl = 10 } Scheme.turnpike b in
       check (Suite.qualified_name b ^ " turnpike <= turnstile") true (tp <= ts +. 0.005))
     (Suite.all ())
 
 let test_overhead_grows_with_wcdl () =
   List.iter
     (fun name ->
-      let ov w = fst (Run.normalized ~scale:1 ~wcdl:w Scheme.turnstile (bench name)) in
+      let ov w =
+        fst (Run.normalized_with { p1 with Run.wcdl = w } Scheme.turnstile (bench name))
+      in
       check (name ^ " monotonic-ish in wcdl") true (ov 10 <= ov 50 +. 0.005))
     [ "libquan"; "lbm"; "gcc"; "mcf" ]
 
@@ -131,8 +135,9 @@ let test_turnstile_improves_with_bigger_sb () =
   (* Fig 22: a larger store buffer relieves Turnstile. *)
   let ov sb =
     fst
-      (Run.normalized ~scale:1 ~wcdl:10 ~sb_size:sb ~baseline_sb:sb Scheme.turnstile
-         (bench "libquan"))
+      (Run.normalized_with
+         { p1 with Run.wcdl = 10; sb_size = sb; baseline_sb = sb }
+         Scheme.turnstile (bench "libquan"))
   in
   check "sb40 better than sb4" true (ov 40 <= ov 4 +. 0.005)
 

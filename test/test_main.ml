@@ -10,5 +10,6 @@ let () =
       ("workloads", Test_workloads.tests);
       ("core", Test_core.tests);
       ("parallel", Test_parallel.tests);
+      ("telemetry", Test_telemetry.tests);
       ("api", Test_api_surface.tests);
     ]

@@ -118,7 +118,10 @@ let test_parallel_cache_shared () =
   let bench = List.hd (Turnpike_workloads.Suite.find_by_name "libquan") in
   let results =
     Parallel.map ~jobs:4
-      (fun _ -> Run.compile_and_trace ~scale:1 ~fuel:20_000 Scheme.turnpike ~sb_size:4 bench)
+      (fun _ ->
+        Run.compile_with
+          { Run.default_params with Run.scale = 1; fuel = 20_000 }
+          Scheme.turnpike bench)
       (Array.init 8 (fun i -> i))
   in
   Array.iter

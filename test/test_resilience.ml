@@ -16,9 +16,11 @@ let check_int = Alcotest.(check int)
 
 let bench name = List.hd (Suite.find_by_name name)
 
+let small_params =
+  { Turnpike.Run.default_params with Turnpike.Run.scale = 1; fuel = 400_000 }
+
 let compiled_of name =
-  Turnpike.Run.compile_and_trace ~scale:1 ~fuel:400_000 Turnpike.Scheme.turnpike
-    ~sb_size:4 (bench name)
+  Turnpike.Run.compile_with small_params Turnpike.Scheme.turnpike (bench name)
 
 (* ------------------------------------------------------------------ *)
 (* Fault model *)
@@ -103,8 +105,7 @@ let test_fault_campaigns_sdc_free () =
 let test_fault_campaign_turnstile_config () =
   (* The recovery protocol is also sound without any fast release. *)
   let c =
-    Turnpike.Run.compile_and_trace ~scale:1 ~fuel:400_000 Turnpike.Scheme.turnstile
-      ~sb_size:4 (bench "libquan")
+    Turnpike.Run.compile_with small_params Turnpike.Scheme.turnstile (bench "libquan")
   in
   let faults = Injector.campaign ~seed:4 ~count:10 c.Turnpike.Run.trace in
   let rep =

@@ -84,12 +84,20 @@ let test_histogram_war_dependences () =
   (* The histogram's load-increment-store sequence produces genuine WAR
      dependences: under Turnpike many stores must quarantine. *)
   let b = List.hd (Suite.find_by_name "radix") in
-  let r = Turnpike.Run.run ~scale:1 ~wcdl:10 Turnpike.Scheme.turnpike b in
+  let r =
+    Turnpike.Run.run_with
+      { Turnpike.Run.default_params with Turnpike.Run.scale = 1; wcdl = 10 }
+      Turnpike.Scheme.turnpike b
+  in
   check "some stores quarantined" true (r.Turnpike.Run.stats.Turnpike_arch.Sim_stats.quarantined > 0)
 
 let test_stream_war_free () =
   let b = List.hd (Suite.find_by_name "libquan") in
-  let r = Turnpike.Run.run ~scale:1 ~wcdl:10 Turnpike.Scheme.turnpike b in
+  let r =
+    Turnpike.Run.run_with
+      { Turnpike.Run.default_params with Turnpike.Run.scale = 1; wcdl = 10 }
+      Turnpike.Scheme.turnpike b
+  in
   check "stream stores fast-release" true
     (r.Turnpike.Run.stats.Turnpike_arch.Sim_stats.war_free_released > 0)
 

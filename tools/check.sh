@@ -3,9 +3,11 @@
 #
 #   tools/check.sh            build, run the test suite, then verify that
 #                             --jobs 1 and --jobs 4 produce byte-identical
-#                             output for both the experiment grid (fig19
-#                             CSV) and the fault-injection campaign
-#                             (resilience table).
+#                             output for the experiment grid (fig19 CSV),
+#                             the fault-injection campaign (resilience
+#                             table), and the telemetry timeline export
+#                             (turnpike-cli trace), which must also be
+#                             well-formed JSON.
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -37,5 +39,24 @@ dune exec --no-build bench/main.exe -- resilience --scale 2 --fuel 20000 \
 dune exec --no-build bench/main.exe -- resilience --scale 2 --fuel 20000 \
   --faults 8 --seed 3 --jobs 4 > "$tmp/camp_j4.txt"
 diff "$tmp/camp_j1.txt" "$tmp/camp_j4.txt"
+
+echo "== telemetry smoke: timeline export at --jobs 1 vs --jobs 4 =="
+dune exec --no-build bin/turnpike_cli.exe -- trace -b libquan --scale 1 \
+  --jobs 1 --timeline "$tmp/trace_j1.json" --jsonl "$tmp/trace_j1.jsonl" \
+  > "$tmp/trace_j1.txt"
+dune exec --no-build bin/turnpike_cli.exe -- trace -b libquan --scale 1 \
+  --jobs 4 --timeline "$tmp/trace_j4.json" --jsonl "$tmp/trace_j4.jsonl" \
+  > "$tmp/trace_j4.txt"
+test -s "$tmp/trace_j1.json"
+grep -q '"traceEvents"' "$tmp/trace_j1.json"
+grep -q '"verify_window"' "$tmp/trace_j1.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$tmp/trace_j1.json" > /dev/null
+else
+  echo "(python3 not found; skipping JSON syntax validation)"
+fi
+diff "$tmp/trace_j1.json" "$tmp/trace_j4.json"
+diff "$tmp/trace_j1.jsonl" "$tmp/trace_j4.jsonl"
+diff "$tmp/trace_j1.txt" "$tmp/trace_j4.txt"
 
 echo "check.sh: OK"
