@@ -1,0 +1,79 @@
+(* Measures what the static soundness checker costs at compile time:
+   compiles every suite benchmark at the turnpike rung three times — with
+   checking off, with one final whole-program registry run, and with the
+   registry between every pass (provenance mode) — and reports the three
+   wall-clock totals as JSON on stdout.
+
+   Usage:
+     dune exec bench/analysis_overhead.exe -- [--scale N] \
+       > BENCH_analysis_overhead.json
+
+   Runs strictly sequentially so the three passes are comparable. *)
+
+module PP = Turnpike_compiler.Pass_pipeline
+module Scheme = Turnpike.Scheme
+module Suite = Turnpike_workloads.Suite
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let () =
+  let scale = ref 8 in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+      scale := int_of_string n;
+      parse rest
+    | x :: _ ->
+      Printf.eprintf "unknown argument %s; known: --scale N\n" x;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let benches = Suite.all () in
+  let opts = Scheme.compile_opts Scheme.turnpike ~sb_size:4 in
+  (* Build programs once; the three timed passes compile identical input. *)
+  let progs = List.map (fun b -> b.Suite.build ~scale:!scale) benches in
+  let compile_all check =
+    let diags = ref 0 in
+    let errors = ref 0 in
+    List.iter
+      (fun prog ->
+        let c = PP.compile ~opts ~check prog in
+        diags := !diags + List.length c.PP.diags;
+        errors := !errors + Turnpike_analysis.Diag.error_count c.PP.diags)
+      progs;
+    (!diags, !errors)
+  in
+  let off_s, _ = time (fun () -> compile_all PP.Off) in
+  let final_s, (final_diags, final_errors) =
+    time (fun () -> compile_all PP.Final)
+  in
+  let perpass_s, (perpass_diags, perpass_errors) =
+    time (fun () -> compile_all PP.PerPass)
+  in
+  let pct base v = if base > 0. then 100. *. (v -. base) /. base else 0. in
+  Printf.printf
+    "{\n\
+    \  \"grid\": \"all %d suite benchmarks, turnpike opts\",\n\
+    \  \"scale\": %d,\n\
+    \  \"jobs\": 1,\n\
+    \  \"compile_check_off_s\": %.3f,\n\
+    \  \"compile_check_final_s\": %.3f,\n\
+    \  \"compile_check_perpass_s\": %.3f,\n\
+    \  \"final_overhead_percent\": %.2f,\n\
+    \  \"perpass_overhead_percent\": %.2f,\n\
+    \  \"final_diagnostics\": %d,\n\
+    \  \"final_errors\": %d,\n\
+    \  \"perpass_diagnostics\": %d,\n\
+    \  \"perpass_errors\": %d,\n\
+    \  \"note\": \"wall-clock, sequential. Off is the production default \
+     (zero checking); Final runs the whole-program registry once per \
+     compile; PerPass re-runs it between every pass for provenance. \
+     Absolute times are host-dependent; the overhead percentages are the \
+     portable signal. Errors must be zero on shipped workloads.\"\n\
+     }\n"
+    (List.length benches) !scale off_s final_s perpass_s
+    (pct off_s final_s) (pct off_s perpass_s)
+    final_diags final_errors perpass_diags perpass_errors

@@ -576,6 +576,42 @@ let profile () =
     (Telemetry.length pool_tel) (Telemetry.dropped pool_tel)
 
 (* ------------------------------------------------------------------ *)
+(* analysis: wall-clock cost of the static soundness checker at each
+   check level, plus its verdicts. The JSON artifact at the repo root
+   (BENCH_analysis_overhead.json) comes from the sibling
+   analysis_overhead.exe; this table is the interactive view. *)
+
+let run_analysis () =
+  let module PP = Turnpike_compiler.Pass_pipeline in
+  Report.section "Static checker: compile-time cost per check level (turnpike opts)";
+  let scale = (!params).E.scale in
+  let benches = Suite.all () in
+  let progs = List.map (fun b -> b.Suite.build ~scale) benches in
+  let opts = Scheme.compile_opts Scheme.turnpike ~sb_size:4 in
+  let levels = [ ("off", PP.Off); ("final", PP.Final); ("per-pass", PP.PerPass) ] in
+  let cols =
+    Report.[ { title = "check level"; width = 12 }; { title = "wall ms"; width = 8 };
+             { title = "diags"; width = 6 }; { title = "errors"; width = 6 } ]
+  in
+  Report.print_header cols;
+  List.iter
+    (fun (label, check) ->
+      let t0 = Unix.gettimeofday () in
+      let diags = ref 0 and errors = ref 0 in
+      List.iter
+        (fun prog ->
+          let c = PP.compile ~opts ~check prog in
+          diags := !diags + List.length c.PP.diags;
+          errors := !errors + Turnpike_analysis.Diag.error_count c.PP.diags)
+        progs;
+      let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+      Report.print_row cols
+        [ label; Printf.sprintf "%.1f" ms; string_of_int !diags; string_of_int !errors ])
+    levels;
+  Printf.printf
+    "(diagnostics are informational audits; errors must be 0 on shipped workloads)\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -586,6 +622,7 @@ let experiments =
     ("table1", run_table1); ("resilience", run_resilience);
     ("energy", run_energy); ("ablation50", run_ablation50);
     ("unroll", run_unroll); ("motivation", run_motivation);
+    ("analysis", run_analysis);
   ]
 
 let () =

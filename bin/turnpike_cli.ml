@@ -4,6 +4,7 @@
    turnpike-cli run -b mcf -s turnpike -w 30  compile + simulate one benchmark
    turnpike-cli trace -b mcf --timeline t.json  cycle-level Perfetto timeline
    turnpike-cli inject -b lbm -n 50           fault-injection campaign
+   turnpike-cli lint -b mcf --per-pass        static resilience soundness check
    turnpike-cli recovery -b libquan           dump generated recovery blocks
    turnpike-cli cost                          hardware cost table
    turnpike-cli wcdl -n 300 -f 2.5            sensor model query *)
@@ -240,6 +241,70 @@ let inject_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let lint_cmd =
+  let doc =
+    "Run the static resilience soundness checks over compiled benchmarks. \
+     Every scheme of the ablation ladder is checked unless -s narrows it; \
+     every benchmark is checked unless -b does. Exits non-zero if any \
+     Error-severity diagnostic is found. Output is identical at any --jobs \
+     count."
+  in
+  let bench_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"Benchmark to lint (default: all 36).")
+  in
+  let scheme_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "scheme" ] ~docv:"SCHEME"
+          ~doc:"Scheme to lint (default: baseline plus the full ladder).")
+  in
+  let per_pass_arg =
+    Arg.(
+      value & flag
+      & info [ "per-pass" ]
+          ~doc:
+            "Run the registry between every compiler pass and attribute \
+             each diagnostic to the pass that introduced it.")
+  in
+  let run () bench scheme per_pass sb scale json =
+    let benches =
+      match bench with
+      | None -> Ok (Suite.all ())
+      | Some name -> Result.map (fun b -> [ b ]) (find_bench name)
+    in
+    let scheme_list =
+      match scheme with
+      | None -> Ok (List.map snd schemes)
+      | Some name -> (
+        match List.assoc_opt name schemes with
+        | Some s -> Ok [ s ]
+        | None -> Error (Printf.sprintf "unknown scheme %s" name))
+    in
+    match (benches, scheme_list) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok benches, Ok scheme_list ->
+      let report =
+        Turnpike.Lint.run ~per_pass ~sb_size:sb ~scale ~schemes:scheme_list
+          benches
+      in
+      if json then print_string (Turnpike.Lint.to_json report)
+      else print_string (Turnpike.Lint.to_text report);
+      if report.Turnpike.Lint.errors > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ jobs_arg $ bench_opt_arg $ scheme_opt_arg $ per_pass_arg
+      $ sb_arg $ scale_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let recovery_cmd =
   let doc = "Dump the generated per-region recovery blocks (paper Fig 1b)." in
   let run name scale =
@@ -299,4 +364,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; trace_cmd; inject_cmd; recovery_cmd; cost_cmd; wcdl_cmd ]))
+          [
+            list_cmd; run_cmd; trace_cmd; inject_cmd; lint_cmd; recovery_cmd;
+            cost_cmd; wcdl_cmd;
+          ]))

@@ -1,0 +1,185 @@
+(* Capacity checks for the resilient microarchitecture (paper §4.3):
+
+   - a region's worst-case store-buffer demand must fit the SB, or commit
+     deadlocks under strict partitioning; the partitioner aims for sb/2 so
+     two regions can overlap (gap-free verification), so exceeding the
+     target is a warning;
+   - checkpoint colors: each register owns a small color pool; duplicate
+     checkpoints of one register inside one region waste pool slots;
+   - direct-release checkpoint claims (the paper's Fig 16 optimisation
+     made safe): only a register whose unique checkpoint site executes at
+     most once per region activation may release without verification;
+   - CLQ configuration sanity when the machine parameters are known. *)
+
+open Turnpike_ir
+
+let name = "capacity"
+
+(* Longest root-to-leaf store-buffer demand of a region: member blocks of
+   a well-formed region form a tree below the head (non-heads are
+   single-entry), so a DFS with a visited guard suffices. *)
+let worst_sb_path func rv { Regions_view.id; head; _ } =
+  let rec dfs visited label =
+    if List.mem label visited then 0
+    else
+      let b = Func.block func label in
+      let here = Block.num_stores b in
+      let next =
+        List.filter
+          (fun s ->
+            Regions_view.region_of_block rv s = Some id && not (String.equal s head))
+          (Block.successors b)
+      in
+      here + List.fold_left (fun acc s -> max acc (dfs (label :: visited) s)) 0 next
+  in
+  dfs [] head
+
+let run (ctx : Context.t) =
+  let func = ctx.Context.func in
+  let fname = func.Func.name in
+  let rv = Context.regions ctx in
+  if not rv.Regions_view.has_regions then []
+  else begin
+    let diags = ref [] in
+    let emit ?block ?instr severity msg =
+      diags := Diag.make ~check:name ~severity ~func:fname ?block ?instr msg :: !diags
+    in
+    (* --- store-buffer demand ----------------------------------------- *)
+    if ctx.Context.sb_size > 0 then begin
+      let target = max 1 (ctx.Context.sb_size / 2) in
+      List.iter
+        (fun r ->
+          let demand = worst_sb_path func rv r in
+          if demand > ctx.Context.sb_size then
+            emit ~block:r.Regions_view.head Diag.Error
+              (Printf.sprintf
+                 "region %d needs %d store-buffer entries on its worst path but the SB has %d (commit deadlock)"
+                 r.Regions_view.id demand ctx.Context.sb_size)
+          else if demand > target then
+            emit ~block:r.Regions_view.head Diag.Warn
+              (Printf.sprintf
+                 "region %d needs %d store-buffer entries, above the sb/2 overlap target of %d"
+                 r.Regions_view.id demand target))
+        rv.Regions_view.regions
+    end;
+    (* --- per-region checkpoint multiplicity vs the color pool --------- *)
+    List.iter
+      (fun { Regions_view.id; blocks; _ } ->
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (fun label ->
+            let b = Func.block func label in
+            Array.iter
+              (fun i ->
+                match i with
+                | Instr.Ckpt r ->
+                  Hashtbl.replace counts r (1 + Option.value (Hashtbl.find_opt counts r) ~default:0)
+                | _ -> ())
+              b.Block.body)
+          blocks;
+        Hashtbl.fold (fun r n acc -> (r, n) :: acc) counts []
+        |> List.sort compare
+        |> List.iter (fun (r, n) ->
+               if n > ctx.Context.colors then
+                 emit Diag.Warn
+                   (Printf.sprintf
+                      "register %s is checkpointed %d times in region %d, more than the %d-color pool"
+                      (Reg.to_string r) n id ctx.Context.colors)))
+      rv.Regions_view.regions;
+    (* --- direct-release checkpoint claims ----------------------------- *)
+    (match ctx.Context.claims with
+    | None -> ()
+    | Some claims ->
+      let cfg = Context.cfg ctx in
+      let self_reachable label =
+        (* DFS from the successors of [label] back to it. *)
+        let rec go visited = function
+          | [] -> false
+          | l :: rest ->
+            if String.equal l label then true
+            else if List.mem l visited then go visited rest
+            else go (l :: visited) (Cfg.successors cfg l @ rest)
+        in
+        go [] (Cfg.successors cfg label)
+      in
+      let ckpt_sites r =
+        let sites = ref [] in
+        Func.iter_blocks
+          (fun b ->
+            Array.iteri
+              (fun i instr ->
+                if Instr.equal instr (Instr.Ckpt r) then sites := (b.Block.label, i) :: !sites)
+              b.Block.body)
+          func;
+        !sites
+      in
+      let def_count r =
+        Func.fold_instrs
+          (fun acc i -> if List.mem r (Instr.defs i) then acc + 1 else acc)
+          0 func
+      in
+      let live = Context.liveness ctx in
+      let dom = Context.dominance ctx in
+      List.iter
+        (fun (label, i) ->
+          let instr =
+            match Func.block_opt func label with
+            | Some b when i >= 0 && i < Array.length b.Block.body -> Some b.Block.body.(i)
+            | _ -> None
+          in
+          match instr with
+          | Some (Instr.Ckpt r) ->
+            let sites = ckpt_sites r in
+            if List.length sites > 1 then
+              emit ~block:label ~instr:i Diag.Error
+                (Printf.sprintf
+                   "checkpoint of %s claimed direct-release but the register has %d checkpoint sites"
+                   (Reg.to_string r) (List.length sites));
+            if self_reachable label then
+              emit ~block:label ~instr:i Diag.Error
+                (Printf.sprintf
+                   "checkpoint of %s claimed direct-release inside a loop: re-execution overwrites the verified slot"
+                   (Reg.to_string r));
+            if Reg.is_zero r || Reg.is_virtual r then
+              emit ~block:label ~instr:i Diag.Error
+                "direct-release claim names a non-architectural register";
+            (* Every restart that restores r must happen strictly after
+               the (early-released) slot was written, or the restored
+               value is from the future. A never-defined register is
+               exempt: its slot always equals its (initial) value. *)
+            if def_count r > 0 then
+              List.iter
+                (fun { Regions_view.id; head; _ } ->
+                  if
+                    Reg.Set.mem r (Liveness.live_in live head)
+                    && not
+                         (Dominance.dominates dom ~dom:label ~sub:head
+                         && not (String.equal label head))
+                  then
+                    emit ~block:label ~instr:i Diag.Error
+                      (Printf.sprintf
+                         "direct-release checkpoint of %s does not dominate region %d, which restores it on restart"
+                         (Reg.to_string r) id))
+                rv.Regions_view.regions
+          | Some _ ->
+            emit ~block:label ~instr:i Diag.Error
+              "direct-release claim does not name a checkpoint instruction"
+          | None ->
+            emit ~block:label ~instr:i Diag.Error
+              "direct-release claim names a nonexistent instruction")
+        claims.Context.direct_ckpts);
+    (* --- CLQ configuration sanity ------------------------------------- *)
+    (match ctx.Context.clq_entries with
+    | Some n when n <= 0 ->
+      emit Diag.Error (Printf.sprintf "compact CLQ configured with %d entries" n)
+    | Some n -> (
+      match ctx.Context.rbb_size with
+      | Some rbb when rbb > n ->
+        emit Diag.Info
+          (Printf.sprintf
+             "CLQ of %d entries tracks a %d-entry RBB window; overflow falls back to quarantined release"
+             n rbb)
+      | _ -> ())
+    | None -> ());
+    Diag.sort !diags
+  end

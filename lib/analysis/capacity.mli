@@ -1,0 +1,6 @@
+(** Capacity checks: region store-buffer demand vs SB size, checkpoint
+    multiplicity vs the color pool, direct-release checkpoint claims, and
+    CLQ configuration sanity (paper §4.3). *)
+
+val name : string
+val run : Context.t -> Diag.t list

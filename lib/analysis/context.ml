@@ -1,0 +1,93 @@
+open Turnpike_ir
+
+type claims = {
+  bypass_stores : (string * int) list;
+  direct_ckpts : (string * int) list;
+}
+
+let no_claims = { bypass_stores = []; direct_ckpts = [] }
+
+type cache = {
+  mutable cfg : Cfg.t option;
+  mutable liveness : Liveness.t option;
+  mutable dominance : Dominance.t option;
+  mutable regions : Regions_view.t option;
+}
+
+type t = {
+  func : Func.t;
+  entry_defined : Reg.Set.t;
+  nregs : int;
+  allow_virtual : bool;
+  resilient : bool;
+  sb_size : int;
+  colors : int;
+  rbb_size : int option;
+  clq_entries : int option;
+  recovery_exprs : (Reg.t * Recovery_expr.t) list;
+  claims : claims option;
+  pass : string option;
+  cache : cache;
+}
+
+let fresh_cache () = { cfg = None; liveness = None; dominance = None; regions = None }
+
+let make ?(entry_defined = Reg.Set.empty) ?(nregs = 32) ?(allow_virtual = false)
+    ?(resilient = false) ?(sb_size = 0) ?(colors = Layout.colors) ?rbb_size
+    ?clq_entries ?(recovery_exprs = []) ?claims ?pass func =
+  {
+    func;
+    entry_defined;
+    nregs;
+    allow_virtual;
+    resilient;
+    sb_size;
+    colors;
+    rbb_size;
+    clq_entries;
+    recovery_exprs;
+    claims;
+    pass;
+    cache = fresh_cache ();
+  }
+
+let with_pass t pass = { t with pass }
+
+let with_machine ?rbb_size ?clq_entries t =
+  {
+    t with
+    rbb_size = (match rbb_size with Some _ -> rbb_size | None -> t.rbb_size);
+    clq_entries = (match clq_entries with Some _ -> clq_entries | None -> t.clq_entries);
+  }
+
+let cfg t =
+  match t.cache.cfg with
+  | Some c -> c
+  | None ->
+    let c = Cfg.build t.func in
+    t.cache.cfg <- Some c;
+    c
+
+let liveness t =
+  match t.cache.liveness with
+  | Some l -> l
+  | None ->
+    let l = Liveness.compute (cfg t) t.func in
+    t.cache.liveness <- Some l;
+    l
+
+let dominance t =
+  match t.cache.dominance with
+  | Some d -> d
+  | None ->
+    let d = Dominance.compute (cfg t) in
+    t.cache.dominance <- Some d;
+    d
+
+let regions t =
+  match t.cache.regions with
+  | Some r -> r
+  | None ->
+    let r = Regions_view.compute (cfg t) (dominance t) t.func in
+    t.cache.regions <- Some r;
+    r

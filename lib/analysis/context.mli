@@ -1,0 +1,66 @@
+(** Everything a check may look at, as plain data plus lazily computed
+    (and shared) IR analyses.
+
+    The context is deliberately decoupled from the compiler and the
+    machine model: the pipeline (or a test) describes its configuration
+    with plain integers and claim lists, so the analysis library depends
+    only on [turnpike.ir]. *)
+
+open Turnpike_ir
+
+type claims = {
+  bypass_stores : (string * int) list;
+      (** (block, body index) of stores the pipeline marks
+          verification-bypassable (statically proven WAR-free) *)
+  direct_ckpts : (string * int) list;
+      (** (block, body index) of checkpoint stores claimed releasable
+          without waiting for verification (single-site, loop-free) *)
+}
+
+val no_claims : claims
+
+type cache
+(** Memo table for the derived IR analyses; construct via {!make}. *)
+
+type t = {
+  func : Func.t;
+  entry_defined : Reg.Set.t;  (** registers with initial values (reg_init) *)
+  nregs : int;
+  allow_virtual : bool;  (** true before register allocation has run *)
+  resilient : bool;
+  sb_size : int;  (** 0 = unknown; disables the SB capacity check *)
+  colors : int;  (** checkpoint colors per register *)
+  rbb_size : int option;  (** machine RBB entries, when known *)
+  clq_entries : int option;  (** compact-CLQ entries; [None] = ideal/unknown *)
+  recovery_exprs : (Reg.t * Recovery_expr.t) list;
+  claims : claims option;  (** [None] until the pipeline has computed them *)
+  pass : string option;  (** provenance stamped onto emitted diagnostics *)
+  cache : cache;
+}
+
+val make :
+  ?entry_defined:Reg.Set.t ->
+  ?nregs:int ->
+  ?allow_virtual:bool ->
+  ?resilient:bool ->
+  ?sb_size:int ->
+  ?colors:int ->
+  ?rbb_size:int ->
+  ?clq_entries:int ->
+  ?recovery_exprs:(Reg.t * Recovery_expr.t) list ->
+  ?claims:claims ->
+  ?pass:string ->
+  Func.t ->
+  t
+
+val with_pass : t -> string option -> t
+
+val with_machine : ?rbb_size:int -> ?clq_entries:int -> t -> t
+(** Enrich a context with machine parameters (keeps the analysis cache). *)
+
+(** Lazily computed, shared across checks run on the same context. *)
+
+val cfg : t -> Cfg.t
+val liveness : t -> Liveness.t
+val dominance : t -> Dominance.t
+val regions : t -> Regions_view.t

@@ -1,0 +1,120 @@
+(* Recoverability: at every region head, every live-in register must be
+   restorable after a rollback — either its checkpoint slot provably holds
+   the current value on every path into the head ("covered"), or the
+   pipeline supplies a recovery expression that reconstructs it from
+   covered slots (paper §4.1.3).
+
+   The proof is a forward must-dataflow per register: a definition makes
+   the slot stale, a checkpoint re-covers it, and a register is covered at
+   a join only if it is covered on every incoming path. The entry state is
+   all-covered: initialised registers have their base slot seeded by
+   [Interp.init], and a register that was never defined reads as zero —
+   exactly what its unwritten slot restores. *)
+
+open Turnpike_ir
+
+let name = "recoverability"
+
+(* Not-covered sets per block entry; absent register = covered. *)
+let compute_notcov ctx =
+  let func = ctx.Context.func in
+  let cfg = Context.cfg ctx in
+  let rpo = Cfg.reverse_postorder cfg in
+  let transfer notcov (b : Block.t) =
+    Array.fold_left
+      (fun acc i ->
+        let acc =
+          match i with Instr.Ckpt r -> Reg.Set.remove r acc | _ -> acc
+        in
+        List.fold_left (fun acc r -> Reg.Set.add r acc) acc (Instr.defs i))
+      notcov b.Block.body
+  in
+  let in_sets : (string, Reg.Set.t) Hashtbl.t = Hashtbl.create 32 in
+  let out_sets : (string, Reg.Set.t) Hashtbl.t = Hashtbl.create 32 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun label ->
+        let b = Func.block func label in
+        let input =
+          if String.equal label func.Func.entry then Reg.Set.empty
+          else
+            List.fold_left
+              (fun acc p ->
+                match Hashtbl.find_opt out_sets p with
+                | None -> acc
+                | Some s -> Reg.Set.union acc s)
+              Reg.Set.empty
+              (Cfg.predecessors cfg label)
+        in
+        Hashtbl.replace in_sets label input;
+        let o = transfer input b in
+        match Hashtbl.find_opt out_sets label with
+        | Some prev when Reg.Set.equal prev o -> ()
+        | _ ->
+          Hashtbl.replace out_sets label o;
+          changed := true)
+      rpo
+  done;
+  in_sets
+
+let run (ctx : Context.t) =
+  let func = ctx.Context.func in
+  let fname = func.Func.name in
+  let rv = Context.regions ctx in
+  if not rv.Regions_view.has_regions then []
+  else begin
+    let live = Context.liveness ctx in
+    let notcov_in = compute_notcov ctx in
+    let diags = ref [] in
+    let emit ?block severity msg =
+      diags := Diag.make ~check:name ~severity ~func:fname ?block msg :: !diags
+    in
+    (* How many sites define / checkpoint each register (for expression
+       dependence stability). *)
+    let def_count = Hashtbl.create 32 in
+    Func.iter_blocks
+      (fun b ->
+        Array.iter
+          (fun i ->
+            List.iter
+              (fun r ->
+                Hashtbl.replace def_count r (1 + Option.value (Hashtbl.find_opt def_count r) ~default:0))
+              (Instr.defs i))
+          b.Block.body)
+      func;
+    let expr_of r = List.assoc_opt r ctx.Context.recovery_exprs in
+    List.iter
+      (fun { Regions_view.id; head; _ } ->
+        let notcov =
+          Option.value (Hashtbl.find_opt notcov_in head) ~default:Reg.Set.empty
+        in
+        let needed = Reg.Set.remove Reg.zero (Liveness.live_in live head) in
+        Reg.Set.iter
+          (fun r ->
+            if Reg.Set.mem r notcov then
+              match expr_of r with
+              | None ->
+                emit ~block:head Diag.Error
+                  (Printf.sprintf
+                     "register %s is live into region %d but no checkpoint covers it on every path and no recovery expression exists"
+                     (Reg.to_string r) id)
+              | Some e ->
+                List.iter
+                  (fun dep ->
+                    if Reg.Set.mem dep notcov then
+                      emit ~block:head Diag.Error
+                        (Printf.sprintf
+                           "recovery expression for %s reads the slot of %s, which is not covered at region %d"
+                           (Reg.to_string r) (Reg.to_string dep) id);
+                    if Option.value (Hashtbl.find_opt def_count dep) ~default:0 > 1 then
+                      emit ~block:head Diag.Error
+                        (Printf.sprintf
+                           "recovery expression for %s depends on %s, which has multiple definitions (slot value is not stable)"
+                           (Reg.to_string r) (Reg.to_string dep)))
+                  (List.sort_uniq Reg.compare (Recovery_expr.slots e)))
+          needed)
+      rv.Regions_view.regions;
+    Diag.sort !diags
+  end

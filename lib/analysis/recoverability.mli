@@ -1,0 +1,6 @@
+(** Recoverability: every register live into a region head is covered by
+    a reaching checkpoint on all paths, or reconstructible through a
+    validated recovery expression (paper §4.1.3). *)
+
+val name : string
+val run : Context.t -> Diag.t list

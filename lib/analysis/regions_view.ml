@@ -1,0 +1,113 @@
+open Turnpike_ir
+
+type region = { id : int; head : string; blocks : string list }
+
+type t = {
+  regions : region list;
+  region_of : (string * int) list;
+  has_regions : bool;
+  diags : Diag.t list;
+}
+
+let check_name = "regions"
+
+let region_of_block t label = List.assoc_opt label t.region_of
+
+let compute cfg dom (func : Func.t) =
+  let fname = func.Func.name in
+  let diags = ref [] in
+  let emit ?block ?instr severity msg =
+    diags := Diag.make ~check:check_name ~severity ~func:fname ?block ?instr msg :: !diags
+  in
+  (* Boundary markers must head their block; collect the heads. *)
+  let head_id : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let id_head : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  Func.iter_blocks
+    (fun b ->
+      Array.iteri
+        (fun i instr ->
+          match instr with
+          | Instr.Boundary id ->
+            if i <> 0 then
+              emit ~block:b.Block.label ~instr:i Diag.Error
+                (Printf.sprintf "boundary marker of region %d is not the first instruction of its block" id)
+            else begin
+              (match Hashtbl.find_opt id_head id with
+              | Some other ->
+                emit ~block:b.Block.label Diag.Error
+                  (Printf.sprintf "region id %d already used by block %s" id other)
+              | None -> Hashtbl.replace id_head id b.Block.label);
+              if not (Hashtbl.mem head_id b.Block.label) then
+                Hashtbl.replace head_id b.Block.label id
+            end
+          | _ -> ())
+        b.Block.body)
+    func;
+  let has_regions = Hashtbl.length head_id > 0 in
+  let rpo = Cfg.reverse_postorder cfg in
+  let region_tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  if has_regions then begin
+    (* Propagate region membership forward in reverse postorder: a head
+       starts its own region, every other reachable block inherits the
+       region of its (unique) predecessor. *)
+    (match Hashtbl.find_opt head_id func.Func.entry with
+    | Some _ -> ()
+    | None ->
+      emit ~block:func.Func.entry Diag.Error
+        "entry block is not a region head (no boundary marker opens the function)");
+    List.iter
+      (fun label ->
+        match Hashtbl.find_opt head_id label with
+        | Some id -> Hashtbl.replace region_tbl label id
+        | None -> (
+          let preds = Cfg.predecessors cfg label in
+          (match preds with
+          | _ :: _ :: _ ->
+            emit ~block:label Diag.Error
+              (Printf.sprintf
+                 "block has %d predecessors but is not a region head; regions must be single-entry"
+                 (List.length preds))
+          | _ -> ());
+          let pred_regions =
+            List.sort_uniq Int.compare
+              (List.filter_map (fun p -> Hashtbl.find_opt region_tbl p) preds)
+          in
+          match pred_regions with
+          | [] -> ()
+          | [ id ] -> Hashtbl.replace region_tbl label id
+          | id :: _ :: _ ->
+            emit ~block:label Diag.Error
+              "block straddles regions: predecessors belong to different regions";
+            Hashtbl.replace region_tbl label id))
+      rpo;
+    (* The head must dominate every member: a path into the middle of a
+       region would skip its boundary (and its checkpoint prologue). *)
+    List.iter
+      (fun label ->
+        match Hashtbl.find_opt region_tbl label with
+        | None -> ()
+        | Some id -> (
+          match Hashtbl.find_opt id_head id with
+          | None -> ()
+          | Some head ->
+            if not (Dominance.dominates dom ~dom:head ~sub:label) then
+              emit ~block:label Diag.Error
+                (Printf.sprintf "region %d head %s does not dominate member block %s" id head label)))
+      rpo
+  end;
+  let region_of =
+    List.sort compare (List.filter_map (fun l -> Option.map (fun id -> (l, id)) (Hashtbl.find_opt region_tbl l)) rpo)
+  in
+  let regions =
+    Hashtbl.fold (fun id head acc -> (id, head) :: acc) id_head []
+    |> List.sort compare
+    |> List.map (fun (id, head) ->
+           let blocks =
+             List.filter (fun l -> Hashtbl.find_opt region_tbl l = Some id) rpo
+           in
+           let blocks =
+             head :: List.filter (fun l -> not (String.equal l head)) blocks
+           in
+           { id; head; blocks })
+  in
+  { regions; region_of; has_regions; diags = Diag.sort !diags }

@@ -1,0 +1,31 @@
+(** Independent reconstruction of the region partition from [Boundary]
+    markers alone.
+
+    The compiler's own [Regions] module is deliberately not reused: the
+    analysis layer re-derives region membership from the instruction stream
+    so that a bug in the partitioner cannot hide from the checker. The
+    structural invariants verified here are the ones the recovery runtime
+    relies on: a region is a single-entry subgraph headed by the block that
+    carries its [Boundary] marker, and the head dominates every member. *)
+
+open Turnpike_ir
+
+type region = {
+  id : int;  (** static region id from the [Boundary] marker *)
+  head : string;
+  blocks : string list;  (** members in reverse postorder, head first *)
+}
+
+type t = {
+  regions : region list;  (** sorted by id *)
+  region_of : (string * int) list;  (** reachable block -> region id, sorted *)
+  has_regions : bool;  (** false when the function carries no boundaries *)
+  diags : Diag.t list;  (** structural violations found during reconstruction *)
+}
+
+val check_name : string
+(** ["regions"] — the registry name under which [diags] are reported. *)
+
+val compute : Cfg.t -> Dominance.t -> Func.t -> t
+
+val region_of_block : t -> string -> int option

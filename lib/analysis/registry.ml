@@ -1,0 +1,106 @@
+open Turnpike_ir
+
+type whole = {
+  name : string;
+  doc : string;
+  applies : Context.t -> bool;
+  run : Context.t -> Diag.t list;
+}
+
+type pair = {
+  p_name : string;
+  p_doc : string;
+  pass : string;
+  p_run : before:Func.t -> Context.t -> Diag.t list;
+}
+
+let has_regions ctx = (Context.regions ctx).Regions_view.has_regions
+
+let whole_checks =
+  [
+    {
+      name = Wellformed.name;
+      doc = "CFG/label consistency, definite assignment, register classes";
+      applies = (fun _ -> true);
+      run = Wellformed.run;
+    };
+    {
+      name = Regions_view.check_name;
+      doc = "single-entry region structure reconstructed from boundary markers";
+      applies = (fun ctx -> ctx.Context.resilient && has_regions ctx);
+      run = (fun ctx -> (Context.regions ctx).Regions_view.diags);
+    };
+    {
+      name = Recoverability.name;
+      doc = "every region live-in is checkpoint-covered or reconstructible";
+      applies = (fun ctx -> ctx.Context.resilient && has_regions ctx);
+      run = Recoverability.run;
+    };
+    {
+      name = War.name;
+      doc = "claimed verification-bypassable stores are WAR-free in-region";
+      applies = (fun ctx -> ctx.Context.resilient && ctx.Context.claims <> None && has_regions ctx);
+      run = War.run;
+    };
+    {
+      name = Capacity.name;
+      doc = "store-buffer demand, checkpoint colors, direct-release claims, CLQ";
+      applies = (fun ctx -> ctx.Context.resilient && has_regions ctx);
+      run = Capacity.run;
+    };
+  ]
+
+let pair_checks =
+  [
+    {
+      p_name = Schedule.name;
+      p_doc = "scheduler output preserves def-use/memory dependences";
+      pass = "scheduling";
+      p_run = Schedule.run;
+    };
+  ]
+
+let names =
+  List.map (fun c -> c.name) whole_checks @ List.map (fun c -> c.p_name) pair_checks
+
+let pair_passes = List.sort_uniq compare (List.map (fun c -> c.pass) pair_checks)
+
+(* A check that raises on pathological IR (e.g. a CFG that cannot be
+   built over dangling labels) must not take the whole lint down: the
+   crash becomes an Error diagnostic against the check itself. *)
+let guarded name f ctx =
+  try f ctx
+  with exn ->
+    [
+      Diag.make ~check:name ~severity:Diag.Error
+        ~func:ctx.Context.func.Func.name
+        (Printf.sprintf "check failed to run: %s" (Printexc.to_string exn));
+    ]
+
+let run_whole ctx =
+  let ds =
+    List.concat_map
+      (fun c ->
+        guarded c.name (fun ctx -> if c.applies ctx then c.run ctx else []) ctx)
+      whole_checks
+  in
+  Diag.sort (List.map (Diag.with_pass ctx.Context.pass) ds)
+
+let run_pair ~pass ~before ctx =
+  let ds =
+    List.concat_map
+      (fun c -> if String.equal c.pass pass then c.p_run ~before ctx else [])
+      pair_checks
+  in
+  Diag.sort (List.map (Diag.with_pass ctx.Context.pass) ds)
+
+let fresh ~seen ds =
+  List.filter
+    (fun d ->
+      let k = Diag.key d in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    ds

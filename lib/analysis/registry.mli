@@ -1,0 +1,43 @@
+(** The check registry.
+
+    Whole-program checks run on any context (a final compile or the state
+    between two passes); pair checks compare the function before and after
+    one specific pass and only fire in per-pass mode. *)
+
+open Turnpike_ir
+
+type whole = {
+  name : string;
+  doc : string;
+  applies : Context.t -> bool;
+  run : Context.t -> Diag.t list;
+}
+
+type pair = {
+  p_name : string;
+  p_doc : string;
+  pass : string;  (** declared pass name the check wraps *)
+  p_run : before:Func.t -> Context.t -> Diag.t list;
+}
+
+val whole_checks : whole list
+val pair_checks : pair list
+
+val names : string list
+(** All check names, whole and pair, in registration order. *)
+
+val pair_passes : string list
+(** Passes some pair check wants a pre-pass snapshot of. *)
+
+val run_whole : Context.t -> Diag.t list
+(** Run every applicable whole check, stamp the context's pass provenance,
+    and return a deterministically sorted list. *)
+
+val run_pair : pass:string -> before:Func.t -> Context.t -> Diag.t list
+(** Run the pair checks registered for [pass] on a (before, after) snapshot
+    pair. *)
+
+val fresh : seen:(string, unit) Hashtbl.t -> Diag.t list -> Diag.t list
+(** Filter out diagnostics whose {!Diag.key} is already in [seen] and
+    record the new ones — the provenance mechanism: a diagnostic is
+    attributed to the first pass after which it appears. *)

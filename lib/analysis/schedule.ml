@@ -1,0 +1,97 @@
+(* Scheduling dependence preservation: the checkpoint-aware list scheduler
+   may only reorder instructions within a block, and must keep every
+   def-use (RAW), anti (WAR), output (WAW) and memory dependence of its
+   input in order. Run as a pair check around the scheduling pass. *)
+
+open Turnpike_ir
+
+let name = "sched-deps"
+
+let mem_access = function
+  | Instr.Load (_, b, off, kind) -> Some (`Load, kind, b, off)
+  | Instr.Store (_, b, off, kind) -> Some (`Store, kind, b, off)
+  | _ -> None
+
+let mem_conflict a b =
+  match (a, b) with
+  | Instr.Ckpt r, Instr.Ckpt r' -> Reg.equal r r'
+  | Instr.Ckpt _, other | other, Instr.Ckpt _ -> (
+    (* A checkpoint writes a slot in the checkpoint segment; only
+       checkpoint-kind memory traffic can touch it. *)
+    match mem_access other with
+    | Some (_, Instr.Ckpt_mem, _, _) -> true
+    | _ -> false)
+  | a, b -> (
+    match (mem_access a, mem_access b) with
+    | Some (`Load, _, _, _), Some (`Load, _, _, _) -> false
+    | Some (_, ka, ba, oa), Some (_, kb, bb, ob) ->
+      if not (Instr.equal_mem_kind ka kb) then false
+      else if Reg.is_zero ba && Reg.is_zero bb then oa = ob
+      else true
+    | _ -> false)
+
+let inter l1 l2 = List.exists (fun r -> List.mem r l2) l1
+
+let depends a b =
+  Instr.is_boundary a || Instr.is_boundary b
+  || inter (Instr.defs a) (Instr.uses b)
+  || inter (Instr.uses a) (Instr.defs b)
+  || inter (Instr.defs a) (Instr.defs b)
+  || mem_conflict a b
+
+let run ~(before : Func.t) (ctx : Context.t) =
+  let after = ctx.Context.func in
+  let fname = after.Func.name in
+  let diags = ref [] in
+  let emit ?block ?instr severity msg =
+    diags := Diag.make ~check:name ~severity ~func:fname ?block ?instr msg :: !diags
+  in
+  let before_labels = List.sort compare (Func.labels before) in
+  let after_labels = List.sort compare (Func.labels after) in
+  if before_labels <> after_labels then
+    emit Diag.Error "scheduler changed the set of basic blocks"
+  else
+    List.iter
+      (fun label ->
+        let bb = Func.block before label in
+        let ab = Func.block after label in
+        if not (Block.equal_terminator bb.Block.term ab.Block.term) then
+          emit ~block:label Diag.Error "scheduler changed the block terminator";
+        let bx = bb.Block.body and ax = ab.Block.body in
+        let sorted arr =
+          let l = Array.to_list arr in
+          List.sort Instr.compare l
+        in
+        if sorted bx <> sorted ax then
+          emit ~block:label Diag.Error "scheduler changed the instruction multiset of the block"
+        else begin
+          (* Position of before-index k in the after order: the n-th
+             occurrence of an instruction maps to the n-th occurrence. *)
+          let n = Array.length bx in
+          let pos = Array.make n 0 in
+          let occ = Hashtbl.create 16 in
+          for k = 0 to n - 1 do
+            let s = Instr.to_string bx.(k) in
+            let c = Option.value (Hashtbl.find_opt occ s) ~default:0 in
+            Hashtbl.replace occ s (c + 1);
+            let found = ref (-1) and seen = ref 0 in
+            Array.iteri
+              (fun j i ->
+                if !found < 0 && Instr.equal i bx.(k) then begin
+                  if !seen = c then found := j else incr seen
+                end)
+              ax;
+            pos.(k) <- !found
+          done;
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              if depends bx.(i) bx.(j) && pos.(i) > pos.(j) then
+                emit ~block:label ~instr:j Diag.Error
+                  (Printf.sprintf
+                     "scheduler reordered dependent instructions: [%s] now executes after [%s]"
+                     (Instr.to_string bx.(i)) (Instr.to_string bx.(j)))
+            done
+          done
+        end)
+      (List.sort compare (Func.labels after));
+  Diag.sort !diags

@@ -1,0 +1,8 @@
+(** Scheduling dependence preservation: pair check comparing the function
+    before and after the scheduling pass — same blocks, same instruction
+    multisets, every RAW/WAR/WAW/memory dependence kept in order. *)
+
+open Turnpike_ir
+
+val name : string
+val run : before:Func.t -> Context.t -> Diag.t list

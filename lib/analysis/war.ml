@@ -1,0 +1,123 @@
+(* WAR-freedom audit (paper §4.3.1, CLQ). A store may bypass verification
+   only if no load earlier in its region can read the address it
+   overwrites: a fault-triggered rollback replays the region, and a
+   replayed load after an already-released store would observe the new
+   value. The checker recomputes the anti-dependence-free store set from
+   scratch and diffs it against the set the pipeline claims bypassable.
+
+   Aliasing is resolved conservatively: the address segments (application
+   data / spill / checkpoint storage) are disjoint by construction, spill
+   traffic uses absolute zero-based addresses which compare exactly, and
+   anything else is assumed to alias. *)
+
+open Turnpike_ir
+
+let name = "war-bypass"
+
+type access = { kind : Instr.mem_kind; base : Reg.t; off : int }
+
+let may_alias a b =
+  if not (Instr.equal_mem_kind a.kind b.kind) then false
+  else if Reg.is_zero a.base && Reg.is_zero b.base then a.off = b.off
+  else true
+
+let load_access = function
+  | Instr.Load (_, b, off, kind) -> Some { kind; base = b; off }
+  | _ -> None
+
+let store_access = function
+  | Instr.Store (_, b, off, kind) -> Some { kind; base = b; off }
+  | _ -> None
+
+(* The (unique, single-entry) chain of blocks from the region head down to
+   [label], head first, [label] excluded. Falls back to every region block
+   when the structure is broken (a structural diag is emitted elsewhere). *)
+let path_to_head rv region_id ~head blocks_of_region preds label =
+  let rec walk l acc guard =
+    if guard = 0 then blocks_of_region
+    else if String.equal l head then acc
+    else
+      match preds l with
+      | [ p ] when Regions_view.region_of_block rv p = Some region_id ->
+        walk p (p :: acc) (guard - 1)
+      | [] -> acc
+      | _ -> acc
+  in
+  walk label [] 4096
+
+let independent_set (ctx : Context.t) =
+  let func = ctx.Context.func in
+  let cfg = Context.cfg ctx in
+  let rv = Context.regions ctx in
+  let preds l = Cfg.predecessors cfg l in
+  let result = ref [] in
+  List.iter
+    (fun { Regions_view.id; head; blocks } ->
+      List.iter
+        (fun label ->
+          let b = Func.block func label in
+          (* Loads on the unique path from the region head to this block. *)
+          let prefix_blocks = path_to_head rv id ~head blocks preds label in
+          let loads_before =
+            List.concat_map
+              (fun l ->
+                let blk = Func.block func l in
+                List.filter_map load_access (Block.body_list blk))
+              prefix_blocks
+          in
+          let seen = ref loads_before in
+          Array.iteri
+            (fun i instr ->
+              (match load_access instr with Some a -> seen := a :: !seen | None -> ());
+              match store_access instr with
+              | Some s ->
+                if not (List.exists (fun l -> may_alias l s) !seen) then
+                  result := (label, i) :: !result
+              | None -> ())
+            b.Block.body)
+        blocks)
+    rv.Regions_view.regions;
+  List.sort compare !result
+
+let run (ctx : Context.t) =
+  match ctx.Context.claims with
+  | None -> []
+  | Some claims ->
+    let func = ctx.Context.func in
+    let fname = func.Func.name in
+    let rv = Context.regions ctx in
+    if not rv.Regions_view.has_regions then []
+    else begin
+      let indep = independent_set ctx in
+      let diags = ref [] in
+      let emit ?block ?instr severity msg =
+        diags := Diag.make ~check:name ~severity ~func:fname ?block ?instr msg :: !diags
+      in
+      List.iter
+        (fun (label, i) ->
+          let instr =
+            match Func.block_opt func label with
+            | Some b when i >= 0 && i < Array.length b.Block.body -> Some b.Block.body.(i)
+            | _ -> None
+          in
+          match instr with
+          | Some instr when Instr.is_store instr ->
+            if not (List.mem (label, i) indep) then
+              emit ~block:label ~instr:i Diag.Error
+                "store claimed verification-bypassable, but an earlier load in its region may read the same address (WAR hazard on rollback)"
+          | Some _ ->
+            emit ~block:label ~instr:i Diag.Error
+              "verification-bypass claim does not name a store instruction"
+          | None ->
+            emit ~block:label ~instr:i Diag.Error
+              "verification-bypass claim names a nonexistent instruction")
+        claims.Context.bypass_stores;
+      let claimed = claims.Context.bypass_stores in
+      let missed = List.filter (fun s -> not (List.mem s claimed)) indep in
+      if missed <> [] then
+        emit Diag.Info
+          (Printf.sprintf
+             "%d store(s) are provably WAR-free within their region but not claimed bypassable"
+             (List.length missed));
+      Diag.sort !diags
+    end

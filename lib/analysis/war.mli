@@ -1,0 +1,12 @@
+(** WAR-freedom audit: recompute the anti-dependence-free store set per
+    region from scratch and diff it against the pipeline's
+    verification-bypass claims (paper §4.3.1). *)
+
+val name : string
+
+val independent_set : Context.t -> (string * int) list
+(** Stores ((block, body index), sorted) with no may-aliasing load earlier
+    in their region — the set that is provably safe to release before
+    verification. *)
+
+val run : Context.t -> Diag.t list

@@ -1,0 +1,146 @@
+(* IR well-formedness lint: CFG/label consistency, definite assignment
+   (every use reached by a definition on all paths, checked against the
+   dominator-ordered dataflow), and register-class sanity. *)
+
+open Turnpike_ir
+
+let name = "wellformed"
+
+let run (ctx : Context.t) =
+  let func = ctx.Context.func in
+  let fname = func.Func.name in
+  let diags = ref [] in
+  let emit ?block ?instr severity msg =
+    diags := Diag.make ~check:name ~severity ~func:fname ?block ?instr msg :: !diags
+  in
+  (* --- label / layout consistency ------------------------------------ *)
+  let structural_ok = ref true in
+  (match Func.block_opt func func.Func.entry with
+  | Some _ -> ()
+  | None ->
+    structural_ok := false;
+    emit Diag.Error (Printf.sprintf "entry block %s does not exist" func.Func.entry));
+  let in_order : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun l ->
+      (match Hashtbl.find_opt in_order l with
+      | Some _ -> emit ~block:l Diag.Error "label appears twice in layout order"
+      | None -> Hashtbl.replace in_order l 1);
+      if Func.block_opt func l = None then
+        emit ~block:l Diag.Error "layout order mentions an unknown label")
+    func.Func.order;
+  Func.iter_blocks
+    (fun b ->
+      if not (Hashtbl.mem in_order b.Block.label) then
+        emit ~block:b.Block.label Diag.Error "block is missing from the layout order";
+      List.iter
+        (fun s ->
+          if Func.block_opt func s = None then begin
+            structural_ok := false;
+            emit ~block:b.Block.label Diag.Error
+              (Printf.sprintf "terminator targets unknown label %s" s)
+          end)
+        (Block.successors b))
+    func;
+  (* The CFG (and every analysis built on it) is only constructible once
+     every terminator target resolves; with dangling labels the structural
+     errors above are the whole story. *)
+  if not !structural_ok then Diag.sort !diags
+  else begin
+  let cfg = Context.cfg ctx in
+  Func.iter_blocks
+    (fun b ->
+      if not (Cfg.is_reachable cfg b.Block.label) then
+        emit ~block:b.Block.label Diag.Info "block is unreachable from the entry")
+    func;
+  (* --- register-class sanity ----------------------------------------- *)
+  if not ctx.Context.allow_virtual then
+    Func.iter_blocks
+      (fun b ->
+        let bad ?instr r =
+          if Reg.is_virtual r then
+            emit ~block:b.Block.label ?instr Diag.Error
+              (Printf.sprintf "virtual register %s survives register allocation" (Reg.to_string r))
+          else if (not (Reg.is_zero r)) && r >= ctx.Context.nregs then
+            emit ~block:b.Block.label ?instr Diag.Error
+              (Printf.sprintf "register %s is outside the %d-register machine file"
+                 (Reg.to_string r) ctx.Context.nregs)
+        in
+        Array.iteri
+          (fun i instr ->
+            List.iter (bad ~instr:i) (Instr.defs instr);
+            List.iter (bad ~instr:i) (Instr.uses instr);
+            match instr with
+            | Instr.Ckpt r when Reg.is_zero r ->
+              emit ~block:b.Block.label ~instr:i Diag.Error "checkpoint of the zero register"
+            | _ -> ())
+          b.Block.body;
+        List.iter bad (Block.term_uses b))
+      func;
+  (* --- definite assignment: defs must reach uses on every path -------- *)
+  let rpo = Cfg.reverse_postorder cfg in
+  let all_regs = ref ctx.Context.entry_defined in
+  Func.iter_blocks
+    (fun b ->
+      Array.iter
+        (fun i -> List.iter (fun r -> all_regs := Reg.Set.add r !all_regs) (Instr.defs i))
+        b.Block.body)
+    func;
+  (* OUT sets, None = not yet computed (top of the must lattice). *)
+  let out : (string, Reg.Set.t) Hashtbl.t = Hashtbl.create 32 in
+  let block_defs b =
+    Array.fold_left
+      (fun acc i -> List.fold_left (fun acc r -> Reg.Set.add r acc) acc (Instr.defs i))
+      Reg.Set.empty b.Block.body
+  in
+  let in_of label =
+    if String.equal label func.Func.entry then ctx.Context.entry_defined
+    else
+      let preds = Cfg.predecessors cfg label in
+      List.fold_left
+        (fun acc p ->
+          match Hashtbl.find_opt out p with
+          | None -> acc (* unresolved pred: optimistic top *)
+          | Some s -> ( match acc with None -> Some s | Some a -> Some (Reg.Set.inter a s)))
+        None preds
+      |> Option.value ~default:!all_regs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun label ->
+        let b = Func.block func label in
+        let o = Reg.Set.union (in_of label) (block_defs b) in
+        match Hashtbl.find_opt out label with
+        | Some prev when Reg.Set.equal prev o -> ()
+        | _ ->
+          Hashtbl.replace out label o;
+          changed := true)
+      rpo
+  done;
+  List.iter
+    (fun label ->
+      let b = Func.block func label in
+      let defined = ref (in_of label) in
+      Array.iteri
+        (fun i instr ->
+          List.iter
+            (fun r ->
+              if not (Reg.Set.mem r !defined) then
+                emit ~block:label ~instr:i Diag.Warn
+                  (Printf.sprintf "register %s may be read before any definition reaches it"
+                     (Reg.to_string r)))
+            (Instr.uses instr);
+          List.iter (fun r -> defined := Reg.Set.add r !defined) (Instr.defs instr))
+        b.Block.body;
+      List.iter
+        (fun r ->
+          if not (Reg.Set.mem r !defined) then
+            emit ~block:label Diag.Warn
+              (Printf.sprintf "branch reads register %s before any definition reaches it"
+                 (Reg.to_string r)))
+        (Block.term_uses b))
+    rpo;
+  Diag.sort !diags
+  end

@@ -1,0 +1,6 @@
+(** IR well-formedness lint: CFG edge/label consistency, definite
+    assignment (every use reached by a definition on all paths), and
+    register-class sanity after allocation. *)
+
+val name : string
+val run : Context.t -> Diag.t list

@@ -6,10 +6,15 @@
      [checkpoint-aware scheduling] -> recovery metadata
 
    Bracketed phases are the Turnpike optimizations; disabling them all
-   yields exactly Turnstile's code. *)
+   yields exactly Turnstile's code.
+
+   The pass sequence is declared once, in [passes]: the public
+   [pass_names], the telemetry span names and the per-pass check
+   provenance all derive from that single list. *)
 
 open Turnpike_ir
 module Telemetry = Turnpike_telemetry
+module Analysis = Turnpike_analysis
 
 type opts = {
   nregs : int;
@@ -51,6 +56,8 @@ let turnpike_opts =
     sched = true;
   }
 
+type check_level = Off | Final | PerPass
+
 type region_info = { id : int; head : string; live_in : Reg.t list }
 
 type t = {
@@ -58,6 +65,8 @@ type t = {
   opts : opts;
   regions : region_info array;
   recovery_exprs : (Reg.t, Recovery_expr.t) Hashtbl.t;
+  claims : Claims.t;
+  diags : Analysis.Diag.t list;
   stats : Static_stats.t;
 }
 
@@ -112,21 +121,93 @@ let live_in_table func regions =
       })
     (Regions.regions regions)
 
-(* The exact pass sequence [compile] runs for [opts], in order. The
-   per-pass profiling spans use these names, so
-   [List.length (pass_names opts)] equals the span count of a compile. *)
+(* Mutable pipeline state threaded through the declared pass list. *)
+type env = {
+  mutable prog : Prog.t;
+  stats : Static_stats.t;
+  mutable recovery_exprs : (Reg.t, Recovery_expr.t) Hashtbl.t;
+  mutable regions : region_info array;
+  mutable claims : Claims.t;
+  mutable regalloc_done : bool;
+  e_opts : opts;
+}
+
+(* THE declared pass list. [pass_names], the telemetry span names and the
+   per-pass check provenance all come from here — never restate a pass
+   name elsewhere. *)
+let passes : (string * (opts -> bool) * (env -> unit)) list =
+  [
+    ( "unroll",
+      (fun o -> o.unroll > 1),
+      fun env -> ignore (Unroll.run ~factor:env.e_opts.unroll env.prog.Prog.func) );
+    ( "livm",
+      (fun o -> o.livm),
+      fun env ->
+        let r = Livm.run env.prog.Prog.func in
+        env.stats.Static_stats.livm_merged_ivs <- r.Livm.merged );
+    ( "regalloc",
+      (fun _ -> true),
+      fun env ->
+        let ra_config =
+          {
+            Regalloc.default_config with
+            nregs = env.e_opts.nregs;
+            store_aware = env.e_opts.store_aware_ra;
+          }
+        in
+        let func = env.prog.Prog.func in
+        let ra = Regalloc.run ~config:ra_config func in
+        env.stats.Static_stats.spill_stores <- ra.Regalloc.spill_stores;
+        env.stats.Static_stats.spill_loads <- ra.Regalloc.spill_loads;
+        env.stats.Static_stats.spilled_vregs <- ra.Regalloc.spilled_vregs;
+        let reg_init, extra_mem = Regalloc.remap_inputs ra env.prog.Prog.reg_init in
+        env.prog <-
+          {
+            env.prog with
+            Prog.reg_init;
+            mem_init = env.prog.Prog.mem_init @ extra_mem;
+          };
+        env.stats.Static_stats.base_code_size <- count_code_size func;
+        env.regalloc_done <- true );
+    ( "partition_and_checkpoint",
+      (fun o -> o.resilient),
+      fun env ->
+        let entry_live = List.map fst env.prog.Prog.reg_init in
+        ignore
+          (partition_and_checkpoint env.prog.Prog.func ~sb_size:env.e_opts.sb_size
+             ~entry_live env.stats) );
+    ( "pruning",
+      (fun o -> o.resilient && o.pruning),
+      fun env ->
+        let r = Pruning.run env.prog.Prog.func in
+        env.stats.Static_stats.ckpts_pruned <- r.Pruning.pruned;
+        env.recovery_exprs <- r.Pruning.exprs );
+    ( "licm_sink",
+      (fun o -> o.resilient && o.licm),
+      fun env ->
+        let r = Licm_sink.run env.prog.Prog.func in
+        env.stats.Static_stats.ckpts_licm_moved <- r.Licm_sink.moved;
+        env.stats.Static_stats.ckpts_licm_eliminated <- r.Licm_sink.eliminated );
+    ( "scheduling",
+      (fun o -> o.resilient && o.sched),
+      fun env ->
+        let r = Scheduling.run ~separation:env.e_opts.sched_separation env.prog.Prog.func in
+        env.stats.Static_stats.sched_moved <- r.Scheduling.moved );
+    ( "region_metadata",
+      (fun o -> o.resilient),
+      fun env ->
+        let func = env.prog.Prog.func in
+        env.stats.Static_stats.code_size <- count_code_size func;
+        let structure = Regions.of_func func in
+        let infos = live_in_table func structure in
+        let regions = Array.of_list infos in
+        Array.sort (fun a b -> compare a.id b.id) regions;
+        env.regions <- regions;
+        env.claims <- Claims.compute func );
+  ]
+
 let pass_names (opts : opts) =
-  (if opts.unroll > 1 then [ "unroll" ] else [])
-  @ (if opts.livm then [ "livm" ] else [])
-  @ [ "regalloc" ]
-  @
-  if not opts.resilient then []
-  else
-    [ "partition_and_checkpoint" ]
-    @ (if opts.pruning then [ "pruning" ] else [])
-    @ (if opts.licm then [ "licm_sink" ] else [])
-    @ (if opts.sched then [ "scheduling" ] else [])
-    @ [ "region_metadata" ]
+  List.filter_map (fun (name, enabled, _) -> if enabled opts then Some name else None) passes
 
 (* Run one pass under a wall-clock profiling span whose args carry the
    [Static_stats] delta the pass contributed (category ["compiler"]). With
@@ -146,90 +227,102 @@ let run_pass tel stats name f =
     v
   end
 
-let compile ?(opts = turnstile_opts) ?(tel = Telemetry.null) (prog : Prog.t) =
+let context_of ?pass ~prog ~(opts : opts) ~recovery_exprs ~claims ~regalloc_done () =
+  let exprs =
+    Hashtbl.fold (fun r e acc -> (r, e) :: acc) recovery_exprs []
+    |> List.sort (fun (a, _) (b, _) -> Reg.compare a b)
+  in
+  let claims =
+    Option.map
+      (fun (c : Claims.t) ->
+        {
+          Analysis.Context.bypass_stores = c.Claims.bypass_stores;
+          direct_ckpts = c.Claims.direct_ckpts;
+        })
+      claims
+  in
+  Analysis.Context.make
+    ~entry_defined:(Reg.Set.of_list (List.map fst prog.Prog.reg_init))
+    ~nregs:opts.nregs
+    ~allow_virtual:(not regalloc_done)
+    ~resilient:opts.resilient ~sb_size:opts.sb_size ~recovery_exprs:exprs ?claims
+    ?pass prog.Prog.func
+
+let analysis_context ?pass (t : t) =
+  context_of ?pass ~prog:t.prog ~opts:t.opts ~recovery_exprs:t.recovery_exprs
+    ~claims:(Some t.claims) ~regalloc_done:true ()
+
+let compile ?(opts = turnstile_opts) ?(tel = Telemetry.null) ?(check = Off)
+    (prog : Prog.t) =
   let stats = Static_stats.create () in
   let prog = Prog.with_func prog (Func.copy prog.Prog.func) in
-  let func = prog.Prog.func in
-  (* Phase 0: generic -O3-style unrolling (all schemes equally). *)
-  if opts.unroll > 1 then
-    run_pass tel stats "unroll" (fun () ->
-        ignore (Unroll.run ~factor:opts.unroll func));
-  (* Phase 1a: loop induction variable merging (virtual registers). *)
-  if opts.livm then
-    run_pass tel stats "livm" (fun () ->
-        let r = Livm.run func in
-        stats.Static_stats.livm_merged_ivs <- r.Livm.merged);
-  (* Phase 1b: register allocation. *)
-  let prog =
-    run_pass tel stats "regalloc" (fun () ->
-        let ra_config =
-          {
-            Regalloc.default_config with
-            nregs = opts.nregs;
-            store_aware = opts.store_aware_ra;
-          }
-        in
-        let ra = Regalloc.run ~config:ra_config func in
-        stats.Static_stats.spill_stores <- ra.Regalloc.spill_stores;
-        stats.Static_stats.spill_loads <- ra.Regalloc.spill_loads;
-        stats.Static_stats.spilled_vregs <- ra.Regalloc.spilled_vregs;
-        let reg_init, extra_mem = Regalloc.remap_inputs ra prog.Prog.reg_init in
-        let prog =
-          { prog with Prog.reg_init; mem_init = prog.Prog.mem_init @ extra_mem }
-        in
-        stats.Static_stats.base_code_size <- count_code_size func;
-        prog)
-  in
-  if not opts.resilient then begin
-    stats.Static_stats.code_size <- stats.Static_stats.base_code_size;
+  let env =
     {
       prog;
-      opts;
-      regions = [||];
-      recovery_exprs = Hashtbl.create 0;
       stats;
+      recovery_exprs = Hashtbl.create 0;
+      regions = [||];
+      claims = Claims.empty;
+      regalloc_done = false;
+      e_opts = opts;
     }
-  end
-  else begin
-    (* Phase 2: regions + eager checkpoints. *)
-    run_pass tel stats "partition_and_checkpoint" (fun () ->
-        let entry_live = List.map fst prog.Prog.reg_init in
-        ignore
-          (partition_and_checkpoint func ~sb_size:opts.sb_size ~entry_live stats));
-    (* Phase 3: checkpoint pruning. *)
-    let recovery_exprs =
-      if opts.pruning then
-        run_pass tel stats "pruning" (fun () ->
-            let r = Pruning.run func in
-            stats.Static_stats.ckpts_pruned <- r.Pruning.pruned;
-            r.Pruning.exprs)
-      else Hashtbl.create 0
-    in
-    (* Phase 4: LICM checkpoint sinking. *)
-    if opts.licm then
-      run_pass tel stats "licm_sink" (fun () ->
-          let r = Licm_sink.run func in
-          stats.Static_stats.ckpts_licm_moved <- r.Licm_sink.moved;
-          stats.Static_stats.ckpts_licm_eliminated <- r.Licm_sink.eliminated);
-    (* Phase 5: checkpoint-aware scheduling. *)
-    if opts.sched then
-      run_pass tel stats "scheduling" (fun () ->
-          let r = Scheduling.run ~separation:opts.sched_separation func in
-          stats.Static_stats.sched_moved <- r.Scheduling.moved);
-    (* Phase 6: recovery metadata. *)
-    let regions =
-      run_pass tel stats "region_metadata" (fun () ->
-          stats.Static_stats.code_size <- count_code_size func;
-          let structure = Regions.of_func func in
-          let infos = live_in_table func structure in
-          let regions = Array.of_list infos in
-          Array.sort (fun a b -> compare a.id b.id) regions;
-          regions)
-    in
-    { prog; opts; regions; recovery_exprs; stats }
-  end
+  in
+  let diags = ref [] in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let claims_of env =
+    (* Claims only exist once region_metadata has computed them; before
+       that the checker has nothing to audit. *)
+    if env.claims == Claims.empty then None else Some env.claims
+  in
+  let env_context ?pass env =
+    context_of ?pass ~prog:env.prog ~opts:env.e_opts
+      ~recovery_exprs:env.recovery_exprs ~claims:(claims_of env)
+      ~regalloc_done:env.regalloc_done ()
+  in
+  let run_whole ?pass env =
+    let ds = Analysis.Registry.run_whole (env_context ?pass env) in
+    diags := !diags @ Analysis.Registry.fresh ~seen ds
+  in
+  (* In per-pass mode, violations already present in the input carry no
+     pass provenance; anything that appears later is attributed to the
+     first pass after which the registry reports it. *)
+  if check = PerPass then run_whole env;
+  List.iter
+    (fun (name, enabled, action) ->
+      if enabled opts then begin
+        let snapshot =
+          if check = PerPass && List.mem name Analysis.Registry.pair_passes then
+            Some (Func.copy env.prog.Prog.func)
+          else None
+        in
+        run_pass tel stats name (fun () -> action env);
+        if check = PerPass then begin
+          (match snapshot with
+          | Some before ->
+            let ds =
+              Analysis.Registry.run_pair ~pass:name ~before
+                (env_context ~pass:name env)
+            in
+            diags := !diags @ Analysis.Registry.fresh ~seen ds
+          | None -> ());
+          run_whole ~pass:name env
+        end
+      end)
+    passes;
+  if check = Final then run_whole env;
+  if not opts.resilient then
+    stats.Static_stats.code_size <- stats.Static_stats.base_code_size;
+  {
+    prog = env.prog;
+    opts;
+    regions = env.regions;
+    recovery_exprs = env.recovery_exprs;
+    claims = env.claims;
+    diags = Analysis.Diag.sort !diags;
+    stats;
+  }
 
-let region_info t id =
+let region_info (t : t) id =
   if id < 0 || id >= Array.length t.regions then None
   else
     (* Region infos are sorted by id and ids are dense. *)

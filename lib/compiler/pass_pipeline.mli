@@ -7,7 +7,11 @@
 
     Bracketed phases are the Turnpike compiler optimizations; disabling
     them all yields exactly Turnstile's code; [resilient = false] yields
-    the plain baseline binary every figure normalizes against. *)
+    the plain baseline binary every figure normalizes against.
+
+    The pass sequence is declared once: {!pass_names}, the telemetry span
+    names and the per-pass check provenance all derive from the same
+    list. *)
 
 open Turnpike_ir
 
@@ -30,6 +34,13 @@ val baseline_opts : opts
 val turnstile_opts : opts
 val turnpike_opts : opts
 
+(** How much static checking {!compile} performs: [Off] none, [Final] the
+    whole-program registry once on the compiled result, [PerPass] the
+    registry between every pass — each new diagnostic is attributed to the
+    pass that introduced it, and pair checks (scheduling dependence
+    preservation) compare before/after snapshots. *)
+type check_level = Off | Final | PerPass
+
 type region_info = {
   id : int;
   head : string;  (** region head block (recovery-PC anchor) *)
@@ -42,6 +53,11 @@ type t = {
   regions : region_info array;
   recovery_exprs : (Reg.t, Recovery_expr.t) Hashtbl.t;
       (** reconstruction for pruned checkpoints *)
+  claims : Claims.t;
+      (** static release claims the checker audits (empty when
+          non-resilient) *)
+  diags : Turnpike_analysis.Diag.t list;
+      (** diagnostics from the requested {!check_level} (empty for [Off]) *)
   stats : Static_stats.t;
 }
 
@@ -49,12 +65,26 @@ val pass_names : opts -> string list
 (** The exact pass sequence {!compile} runs for these options, in order —
     the profiling span per compile is one per name here. *)
 
-val compile : ?opts:opts -> ?tel:Turnpike_telemetry.sink -> Prog.t -> t
+val compile :
+  ?opts:opts ->
+  ?tel:Turnpike_telemetry.sink ->
+  ?check:check_level ->
+  Prog.t ->
+  t
 (** Compile a virtual-register program. The input program is not mutated.
 
     [tel] (default {!Turnpike_telemetry.null}) receives one wall-clock
     span per executed pass (category ["compiler"], names per
     {!pass_names}), each carrying the non-zero {!Static_stats} deltas that
-    pass contributed as args. *)
+    pass contributed as args.
+
+    [check] (default [Off]) runs the static-analysis registry on the
+    pipeline state; results land in {!field-diags}. *)
+
+val analysis_context : ?pass:string -> t -> Turnpike_analysis.Context.t
+(** Analysis context over the compiled result (claims and recovery
+    expressions included) — for running additional registry passes, e.g.
+    with machine parameters via
+    {!Turnpike_analysis.Context.with_machine}. *)
 
 val region_info : t -> int -> region_info option

@@ -1,45 +1,6 @@
-(* Reconstruction expressions for pruned checkpoints. At recovery time a
-   pruned register is recomputed from constants and the checkpoint slots of
-   other registers instead of being loaded from its own slot. *)
+(* Compatibility alias: the type moved into the IR library so the analysis
+   layer (which depends only on turnpike.ir) can validate reconstruction
+   expressions. Existing users of [Turnpike_compiler.Recovery_expr] keep
+   working, with type equality preserved by the include. *)
 
-open Turnpike_ir
-
-type t =
-  | Const of int
-  | Slot of Reg.t (* verified checkpoint slot of a register *)
-  | Op of Instr.binop * t * t
-  | Cmp of Instr.cmp * t * t
-  | Select of t * t * t
-      (* Select (c, a, b): the value is [a] when [c] is nonzero, else [b] —
-         the branch of the recovery block in the paper's Fig 9, where a
-         pruned register reconstructs differently per predicate arm. *)
-[@@deriving show { with_path = false }, eq]
-
-let rec eval ~read_slot = function
-  | Const c -> c
-  | Slot r -> read_slot r
-  | Op (op, a, b) -> Instr.eval_binop op (eval ~read_slot a) (eval ~read_slot b)
-  | Cmp (c, a, b) -> Instr.eval_cmp c (eval ~read_slot a) (eval ~read_slot b)
-  | Select (c, a, b) ->
-    if eval ~read_slot c <> 0 then eval ~read_slot a else eval ~read_slot b
-
-let rec slots = function
-  | Const _ -> []
-  | Slot r -> [ r ]
-  | Op (_, a, b) | Cmp (_, a, b) -> slots a @ slots b
-  | Select (c, a, b) -> slots c @ slots a @ slots b
-
-let rec depth = function
-  | Const _ | Slot _ -> 1
-  | Op (_, a, b) | Cmp (_, a, b) -> 1 + max (depth a) (depth b)
-  | Select (c, a, b) -> 1 + max (depth c) (max (depth a) (depth b))
-
-let rec to_string = function
-  | Const c -> string_of_int c
-  | Slot r -> Printf.sprintf "slot(%s)" (Reg.to_string r)
-  | Op (op, a, b) ->
-    Printf.sprintf "(%s %s %s)" (to_string a) (Instr.binop_to_string op) (to_string b)
-  | Cmp (c, a, b) ->
-    Printf.sprintf "(%s cmp%s %s)" (to_string a) (Instr.cmp_to_string c) (to_string b)
-  | Select (c, a, b) ->
-    Printf.sprintf "(%s ? %s : %s)" (to_string c) (to_string a) (to_string b)
+include Turnpike_ir.Recovery_expr

@@ -1,0 +1,130 @@
+(* The resilience soundness lint over the (benchmark × scheme) grid.
+
+   Compiles are issued fresh (never through the Run cache: cached binaries
+   were compiled with checking off and carry no diagnostics) and fan out
+   over the Parallel pool; results come back in task order, so the report
+   is identical at any job count. *)
+
+module Pass_pipeline = Turnpike_compiler.Pass_pipeline
+module Machine = Turnpike_arch.Machine
+module Clq = Turnpike_arch.Clq
+module Analysis = Turnpike_analysis
+module Suite = Turnpike_workloads.Suite
+module Diag = Turnpike_analysis.Diag
+
+type entry = { benchmark : string; scheme : string; diags : Diag.t list }
+
+type report = {
+  per_pass : bool;
+  entries : entry list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+let lint_one ?(per_pass = false) ?(sb_size = 4) ?(scale = Run.default_scale)
+    (scheme : Scheme.t) (bench : Suite.entry) =
+  let prog = bench.Suite.build ~scale in
+  let opts = Scheme.compile_opts scheme ~sb_size in
+  let check = if per_pass then Pass_pipeline.PerPass else Pass_pipeline.Final in
+  let compiled = Pass_pipeline.compile ~opts ~check prog in
+  (* The pipeline knows nothing of the machine; graft the scheme's RBB
+     depth and CLQ size on and rerun the registry for the capacity checks
+     that want them. Findings already attributed to a pass keep their
+     provenance — the machine pass only contributes what is new. *)
+  let machine = Scheme.machine scheme ~wcdl:10 ~sb_size in
+  let ctx =
+    Analysis.Context.with_machine ~rbb_size:machine.Machine.rbb_size
+      ?clq_entries:
+        (match machine.Machine.clq with
+        | Some (Clq.Compact n) -> Some n
+        | Some Clq.Ideal | None -> None)
+      (Pass_pipeline.analysis_context compiled)
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d -> Hashtbl.replace seen (Diag.key d) ())
+    compiled.Pass_pipeline.diags;
+  let extra =
+    Analysis.Registry.fresh ~seen (Analysis.Registry.run_whole ctx)
+  in
+  Diag.sort (compiled.Pass_pipeline.diags @ extra)
+
+let run ?(per_pass = false) ?sb_size ?scale ?jobs ~schemes benches =
+  let cells =
+    List.concat_map
+      (fun b -> List.map (fun s -> (b, s)) schemes)
+      benches
+  in
+  let entries =
+    Parallel.map_list ?jobs
+      (fun ((b : Suite.entry), (s : Scheme.t)) ->
+        {
+          benchmark = Suite.qualified_name b;
+          scheme = s.Scheme.name;
+          diags = lint_one ~per_pass ?sb_size ?scale s b;
+        })
+      cells
+  in
+  let count sev =
+    List.fold_left
+      (fun acc e ->
+        acc
+        + List.length
+            (List.filter (fun (d : Diag.t) -> d.Diag.severity = sev) e.diags))
+      0 entries
+  in
+  {
+    per_pass;
+    entries;
+    errors = count Diag.Error;
+    warnings = count Diag.Warn;
+    infos = count Diag.Info;
+  }
+
+let max_severity r =
+  Diag.max_severity (List.concat_map (fun e -> e.diags) r.entries)
+
+let to_text r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      if e.diags <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "%s / %s:\n" e.benchmark e.scheme);
+        List.iter
+          (fun d ->
+            Buffer.add_string buf "  ";
+            Buffer.add_string buf (Diag.to_string d);
+            Buffer.add_char buf '\n')
+          e.diags
+      end)
+    r.entries;
+  Buffer.add_string buf
+    (Printf.sprintf "lint: %d cells checked%s: %d error(s), %d warning(s), %d info\n"
+       (List.length r.entries)
+       (if r.per_pass then " (per-pass)" else "")
+       r.errors r.warnings r.infos);
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"per_pass\":%b,\"checks\":[%s],\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"entries\":["
+       r.per_pass
+       (String.concat ","
+          (List.map
+             (fun n -> Printf.sprintf "\"%s\"" (Diag.json_escape n))
+             Analysis.Registry.names))
+       r.errors r.warnings r.infos);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"benchmark\":\"%s\",\"scheme\":\"%s\",\"diags\":[%s]}"
+           (Diag.json_escape e.benchmark)
+           (Diag.json_escape e.scheme)
+           (String.concat "," (List.map Diag.to_json e.diags))))
+    r.entries;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf

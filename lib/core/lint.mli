@@ -1,0 +1,57 @@
+(** The resilience soundness lint: run the static-analysis registry over
+    compiled benchmarks and report every diagnostic.
+
+    Each (benchmark, scheme) cell is compiled fresh with checking enabled
+    — the {!Run} compile cache is bypassed on purpose, since cached
+    binaries carry no diagnostics — then the final context is enriched
+    with the scheme's machine parameters (RBB depth, CLQ entries) and the
+    whole-program registry runs once more to pick up the capacity checks
+    that need them.
+
+    Reports are deterministic: entries follow the input order (the pool
+    delivers results in task order at any job count) and diagnostics are
+    sorted, so {!to_json} output is byte-identical at [--jobs 1] and
+    [--jobs N]. *)
+
+module Suite = Turnpike_workloads.Suite
+module Diag = Turnpike_analysis.Diag
+
+type entry = {
+  benchmark : string;  (** suite-qualified name, e.g. ["mcf@2006"] *)
+  scheme : string;
+  diags : Diag.t list;  (** sorted per {!Diag.sort} *)
+}
+
+type report = {
+  per_pass : bool;
+  entries : entry list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+val lint_one :
+  ?per_pass:bool -> ?sb_size:int -> ?scale:int -> Scheme.t -> Suite.entry ->
+  Diag.t list
+(** Compile one benchmark under one scheme with checking on ([Final], or
+    [PerPass] when [per_pass] — diagnostics then carry pass provenance)
+    and return the sorted diagnostics, machine-parameter checks
+    included. *)
+
+val run :
+  ?per_pass:bool ->
+  ?sb_size:int ->
+  ?scale:int ->
+  ?jobs:int ->
+  schemes:Scheme.t list ->
+  Suite.entry list ->
+  report
+(** Lint the full (benchmark × scheme) grid over the {!Parallel} pool. *)
+
+val max_severity : report -> Diag.severity option
+val to_text : report -> string
+(** Human rendering: one line per diagnostic plus a summary line. *)
+
+val to_json : report -> string
+(** Machine rendering, deterministic bytes (keys in fixed order, entries
+    in input order). *)

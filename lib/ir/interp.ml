@@ -38,7 +38,14 @@ let init (prog : Prog.t) =
     }
   in
   List.iter (fun (a, v) -> set_mem st a v) prog.mem_init;
-  List.iter (fun (r, v) -> set_reg st r v) prog.reg_init;
+  (* Seed the base-color checkpoint slot of every initialised register: the
+     initial architectural state counts as verified, so a rollback that
+     restarts the entry region restores inputs instead of zeros. *)
+  List.iter
+    (fun (r, v) ->
+      set_reg st r v;
+      if not (Reg.is_zero r) then set_mem st (Layout.ckpt_slot ~reg:r ~color:0) v)
+    prog.reg_init;
   st
 
 let default_ckpt st r =

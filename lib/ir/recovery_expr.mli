@@ -4,8 +4,6 @@
     verified checkpoint slots of other registers instead of being loaded
     from its own slot. *)
 
-open Turnpike_ir
-
 type t =
   | Const of int
   | Slot of Reg.t  (** read the verified checkpoint slot of a register *)

@@ -36,6 +36,12 @@ type config = {
   unsafe_ckpt_release : bool;
       (* Fig 16: release checkpoints without coloring — intentionally
          unsound, used to demonstrate why coloring exists. *)
+  honor_static_claims : bool;
+      (* Trust the pipeline's static release claims ([Claims.t]): claimed
+         WAR-free stores and direct-release checkpoints skip the
+         quarantine entirely. Sound exactly when the claims are — the
+         differential oracle feeds it deliberately wrong claims to show
+         the static checker's verdicts have dynamic teeth. *)
   fuel : int;
   max_recoveries : int;
 }
@@ -47,6 +53,7 @@ let default_config =
     clq = Some (Clq.Compact 2);
     nregs = 32;
     unsafe_ckpt_release = false;
+    honor_static_claims = false;
     fuel = 4_000_000;
     max_recoveries = 8;
   }
@@ -92,6 +99,8 @@ type exec = {
   clq : Clq.t option;
   col : Coloring.t option;
   verified_loc : (Reg.t, slot_loc) Hashtbl.t;
+  claim_bypass : (string * int, unit) Hashtbl.t;
+  claim_direct : (string * int, unit) Hashtbl.t;
   mutable open_region : dynamic_region option;
   mutable pending : dynamic_region list; (* closed, unverified; oldest first *)
   mutable next_seq : int;
@@ -199,7 +208,18 @@ let on_boundary ex static_id =
   ex.next_seq <- ex.next_seq + 1;
   ex.open_region <- Some r
 
+(* The hooks fire while [st.pc] still points at the executing instruction,
+   so the current (block, body index) identifies the static claim site. *)
+let at_claimed_site ex tbl =
+  Hashtbl.mem tbl (ex.st.Interp.pc.Interp.block, ex.st.Interp.pc.Interp.index)
+
 let on_store ex st addr value =
+  if ex.cfg.honor_static_claims && at_claimed_site ex ex.claim_bypass then begin
+    (* Statically proven WAR-free: release without an undo entry. *)
+    ex.fast_released <- ex.fast_released + 1;
+    Interp.set_mem st addr value
+  end
+  else
   let r = current_region ex in
   (* CLQ fast release: WAR-free regular stores skip the quarantine. The
      in-order constraint (no pending quarantined write to the same
@@ -228,7 +248,14 @@ let on_load ex addr =
 let on_ckpt ex st reg =
   let r = current_region ex in
   let value = Interp.get_reg st reg in
-  if ex.cfg.unsafe_ckpt_release then begin
+  if ex.cfg.honor_static_claims && at_claimed_site ex ex.claim_direct then begin
+    (* Statically claimed direct release: the slot is written and counted
+       verified immediately, with no per-region record to drain or roll
+       back — sound only under the claim's single-site/dominance proof. *)
+    Hashtbl.replace ex.verified_loc reg Base;
+    Interp.set_mem st (slot_addr reg Base) value
+  end
+  else if ex.cfg.unsafe_ckpt_release then begin
     (* Fig 16: direct release without coloring — unsound by design. *)
     r.ckpts <- Fallback (reg, value) :: r.ckpts;
     Hashtbl.replace ex.verified_loc reg Base;
@@ -373,6 +400,20 @@ let run ?fault ?(faults = []) ?(config = default_config) (compiled : Pass_pipeli
       clq = Option.map Clq.create config.clq;
       col = (if config.coloring then Some (Coloring.create ~nregs:config.nregs) else None);
       verified_loc = Hashtbl.create 32;
+      claim_bypass =
+        (let tbl = Hashtbl.create 16 in
+         if config.honor_static_claims then
+           List.iter
+             (fun site -> Hashtbl.replace tbl site ())
+             compiled.Pass_pipeline.claims.Turnpike_compiler.Claims.bypass_stores;
+         tbl);
+      claim_direct =
+        (let tbl = Hashtbl.create 16 in
+         if config.honor_static_claims then
+           List.iter
+             (fun site -> Hashtbl.replace tbl site ())
+             compiled.Pass_pipeline.claims.Turnpike_compiler.Claims.direct_ckpts;
+         tbl);
       open_region = None;
       pending = [];
       next_seq = 0;

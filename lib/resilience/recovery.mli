@@ -26,6 +26,12 @@ type config = {
   unsafe_ckpt_release : bool;
       (** paper Fig 16: release checkpoints without coloring — intentionally
           unsound; exists to demonstrate why coloring is necessary *)
+  honor_static_claims : bool;
+      (** trust the pipeline's static release claims
+          ({!Turnpike_compiler.Claims.t}): claimed WAR-free stores and
+          direct-release checkpoints skip the quarantine — sound exactly
+          when the claims are; the differential oracle feeds it wrong
+          claims to cross-check the static checker dynamically *)
   fuel : int;
   max_recoveries : int;
 }

@@ -5,6 +5,7 @@ let () =
       ("ir-internals", Test_ir_internals.tests);
       ("arch", Test_arch.tests);
       ("compiler", Test_compiler.tests);
+      ("analysis", Test_analysis.tests);
       ("recovery-codegen", Test_recovery_codegen.tests);
       ("resilience", Test_resilience.tests);
       ("workloads", Test_workloads.tests);

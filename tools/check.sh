@@ -59,4 +59,24 @@ diff "$tmp/trace_j1.json" "$tmp/trace_j4.json"
 diff "$tmp/trace_j1.jsonl" "$tmp/trace_j4.jsonl"
 diff "$tmp/trace_j1.txt" "$tmp/trace_j4.txt"
 
+echo "== lint smoke: static soundness checks over every workload =="
+# Clean exit (0) is asserted by set -e; every ladder rung of every
+# benchmark must produce zero Error diagnostics in per-pass mode.
+dune exec --no-build bin/turnpike_cli.exe -- lint --per-pass --scale 2 \
+  --jobs 1 --json > "$tmp/lint_j1.json"
+grep -q '"errors":0' "$tmp/lint_j1.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$tmp/lint_j1.json" > /dev/null
+fi
+# Byte-identical report at any job count.
+dune exec --no-build bin/turnpike_cli.exe -- lint --per-pass --scale 2 \
+  --jobs 4 --json > "$tmp/lint_j4.json"
+diff "$tmp/lint_j1.json" "$tmp/lint_j4.json"
+# The failure path exits non-zero (unknown scheme).
+if dune exec --no-build bin/turnpike_cli.exe -- lint -s no-such-scheme \
+     > /dev/null 2>&1; then
+  echo "lint should have failed on an unknown scheme" >&2
+  exit 1
+fi
+
 echo "check.sh: OK"
