@@ -1,14 +1,16 @@
 (* Measures what the static soundness checker costs at compile time:
-   compiles every suite benchmark at the turnpike rung three times — with
-   checking off, with one final whole-program registry run, and with the
-   registry between every pass (provenance mode) — and reports the three
-   wall-clock totals as JSON on stdout.
+   compiles every suite benchmark at the turnpike rung four times — with
+   checking off, with one final whole-program registry run, with the
+   incremental per-pass engine (provenance mode, the default), and with
+   the forced full re-check oracle the incremental engine is diffed
+   against — and reports the wall-clock totals as JSON on stdout.
 
    Usage:
-     dune exec bench/analysis_overhead.exe -- [--scale N] \
+     dune exec bench/analysis_overhead.exe -- [--scale N] [--repeat K] \
        > BENCH_analysis_overhead.json
 
-   Runs strictly sequentially so the three passes are comparable. *)
+   Runs strictly sequentially so the timed modes are comparable; --repeat
+   sums K identical sweeps per mode to stabilize sub-second totals. *)
 
 module PP = Turnpike_compiler.Pass_pipeline
 module Scheme = Turnpike.Scheme
@@ -21,21 +23,25 @@ let time f =
 
 let () =
   let scale = ref 8 in
+  let repeat = ref 3 in
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
       scale := int_of_string n;
       parse rest
+    | "--repeat" :: n :: rest ->
+      repeat := max 1 (int_of_string n);
+      parse rest
     | x :: _ ->
-      Printf.eprintf "unknown argument %s; known: --scale N\n" x;
+      Printf.eprintf "unknown argument %s; known: --scale N, --repeat K\n" x;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let benches = Suite.all () in
   let opts = Scheme.compile_opts Scheme.turnpike ~sb_size:4 in
-  (* Build programs once; the three timed passes compile identical input. *)
+  (* Build programs once; every timed mode compiles identical input. *)
   let progs = List.map (fun b -> b.Suite.build ~scale:!scale) benches in
-  let compile_all check =
+  let sweep check =
     let diags = ref 0 in
     let errors = ref 0 in
     List.iter
@@ -46,34 +52,71 @@ let () =
       progs;
     (!diags, !errors)
   in
-  let off_s, _ = time (fun () -> compile_all PP.Off) in
-  let final_s, (final_diags, final_errors) =
-    time (fun () -> compile_all PP.Final)
-  in
-  let perpass_s, (perpass_diags, perpass_errors) =
-    time (fun () -> compile_all PP.PerPass)
-  in
+  (* One untimed sweep warms the allocator and code paths, then the modes
+     are timed interleaved — one sweep of each per repeat — so slow
+     phases of a noisy host spread over every mode instead of landing on
+     whichever one they coincide with. *)
+  ignore (sweep PP.Off);
+  let off_s = ref 0. and final_s = ref 0. in
+  let perpass_s = ref 0. and full_s = ref 0. in
+  let final_counts = ref (0, 0) in
+  let perpass_counts = ref (0, 0) in
+  let full_counts = ref (0, 0) in
+  for _ = 1 to !repeat do
+    let t, _ = time (fun () -> sweep PP.Off) in
+    off_s := !off_s +. t;
+    let t, c = time (fun () -> sweep PP.Final) in
+    final_s := !final_s +. t;
+    final_counts := c;
+    let t, c = time (fun () -> sweep PP.PerPass) in
+    perpass_s := !perpass_s +. t;
+    perpass_counts := c;
+    let t, c = time (fun () -> sweep PP.PerPassFull) in
+    full_s := !full_s +. t;
+    full_counts := c
+  done;
+  let off_s = !off_s and final_s = !final_s in
+  let perpass_s = !perpass_s and full_s = !full_s in
+  let final_diags, final_errors = !final_counts in
+  let perpass_diags, perpass_errors = !perpass_counts in
+  let full_diags, full_errors = !full_counts in
+  if (perpass_diags, perpass_errors) <> (full_diags, full_errors) then begin
+    Printf.eprintf
+      "incremental/full divergence: %d/%d diags, %d/%d errors\n" perpass_diags
+      full_diags perpass_errors full_errors;
+    exit 1
+  end;
   let pct base v = if base > 0. then 100. *. (v -. base) /. base else 0. in
   Printf.printf
     "{\n\
     \  \"grid\": \"all %d suite benchmarks, turnpike opts\",\n\
     \  \"scale\": %d,\n\
+    \  \"repeat\": %d,\n\
     \  \"jobs\": 1,\n\
     \  \"compile_check_off_s\": %.3f,\n\
     \  \"compile_check_final_s\": %.3f,\n\
     \  \"compile_check_perpass_s\": %.3f,\n\
+    \  \"compile_check_perpass_full_s\": %.3f,\n\
     \  \"final_overhead_percent\": %.2f,\n\
     \  \"perpass_overhead_percent\": %.2f,\n\
+    \  \"perpass_full_overhead_percent\": %.2f,\n\
     \  \"final_diagnostics\": %d,\n\
     \  \"final_errors\": %d,\n\
     \  \"perpass_diagnostics\": %d,\n\
     \  \"perpass_errors\": %d,\n\
-    \  \"note\": \"wall-clock, sequential. Off is the production default \
-     (zero checking); Final runs the whole-program registry once per \
-     compile; PerPass re-runs it between every pass for provenance. \
-     Absolute times are host-dependent; the overhead percentages are the \
-     portable signal. Errors must be zero on shipped workloads.\"\n\
+    \  \"host\": { \"note\": \"single-core container: \
+     Domain.recommended_domain_count() = 1, so parallel speedups cannot \
+     show here; re-record on wider hardware. Absolute times are \
+     host-dependent; the overhead percentages are the portable signal.\" \
+     },\n\
+    \  \"note\": \"wall-clock, sequential, --repeat summed sweeps. Off is \
+     the production default (zero checking); Final runs the whole-program \
+     registry once per compile; PerPass is the incremental engine (facet \
+     invalidation + context reuse, the per-pass default); PerPassFull is \
+     the forced full re-check oracle it must match byte-for-byte (the \
+     bench aborts on any divergence). Errors must be zero on shipped \
+     workloads.\"\n\
      }\n"
-    (List.length benches) !scale off_s final_s perpass_s
-    (pct off_s final_s) (pct off_s perpass_s)
+    (List.length benches) !scale !repeat off_s final_s perpass_s full_s
+    (pct off_s final_s) (pct off_s perpass_s) (pct off_s full_s)
     final_diags final_errors perpass_diags perpass_errors

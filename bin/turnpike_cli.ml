@@ -269,9 +269,30 @@ let lint_cmd =
       & info [ "per-pass" ]
           ~doc:
             "Run the registry between every compiler pass and attribute \
-             each diagnostic to the pass that introduced it.")
+             each diagnostic to the pass that introduced it. Incremental: \
+             only checks whose declared facet reads a pass dirtied are \
+             re-run.")
   in
-  let run () bench scheme per_pass sb scale json =
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "With --per-pass: print, for every cell, which checks the \
+             incremental registry re-ran after each pass (text output \
+             only).")
+  in
+  let full_recheck_arg =
+    Arg.(
+      value & flag
+      & info [ "full-recheck" ]
+          ~doc:
+            "With --per-pass: disable the incremental engine and re-run \
+             every check after every pass. The report is byte-identical \
+             to the incremental one; this is the oracle it is diffed \
+             against.")
+  in
+  let run () bench scheme per_pass explain full_recheck sb scale json =
     let benches =
       match bench with
       | None -> Ok (Suite.all ())
@@ -291,17 +312,17 @@ let lint_cmd =
       exit 1
     | Ok benches, Ok scheme_list ->
       let report =
-        Turnpike.Lint.run ~per_pass ~sb_size:sb ~scale ~schemes:scheme_list
-          benches
+        Turnpike.Lint.run ~per_pass ~full_recheck ~sb_size:sb ~scale
+          ~schemes:scheme_list benches
       in
       if json then print_string (Turnpike.Lint.to_json report)
-      else print_string (Turnpike.Lint.to_text report);
+      else print_string (Turnpike.Lint.to_text ~explain report);
       if report.Turnpike.Lint.errors > 0 then exit 1
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const run $ jobs_arg $ bench_opt_arg $ scheme_opt_arg $ per_pass_arg
-      $ sb_arg $ scale_arg $ json_arg)
+      $ explain_arg $ full_recheck_arg $ sb_arg $ scale_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 

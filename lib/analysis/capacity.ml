@@ -17,17 +17,20 @@ let name = "capacity"
 
 (* Longest root-to-leaf store-buffer demand of a region: member blocks of
    a well-formed region form a tree below the head (non-heads are
-   single-entry), so a DFS with a visited guard suffices. *)
-let worst_sb_path func rv { Regions_view.id; head; _ } =
+   single-entry), so a DFS with a visited guard suffices. [stores_of] and
+   [region_of] are per-run lookup tables — the naive per-visit
+   [Block.num_stores] / assoc-list probes made this quadratic in blocks,
+   and the check runs after most passes. *)
+let worst_sb_path func ~stores_of ~region_of { Regions_view.id; head; _ } =
   let rec dfs visited label =
     if List.mem label visited then 0
     else
       let b = Func.block func label in
-      let here = Block.num_stores b in
+      let here : int = stores_of label in
       let next =
         List.filter
           (fun s ->
-            Regions_view.region_of_block rv s = Some id && not (String.equal s head))
+            Hashtbl.find_opt region_of s = Some id && not (String.equal s head))
           (Block.successors b)
       in
       here + List.fold_left (fun acc s -> max acc (dfs (label :: visited) s)) 0 next
@@ -47,9 +50,18 @@ let run (ctx : Context.t) =
     (* --- store-buffer demand ----------------------------------------- *)
     if ctx.Context.sb_size > 0 then begin
       let target = max 1 (ctx.Context.sb_size / 2) in
+      let stores_tbl = Hashtbl.create 32 in
+      Func.iter_blocks
+        (fun b -> Hashtbl.replace stores_tbl b.Block.label (Block.num_stores b))
+        func;
+      let stores_of l = Option.value (Hashtbl.find_opt stores_tbl l) ~default:0 in
+      let region_of = Hashtbl.create 32 in
+      List.iter
+        (fun (l, id) -> Hashtbl.replace region_of l id)
+        rv.Regions_view.region_of;
       List.iter
         (fun r ->
-          let demand = worst_sb_path func rv r in
+          let demand = worst_sb_path func ~stores_of ~region_of r in
           if demand > ctx.Context.sb_size then
             emit ~block:r.Regions_view.head Diag.Error
               (Printf.sprintf
@@ -102,21 +114,35 @@ let run (ctx : Context.t) =
         in
         go [] (Cfg.successors cfg label)
       in
+      (* One scan builds both per-register tables the per-claim loop
+         consults (claims can be numerous; a scan per claim is not). *)
+      let ckpt_site_tbl : (Reg.t, (string * int) list) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let def_tbl : (Reg.t, int) Hashtbl.t = Hashtbl.create 16 in
+      Func.iter_blocks
+        (fun b ->
+          Array.iteri
+            (fun i instr ->
+              (match instr with
+              | Instr.Ckpt r ->
+                Hashtbl.replace ckpt_site_tbl r
+                  ((b.Block.label, i)
+                  :: Option.value (Hashtbl.find_opt ckpt_site_tbl r)
+                       ~default:[])
+              | _ -> ());
+              Instr.iter_defs
+                (fun r ->
+                  Hashtbl.replace def_tbl r
+                    (1 + Option.value (Hashtbl.find_opt def_tbl r) ~default:0))
+                instr)
+            b.Block.body)
+        func;
       let ckpt_sites r =
-        let sites = ref [] in
-        Func.iter_blocks
-          (fun b ->
-            Array.iteri
-              (fun i instr ->
-                if Instr.equal instr (Instr.Ckpt r) then sites := (b.Block.label, i) :: !sites)
-              b.Block.body)
-          func;
-        !sites
+        Option.value (Hashtbl.find_opt ckpt_site_tbl r) ~default:[]
       in
       let def_count r =
-        Func.fold_instrs
-          (fun acc i -> if List.mem r (Instr.defs i) then acc + 1 else acc)
-          0 func
+        Option.value (Hashtbl.find_opt def_tbl r) ~default:0
       in
       let live = Context.liveness ctx in
       let dom = Context.dominance ctx in

@@ -3,4 +3,12 @@
     CLQ configuration sanity (paper §4.3). *)
 
 val name : string
+(** ["capacity"]. *)
+
 val run : Context.t -> Diag.t list
+(** Check every region's worst-path store-buffer demand against
+    [ctx.sb_size] (error above the SB, warning above the sb/2 overlap
+    target), per-region checkpoint multiplicity against the color pool,
+    each direct-release claim (unique site, loop-free, architectural,
+    dominates every region that restores the register), and CLQ/RBB
+    configuration sanity; returns sorted diagnostics. *)

@@ -7,6 +7,14 @@ type claims = {
 
 let no_claims = { bypass_stores = []; direct_ckpts = [] }
 
+type iv_merge = {
+  victim : Reg.t;
+  anchor : Reg.t;
+  ratio : int;
+  iv_base : [ `Const of int | `Reg of Reg.t ];
+  header : string;
+}
+
 type cache = {
   mutable cfg : Cfg.t option;
   mutable liveness : Liveness.t option;
@@ -26,6 +34,7 @@ type t = {
   clq_entries : int option;
   recovery_exprs : (Reg.t * Recovery_expr.t) list;
   claims : claims option;
+  iv_merges : iv_merge list;
   pass : string option;
   cache : cache;
 }
@@ -34,7 +43,7 @@ let fresh_cache () = { cfg = None; liveness = None; dominance = None; regions = 
 
 let make ?(entry_defined = Reg.Set.empty) ?(nregs = 32) ?(allow_virtual = false)
     ?(resilient = false) ?(sb_size = 0) ?(colors = Layout.colors) ?rbb_size
-    ?clq_entries ?(recovery_exprs = []) ?claims ?pass func =
+    ?clq_entries ?(recovery_exprs = []) ?claims ?(iv_merges = []) ?pass func =
   {
     func;
     entry_defined;
@@ -47,8 +56,38 @@ let make ?(entry_defined = Reg.Set.empty) ?(nregs = 32) ?(allow_virtual = false)
     clq_entries;
     recovery_exprs;
     claims;
+    iv_merges;
     pass;
     cache = fresh_cache ();
+  }
+
+(* Which derived analyses a dirty-facet set staleness-kills. Liveness also
+   depends on intra-block instruction order (upward-exposed uses), so it
+   dies with [Instrs]; the region table only reads boundary markers and
+   block labels, so plain instruction edits leave it valid. *)
+let advance ~dirty ?entry_defined ?allow_virtual ?recovery_exprs ?claims
+    ?iv_merges ?pass t func =
+  let dirty = if func != t.func then Facet.all else dirty in
+  let stale facets = not (Facet.Set.disjoint dirty (Facet.Set.of_list facets)) in
+  let keep staleness v = if staleness then None else v in
+  let cache =
+    {
+      cfg = keep (stale [ Facet.Cfg_shape ]) t.cache.cfg;
+      dominance = keep (stale [ Facet.Cfg_shape ]) t.cache.dominance;
+      liveness = keep (stale [ Facet.Cfg_shape; Facet.Instrs ]) t.cache.liveness;
+      regions = keep (stale [ Facet.Cfg_shape; Facet.Boundaries ]) t.cache.regions;
+    }
+  in
+  {
+    t with
+    func;
+    entry_defined = Option.value entry_defined ~default:t.entry_defined;
+    allow_virtual = Option.value allow_virtual ~default:t.allow_virtual;
+    recovery_exprs = Option.value recovery_exprs ~default:t.recovery_exprs;
+    claims = (match claims with Some _ -> claims | None -> t.claims);
+    iv_merges = Option.value iv_merges ~default:t.iv_merges;
+    pass;
+    cache;
   }
 
 let with_pass t pass = { t with pass }
@@ -88,6 +127,6 @@ let regions t =
   match t.cache.regions with
   | Some r -> r
   | None ->
-    let r = Regions_view.compute (cfg t) (dominance t) t.func in
+    let r = Regions_view.compute (cfg t) (fun () -> dominance t) t.func in
     t.cache.regions <- Some r;
     r

@@ -8,6 +8,7 @@
 type severity = Info | Warn | Error [@@deriving show, eq, ord]
 (** Ordered lattice: [Info < Warn < Error]. *)
 
+(** One finding. *)
 type t = {
   check : string;  (** registry name of the emitting check *)
   severity : severity;
@@ -28,13 +29,17 @@ val make :
   ?pass:string ->
   string ->
   t
+(** [make ~check ~severity ~func ?block ?instr ?pass message] builds one
+    diagnostic. *)
 
 val severity_to_string : severity -> string
+(** ["info"], ["warn"] or ["error"]. *)
 
 val max_severity : t list -> severity option
 (** Highest severity present, [None] on the empty list. *)
 
 val error_count : t list -> int
+(** Number of [Error]-severity diagnostics in the list. *)
 
 val compare_diag : t -> t -> int
 (** Deterministic order: function, block, instruction, check, severity
@@ -44,6 +49,7 @@ val sort : t list -> t list
 (** Sort by {!compare_diag} and drop exact duplicates. *)
 
 val with_pass : string option -> t -> t
+(** Replace the pass provenance field. *)
 
 val key : t -> string
 (** Identity of the finding ignoring pass provenance — used to attribute a
@@ -53,6 +59,7 @@ val to_string : t -> string
 (** One-line rendering: [severity check func[:block[:i]] (pass): message]. *)
 
 val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
 
 val to_json : t -> string
 (** One JSON object, keys in fixed order, deterministic bytes. *)

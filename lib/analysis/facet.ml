@@ -1,0 +1,55 @@
+(* IR facets — the currency of the incremental registry.
+
+   A facet names one aspect of the pipeline state a check can read (and a
+   pass can dirty). The granularity is deliberately coarse: facets must be
+   cheap to reason about at pass-declaration time, and a false "dirty" only
+   costs a redundant re-check (the [seen] dedup keeps the output identical),
+   while a false "clean" would silently drop diagnostics — so passes declare
+   conservatively and tools/check.sh pins incremental output byte-identical
+   to a full re-check. *)
+
+type t =
+  | Cfg_shape
+  | Instrs
+  | Instr_order
+  | Boundaries
+  | Reg_classes
+  | Recovery_exprs
+  | Claims
+  | Machine_params
+
+let compare = Stdlib.compare
+let equal = Stdlib.( = )
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let all_list =
+  [
+    Cfg_shape;
+    Instrs;
+    Instr_order;
+    Boundaries;
+    Reg_classes;
+    Recovery_exprs;
+    Claims;
+    Machine_params;
+  ]
+
+let all = Set.of_list all_list
+
+let to_string = function
+  | Cfg_shape -> "cfg-shape"
+  | Instrs -> "instrs"
+  | Instr_order -> "instr-order"
+  | Boundaries -> "boundaries"
+  | Reg_classes -> "reg-classes"
+  | Recovery_exprs -> "recovery-exprs"
+  | Claims -> "claims"
+  | Machine_params -> "machine-params"
+
+let set_to_string s =
+  String.concat "," (List.map to_string (Set.elements s))

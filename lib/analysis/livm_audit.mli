@@ -1,0 +1,20 @@
+(** Audit of the claims made by loop induction-variable merging (paper
+    §4.1.2) — a pair check on the [livm] pass.
+
+    For every merge the pass reports ({!Context.iv_merge}), the check
+    re-derives from the before/after function pair that the victim and
+    anchor really were basic induction variables with the claimed
+    step ratio, that the victim did not escape its loop, and that after
+    the pass the victim is fully eliminated, the anchor's increment is
+    intact, and each block that used the victim carries the local
+    [anchor * ratio + base] recompute. *)
+
+open Turnpike_ir
+
+val name : string
+(** ["livm-merge"]. *)
+
+val run : before:Func.t -> Context.t -> Diag.t list
+(** [run ~before ctx] audits [ctx.iv_merges] against the pre-pass
+    snapshot [before] and the post-pass function [ctx.func]; returns
+    sorted diagnostics. *)

@@ -15,49 +15,300 @@ open Turnpike_ir
 
 let name = "recoverability"
 
-(* Not-covered sets per block entry; absent register = covered. *)
+(* ------------------------------------------------------------------ *)
+(* Independent re-derivation of recovery expressions.
+
+   The pruning pass is not trusted for the *content* of the expressions it
+   publishes: for every (register, expression) pair the checker re-derives
+   the register's unique runtime value from its defining instructions and
+   demands that the claimed expression normalize to the same value tree.
+
+   Both sides normalize into [Recovery_expr] over root atoms: [Const c],
+   and [Slot x] where [x] has no definition (program input, slot seeded at
+   entry) or a single impure definition (a load — opaque but unique).
+   [Slot x] of a single pure definition expands through that definition,
+   so structurally different but value-equal claims (e.g. reading a slot
+   vs. re-deriving its producer) converge to the same tree. Expansion
+   fails loudly on a clobbered (multiply-defined) register — its slot has
+   no stable value — and on a loop-carried chain (a definition that feeds
+   itself): both are exactly the unsound claims this check exists to
+   convict. *)
+(* ------------------------------------------------------------------ *)
+
+exception Clobbered of Reg.t
+exception Cyclic of Reg.t
+exception Too_deep
+
+(* Generous: pruning emits depth ≤ 4 expressions; the bound only guards
+   adversarial hand-built IR from non-termination. *)
+let max_expand_steps = 4096
+
+(* One scan, shared by [validate_exprs] and the coverage walk in [run]:
+   every definition site of every register, in program order. *)
+let def_sites_of func =
+  let def_sites : (Reg.t, (string * Instr.t) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Func.iter_blocks
+    (fun b ->
+      Array.iter
+        (fun i ->
+          Instr.iter_defs
+            (fun d ->
+              Hashtbl.replace def_sites d
+                ((b.Block.label, i)
+                :: Option.value (Hashtbl.find_opt def_sites d) ~default:[]))
+            i)
+        b.Block.body)
+    func;
+  def_sites
+
+let validate_exprs ~def_sites (ctx : Context.t) =
+  if ctx.Context.recovery_exprs = [] then []
+  else begin
+    let func = ctx.Context.func in
+    let fname = func.Func.name in
+    let sites r =
+      List.rev (Option.value (Hashtbl.find_opt def_sites r) ~default:[])
+    in
+    let fuel = ref 0 in
+    let tick () =
+      incr fuel;
+      if !fuel > max_expand_steps then raise Too_deep
+    in
+    (* A register's expansion is independent of the [visiting] path (which
+       only detects cycles), so successful expansions are shared across
+       every expression being validated; a register that raises is never
+       cached. Sharing makes repeated subtrees physically equal, which the
+       [eq] shortcut below exploits. *)
+    let memo : (Reg.t, Recovery_expr.t) Hashtbl.t = Hashtbl.create 32 in
+    let rec value_of_reg visiting r =
+      match Hashtbl.find_opt memo r with
+      | Some v -> v
+      | None ->
+        tick ();
+        let v =
+          if Reg.is_zero r then Recovery_expr.Const 0
+          else if List.exists (Reg.equal r) visiting then raise (Cyclic r)
+          else
+            match sites r with
+            | [] -> Recovery_expr.Slot r
+            | [ (_, d) ] when Instr.is_pure d ->
+              value_of_instr (r :: visiting) d
+            | [ _ ] -> Recovery_expr.Slot r (* load-defined: opaque but unique *)
+            | _ -> raise (Clobbered r)
+        in
+        Hashtbl.replace memo r v;
+        v
+    and value_of_operand visiting = function
+      | Instr.Imm c -> Recovery_expr.Const c
+      | Instr.Reg r -> value_of_reg visiting r
+    and value_of_instr visiting = function
+      | Instr.Mov (_, o) -> value_of_operand visiting o
+      | Instr.Binop (op, _, a, o) ->
+        Recovery_expr.Op (op, value_of_reg visiting a, value_of_operand visiting o)
+      | Instr.Cmp (c, _, a, o) ->
+        Recovery_expr.Cmp (c, value_of_reg visiting a, value_of_operand visiting o)
+      | Instr.Load _ | Instr.Store _ | Instr.Ckpt _ | Instr.Boundary _
+      | Instr.Nop ->
+        raise Too_deep (* unreachable: callers check purity first *)
+    in
+    (* Structural equality with a physical shortcut: memoized expansion
+       shares subtrees, so deep equal comparisons usually hit [==]. *)
+    let rec eq a b =
+      a == b
+      ||
+      match (a, b) with
+      | Recovery_expr.Const x, Recovery_expr.Const y -> x = y
+      | Recovery_expr.Slot x, Recovery_expr.Slot y -> Reg.equal x y
+      | Recovery_expr.Op (o, a1, b1), Recovery_expr.Op (o', a2, b2) ->
+        o = o' && eq a1 a2 && eq b1 b2
+      | Recovery_expr.Cmp (c, a1, b1), Recovery_expr.Cmp (c', a2, b2) ->
+        c = c' && eq a1 a2 && eq b1 b2
+      | Recovery_expr.Select (c1, a1, b1), Recovery_expr.Select (c2, a2, b2) ->
+        eq c1 c2 && eq a1 a2 && eq b1 b2
+      | _ -> false
+    in
+    let rec norm visiting = function
+      | Recovery_expr.Const c -> Recovery_expr.Const c
+      | Recovery_expr.Slot r -> value_of_reg visiting r
+      | Recovery_expr.Op (op, a, b) ->
+        Recovery_expr.Op (op, norm visiting a, norm visiting b)
+      | Recovery_expr.Cmp (c, a, b) ->
+        Recovery_expr.Cmp (c, norm visiting a, norm visiting b)
+      | Recovery_expr.Select (c, a, b) ->
+        Recovery_expr.Select (norm visiting c, norm visiting a, norm visiting b)
+    in
+    let diags = ref [] in
+    let emit severity msg =
+      diags := Diag.make ~check:name ~severity ~func:fname msg :: !diags
+    in
+    let reg = Reg.to_string in
+    List.iter
+      (fun (r, e) ->
+        fuel := 0;
+        try
+          match sites r with
+          | [ (la, da); (lb, db) ] -> (
+            (* Two-sided definition: only a select replaying the defining
+               branch can be sound (paper Fig 9). *)
+            match e with
+            | Recovery_expr.Select (ec, et, ef) -> (
+              if not (Instr.is_pure da && Instr.is_pure db) then
+                emit Diag.Error
+                  (Printf.sprintf
+                     "recovery expression for %s reconstructs an impure two-sided definition"
+                     (reg r))
+              else
+                let cfg = Context.cfg ctx in
+                match (Cfg.predecessors cfg la, Cfg.predecessors cfg lb) with
+                | [ p ], [ p' ] when String.equal p p' -> (
+                  match (Func.block func p).Block.term with
+                  | Block.Branch (c, taken, fall)
+                    when (String.equal taken la && String.equal fall lb)
+                         || (String.equal taken lb && String.equal fall la) ->
+                    let td, fd =
+                      if String.equal taken la then (da, db) else (db, da)
+                    in
+                    if
+                      not
+                        (eq (norm [] ec) (value_of_reg [] c)
+                        && eq (norm [] et)
+                             (value_of_instr [ r ] td)
+                        && eq (norm [] ef)
+                             (value_of_instr [ r ] fd))
+                    then
+                      emit Diag.Error
+                        (Printf.sprintf
+                           "recovery select for %s does not replay the branch that defines it (predicate or arm mismatch)"
+                           (reg r))
+                  | Block.Branch _ | Block.Jump _ | Block.Ret ->
+                    emit Diag.Error
+                      (Printf.sprintf
+                         "recovery select for %s: definitions in %s/%s are not the two arms of one branch"
+                         (reg r) la lb)
+                  )
+                | _ ->
+                  emit Diag.Error
+                    (Printf.sprintf
+                       "recovery select for %s: definitions in %s/%s are not the two arms of one branch"
+                       (reg r) la lb))
+            | _ ->
+              emit Diag.Error
+                (Printf.sprintf
+                   "register %s has two definitions but its recovery expression is not a branch select"
+                   (reg r)))
+          | [] | [ _ ] ->
+            if not (eq (norm [] e) (value_of_reg [] r)) then
+              emit Diag.Error
+                (Printf.sprintf
+                   "recovery expression for %s does not recompute its definition: %s"
+                   (reg r) (Recovery_expr.to_string e))
+          | ds ->
+            emit Diag.Error
+              (Printf.sprintf
+                 "register %s has %d definitions (clobbered); no recovery expression can denote its value"
+                 (reg r) (List.length ds))
+        with
+        | Cyclic x ->
+          emit Diag.Error
+            (Printf.sprintf
+               "recovery expression for %s depends on the loop-carried value of %s (definition feeds itself)"
+               (reg r) (reg x))
+        | Clobbered x ->
+          emit Diag.Error
+            (Printf.sprintf
+               "recovery expression for %s reconstructs from %s, which has multiple definitions (slot value is not stable)"
+               (reg r) (reg x))
+        | Too_deep ->
+          emit Diag.Warn
+            (Printf.sprintf
+               "recovery expression for %s is too deep to validate independently"
+               (reg r)))
+      ctx.Context.recovery_exprs;
+    !diags
+  end
+
+(* Not-covered sets per block entry; absent register = covered. Runs on
+   {!Bitset}s: the universe is the registers the function defines or
+   checkpoints (anything else is untouched, hence covered). *)
 let compute_notcov ctx =
   let func = ctx.Context.func in
   let cfg = Context.cfg ctx in
   let rpo = Cfg.reverse_postorder cfg in
-  let transfer notcov (b : Block.t) =
-    Array.fold_left
-      (fun acc i ->
-        let acc =
-          match i with Instr.Ckpt r -> Reg.Set.remove r acc | _ -> acc
-        in
-        List.fold_left (fun acc r -> Reg.Set.add r acc) acc (Instr.defs i))
-      notcov b.Block.body
+  let max_id = ref 0 in
+  let bump r = if r > !max_id then max_id := r in
+  Func.iter_blocks
+    (fun b ->
+      Array.iter
+        (fun i ->
+          (match i with Instr.Ckpt r -> bump r | _ -> ());
+          Instr.iter_defs bump i)
+        b.Block.body)
+    func;
+  let max_id = !max_id in
+  (* The sequential transfer (Ckpt covers, def stales) collapses to a
+     last-event-wins summary per register, so each block contributes a
+     gen set (last touch was a def) and a kill set (last touch was a
+     checkpoint), computed once instead of per fixpoint iteration:
+     out = (in \ kill) ∪ gen. *)
+  (* Dense reverse-postorder indices, as in [Wellformed]: the fixpoint
+     iterations touch only arrays. *)
+  let rpo_arr = Array.of_list rpo in
+  let n = Array.length rpo_arr in
+  let idx : (string, int) Hashtbl.t = Hashtbl.create n in
+  Array.iteri (fun i l -> Hashtbl.replace idx l i) rpo_arr;
+  let gen_arr = Array.init n (fun _ -> Bitset.create ~max_id) in
+  let kill_arr = Array.init n (fun _ -> Bitset.create ~max_id) in
+  Array.iteri
+    (fun bi label ->
+      let gen = gen_arr.(bi) and kill = kill_arr.(bi) in
+      Array.iter
+        (fun i ->
+          (match i with
+          | Instr.Ckpt r ->
+            Bitset.add kill r;
+            Bitset.remove gen r
+          | _ -> ());
+          Instr.iter_defs
+            (fun r ->
+              Bitset.add gen r;
+              Bitset.remove kill r)
+            i)
+        (Func.block func label).Block.body)
+    rpo_arr;
+  let preds_arr =
+    Array.map
+      (fun label ->
+        List.filter_map
+          (fun p -> Hashtbl.find_opt idx p)
+          (Cfg.predecessors cfg label))
+      rpo_arr
   in
-  let in_sets : (string, Reg.Set.t) Hashtbl.t = Hashtbl.create 32 in
-  let out_sets : (string, Reg.Set.t) Hashtbl.t = Hashtbl.create 32 in
+  let entry_i = Option.value (Hashtbl.find_opt idx func.Func.entry) ~default:0 in
+  let in_arr = Array.init n (fun _ -> Bitset.create ~max_id) in
+  let out_arr = Array.init n (fun _ -> Bitset.create ~max_id) in
   let changed = ref true in
   while !changed do
     changed := false;
-    List.iter
-      (fun label ->
-        let b = Func.block func label in
-        let input =
-          if String.equal label func.Func.entry then Reg.Set.empty
-          else
-            List.fold_left
-              (fun acc p ->
-                match Hashtbl.find_opt out_sets p with
-                | None -> acc
-                | Some s -> Reg.Set.union acc s)
-              Reg.Set.empty
-              (Cfg.predecessors cfg label)
-        in
-        Hashtbl.replace in_sets label input;
-        let o = transfer input b in
-        match Hashtbl.find_opt out_sets label with
-        | Some prev when Reg.Set.equal prev o -> ()
-        | _ ->
-          Hashtbl.replace out_sets label o;
-          changed := true)
-      rpo
+    for i = 0 to n - 1 do
+      let input = Bitset.create ~max_id in
+      (* The entry starts all-covered regardless of back edges into it. *)
+      if i <> entry_i then
+        List.iter
+          (fun p -> Bitset.union_into ~dst:input out_arr.(p))
+          preds_arr.(i);
+      in_arr.(i) <- input;
+      let o = Bitset.transfer ~gen:gen_arr.(i) ~kill:kill_arr.(i) input in
+      if not (Bitset.equal out_arr.(i) o) then begin
+        out_arr.(i) <- o;
+        changed := true
+      end
+    done
   done;
-  in_sets
+  let in_sets : (string, Bitset.t) Hashtbl.t = Hashtbl.create n in
+  Array.iteri (fun i l -> Hashtbl.replace in_sets l in_arr.(i)) rpo_arr;
+  (max_id, in_sets)
 
 let run (ctx : Context.t) =
   let func = ctx.Context.func in
@@ -66,34 +317,35 @@ let run (ctx : Context.t) =
   if not rv.Regions_view.has_regions then []
   else begin
     let live = Context.liveness ctx in
-    let notcov_in = compute_notcov ctx in
-    let diags = ref [] in
+    let notcov_max, notcov_in = compute_notcov ctx in
+    let notcov_empty = Bitset.create ~max_id:notcov_max in
+    (* Only consulted for recovery expressions (validation and dependence
+       stability). Rounds before pruning publishes any — notably the
+       expensive post-partition one — never pay for the scan. *)
+    let def_sites = lazy (def_sites_of func) in
+    let diags =
+      ref
+        (if ctx.Context.recovery_exprs = [] then []
+         else validate_exprs ~def_sites:(Lazy.force def_sites) ctx)
+    in
     let emit ?block severity msg =
       diags := Diag.make ~check:name ~severity ~func:fname ?block msg :: !diags
     in
-    (* How many sites define / checkpoint each register (for expression
-       dependence stability). *)
-    let def_count = Hashtbl.create 32 in
-    Func.iter_blocks
-      (fun b ->
-        Array.iter
-          (fun i ->
-            List.iter
-              (fun r ->
-                Hashtbl.replace def_count r (1 + Option.value (Hashtbl.find_opt def_count r) ~default:0))
-              (Instr.defs i))
-          b.Block.body)
-      func;
+    (* Definition multiplicity (for expression dependence stability). *)
+    let def_count r =
+      List.length
+        (Option.value (Hashtbl.find_opt (Lazy.force def_sites) r) ~default:[])
+    in
     let expr_of r = List.assoc_opt r ctx.Context.recovery_exprs in
     List.iter
       (fun { Regions_view.id; head; _ } ->
         let notcov =
-          Option.value (Hashtbl.find_opt notcov_in head) ~default:Reg.Set.empty
+          Option.value (Hashtbl.find_opt notcov_in head) ~default:notcov_empty
         in
         let needed = Reg.Set.remove Reg.zero (Liveness.live_in live head) in
         Reg.Set.iter
           (fun r ->
-            if Reg.Set.mem r notcov then
+            if Bitset.mem notcov r then
               match expr_of r with
               | None ->
                 emit ~block:head Diag.Error
@@ -103,12 +355,12 @@ let run (ctx : Context.t) =
               | Some e ->
                 List.iter
                   (fun dep ->
-                    if Reg.Set.mem dep notcov then
+                    if Bitset.mem notcov dep then
                       emit ~block:head Diag.Error
                         (Printf.sprintf
                            "recovery expression for %s reads the slot of %s, which is not covered at region %d"
                            (Reg.to_string r) (Reg.to_string dep) id);
-                    if Option.value (Hashtbl.find_opt def_count dep) ~default:0 > 1 then
+                    if def_count dep > 1 then
                       emit ~block:head Diag.Error
                         (Printf.sprintf
                            "recovery expression for %s depends on %s, which has multiple definitions (slot value is not stable)"

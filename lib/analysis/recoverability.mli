@@ -3,4 +3,14 @@
     validated recovery expression (paper §4.1.3). *)
 
 val name : string
+(** ["recoverability"]. *)
+
 val run : Context.t -> Diag.t list
+(** Prove, per region head, that every live-in register is either covered
+    (its checkpoint slot holds the current value on all incoming paths —
+    a forward must-dataflow) or carries a recovery expression whose slot
+    dependences are themselves covered and stable. Published expressions
+    are additionally re-derived independently: each must normalize to the
+    same value tree as the register's defining instructions, with
+    clobbered and loop-carried operands convicted. Returns sorted
+    diagnostics. *)

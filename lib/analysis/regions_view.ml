@@ -14,6 +14,7 @@ let check_name = "regions"
 let region_of_block t label = List.assoc_opt label t.region_of
 
 let compute cfg dom (func : Func.t) =
+  let dom = lazy (dom ()) in
   let fname = func.Func.name in
   let diags = ref [] in
   let emit ?block ?instr severity msg =
@@ -90,7 +91,7 @@ let compute cfg dom (func : Func.t) =
           match Hashtbl.find_opt id_head id with
           | None -> ()
           | Some head ->
-            if not (Dominance.dominates dom ~dom:head ~sub:label) then
+            if not (Dominance.dominates (Lazy.force dom) ~dom:head ~sub:label) then
               emit ~block:label Diag.Error
                 (Printf.sprintf "region %d head %s does not dominate member block %s" id head label)))
       rpo

@@ -26,6 +26,12 @@ type t = {
 val check_name : string
 (** ["regions"] — the registry name under which [diags] are reported. *)
 
-val compute : Cfg.t -> Dominance.t -> Func.t -> t
+val compute : Cfg.t -> (unit -> Dominance.t) -> Func.t -> t
+(** [compute cfg dom func] reconstructs the partition. [dom] is forced
+    only when the function actually carries boundary markers (the
+    head-dominates-member proof) — pre-partition pipeline rounds build the
+    view on boundary-free code and never pay for dominance. *)
 
 val region_of_block : t -> string -> int option
+(** Region id of a reachable member block; [None] for blocks outside
+    every region (including unreachable ones). *)

@@ -3,6 +3,7 @@ open Turnpike_ir
 type whole = {
   name : string;
   doc : string;
+  reads : Facet.Set.t;
   applies : Context.t -> bool;
   run : Context.t -> Diag.t list;
 }
@@ -15,36 +16,74 @@ type pair = {
 }
 
 let has_regions ctx = (Context.regions ctx).Regions_view.has_regions
+let facets = Facet.Set.of_list
 
 let whole_checks =
   [
     {
       name = Wellformed.name;
       doc = "CFG/label consistency, definite assignment, register classes";
+      reads =
+        facets
+          [
+            Facet.Cfg_shape;
+            Facet.Instrs;
+            Facet.Instr_order;
+            Facet.Reg_classes;
+          ];
       applies = (fun _ -> true);
       run = Wellformed.run;
     };
     {
       name = Regions_view.check_name;
       doc = "single-entry region structure reconstructed from boundary markers";
+      reads = facets [ Facet.Cfg_shape; Facet.Boundaries ];
       applies = (fun ctx -> ctx.Context.resilient && has_regions ctx);
       run = (fun ctx -> (Context.regions ctx).Regions_view.diags);
     };
     {
       name = Recoverability.name;
       doc = "every region live-in is checkpoint-covered or reconstructible";
+      reads =
+        facets
+          [
+            Facet.Cfg_shape;
+            Facet.Instrs;
+            Facet.Instr_order;
+            Facet.Boundaries;
+            Facet.Recovery_exprs;
+          ];
       applies = (fun ctx -> ctx.Context.resilient && has_regions ctx);
       run = Recoverability.run;
     };
     {
       name = War.name;
       doc = "claimed verification-bypassable stores are WAR-free in-region";
+      reads =
+        facets
+          [
+            Facet.Cfg_shape;
+            Facet.Instrs;
+            Facet.Instr_order;
+            Facet.Boundaries;
+            Facet.Claims;
+          ];
       applies = (fun ctx -> ctx.Context.resilient && ctx.Context.claims <> None && has_regions ctx);
       run = War.run;
     };
     {
       name = Capacity.name;
       doc = "store-buffer demand, checkpoint colors, direct-release claims, CLQ";
+      reads =
+        facets
+          [
+            Facet.Cfg_shape;
+            Facet.Instrs;
+            Facet.Instr_order;
+            Facet.Boundaries;
+            Facet.Claims;
+            Facet.Machine_params;
+          ];
       applies = (fun ctx -> ctx.Context.resilient && has_regions ctx);
       run = Capacity.run;
     };
@@ -52,6 +91,12 @@ let whole_checks =
 
 let pair_checks =
   [
+    {
+      p_name = Livm_audit.name;
+      p_doc = "claimed induction-variable merges re-derived from the snapshot pair";
+      pass = "livm";
+      p_run = Livm_audit.run;
+    };
     {
       p_name = Schedule.name;
       p_doc = "scheduler output preserves def-use/memory dependences";
@@ -62,6 +107,11 @@ let pair_checks =
 
 let names =
   List.map (fun c -> c.name) whole_checks @ List.map (fun c -> c.p_name) pair_checks
+
+let reads_of name =
+  match List.find_opt (fun c -> String.equal c.name name) whole_checks with
+  | Some c -> c.reads
+  | None -> Facet.Set.empty
 
 let pair_passes = List.sort_uniq compare (List.map (fun c -> c.pass) pair_checks)
 
@@ -89,10 +139,57 @@ let run_whole ctx =
 let run_pair ~pass ~before ctx =
   let ds =
     List.concat_map
-      (fun c -> if String.equal c.pass pass then c.p_run ~before ctx else [])
+      (fun c ->
+        if String.equal c.pass pass then
+          guarded c.p_name (fun ctx -> c.p_run ~before ctx) ctx
+        else [])
       pair_checks
   in
   Diag.sort (List.map (Diag.with_pass ctx.Context.pass) ds)
+
+let pair_names_for pass =
+  List.filter_map
+    (fun c -> if String.equal c.pass pass then Some c.p_name else None)
+    pair_checks
+
+(* ------------------------- incremental engine ------------------------- *)
+
+(* Per-check accumulation of the facets dirtied since the check last ran.
+   A check re-runs iff that pending set intersects its read set; skipping
+   is output-preserving because an untouched check would reproduce its
+   previous diagnostics verbatim and those are already deduplicated by
+   [fresh]'s [seen] table (tools/check.sh additionally pins incremental
+   output byte-identical to a full re-check). *)
+type inc = (string, Facet.Set.t) Hashtbl.t
+
+let inc_create () : inc =
+  let t = Hashtbl.create (List.length whole_checks) in
+  List.iter (fun c -> Hashtbl.replace t c.name Facet.Set.empty) whole_checks;
+  t
+
+let run_whole_inc (inc : inc) ~dirty ctx =
+  let ran = ref [] in
+  let ds =
+    List.concat_map
+      (fun c ->
+        let pending =
+          Facet.Set.union dirty
+            (Option.value (Hashtbl.find_opt inc c.name) ~default:Facet.all)
+        in
+        if Facet.Set.disjoint pending c.reads then begin
+          Hashtbl.replace inc c.name pending;
+          []
+        end
+        else begin
+          Hashtbl.replace inc c.name Facet.Set.empty;
+          ran := c.name :: !ran;
+          guarded c.name
+            (fun ctx -> if c.applies ctx then c.run ctx else [])
+            ctx
+        end)
+      whole_checks
+  in
+  (Diag.sort (List.map (Diag.with_pass ctx.Context.pass) ds), List.rev !ran)
 
 let fresh ~seen ds =
   List.filter

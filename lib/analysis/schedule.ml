@@ -32,13 +32,6 @@ let mem_conflict a b =
 
 let inter l1 l2 = List.exists (fun r -> List.mem r l2) l1
 
-let depends a b =
-  Instr.is_boundary a || Instr.is_boundary b
-  || inter (Instr.defs a) (Instr.uses b)
-  || inter (Instr.uses a) (Instr.defs b)
-  || inter (Instr.defs a) (Instr.defs b)
-  || mem_conflict a b
-
 let run ~(before : Func.t) (ctx : Context.t) =
   let after = ctx.Context.func in
   let fname = after.Func.name in
@@ -66,26 +59,38 @@ let run ~(before : Func.t) (ctx : Context.t) =
           emit ~block:label Diag.Error "scheduler changed the instruction multiset of the block"
         else begin
           (* Position of before-index k in the after order: the n-th
-             occurrence of an instruction maps to the n-th occurrence. *)
+             occurrence of an instruction maps to the n-th occurrence
+             (greedy first-unclaimed matching realizes exactly that). *)
           let n = Array.length bx in
           let pos = Array.make n 0 in
-          let occ = Hashtbl.create 16 in
+          let claimed = Array.make n false in
           for k = 0 to n - 1 do
-            let s = Instr.to_string bx.(k) in
-            let c = Option.value (Hashtbl.find_opt occ s) ~default:0 in
-            Hashtbl.replace occ s (c + 1);
-            let found = ref (-1) and seen = ref 0 in
-            Array.iteri
-              (fun j i ->
-                if !found < 0 && Instr.equal i bx.(k) then begin
-                  if !seen = c then found := j else incr seen
-                end)
-              ax;
+            let found = ref (-1) in
+            let j = ref 0 in
+            while !found < 0 && !j < n do
+              if (not claimed.(!j)) && Instr.equal ax.(!j) bx.(k) then begin
+                claimed.(!j) <- true;
+                found := !j
+              end;
+              incr j
+            done;
             pos.(k) <- !found
           done;
+          (* def/use lists allocate; the O(n^2) dependence scan below
+             reads each many times. *)
+          let defs = Array.map Instr.defs bx in
+          let uses = Array.map Instr.uses bx in
+          let fence = Array.map Instr.is_boundary bx in
+          let dep i j =
+            fence.(i) || fence.(j)
+            || inter defs.(i) uses.(j)
+            || inter uses.(i) defs.(j)
+            || inter defs.(i) defs.(j)
+            || mem_conflict bx.(i) bx.(j)
+          in
           for i = 0 to n - 1 do
             for j = i + 1 to n - 1 do
-              if depends bx.(i) bx.(j) && pos.(i) > pos.(j) then
+              if pos.(i) > pos.(j) && dep i j then
                 emit ~block:label ~instr:j Diag.Error
                   (Printf.sprintf
                      "scheduler reordered dependent instructions: [%s] now executes after [%s]"

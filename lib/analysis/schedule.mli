@@ -5,4 +5,11 @@
 open Turnpike_ir
 
 val name : string
+(** ["sched-deps"]. *)
+
 val run : before:Func.t -> Context.t -> Diag.t list
+(** [run ~before ctx] compares [ctx.func] against the pre-scheduling
+    snapshot [before]: identical block structure, each body a permutation
+    of the original multiset, and every RAW/WAR/WAW register dependence,
+    memory-order and checkpoint-order constraint preserved. Returns
+    sorted diagnostics. *)

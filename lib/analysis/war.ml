@@ -32,13 +32,13 @@ let store_access = function
 (* The (unique, single-entry) chain of blocks from the region head down to
    [label], head first, [label] excluded. Falls back to every region block
    when the structure is broken (a structural diag is emitted elsewhere). *)
-let path_to_head rv region_id ~head blocks_of_region preds label =
+let path_to_head region_of region_id ~head blocks_of_region preds label =
   let rec walk l acc guard =
     if guard = 0 then blocks_of_region
     else if String.equal l head then acc
     else
       match preds l with
-      | [ p ] when Regions_view.region_of_block rv p = Some region_id ->
+      | [ p ] when Hashtbl.find_opt region_of p = Some region_id ->
         walk p (p :: acc) (guard - 1)
       | [] -> acc
       | _ -> acc
@@ -50,6 +50,22 @@ let independent_set (ctx : Context.t) =
   let cfg = Context.cfg ctx in
   let rv = Context.regions ctx in
   let preds l = Cfg.predecessors cfg l in
+  (* Per-run lookup tables: region membership and each block's load
+     accesses in body order, computed once instead of per member block. *)
+  let region_of = Hashtbl.create 32 in
+  List.iter
+    (fun (l, id) -> Hashtbl.replace region_of l id)
+    rv.Regions_view.region_of;
+  let loads_tbl = Hashtbl.create 32 in
+  Func.iter_blocks
+    (fun b ->
+      let acc = ref [] in
+      Array.iter
+        (fun i ->
+          match load_access i with Some a -> acc := a :: !acc | None -> ())
+        b.Block.body;
+      Hashtbl.replace loads_tbl b.Block.label (List.rev !acc))
+    func;
   let result = ref [] in
   List.iter
     (fun { Regions_view.id; head; blocks } ->
@@ -57,12 +73,11 @@ let independent_set (ctx : Context.t) =
         (fun label ->
           let b = Func.block func label in
           (* Loads on the unique path from the region head to this block. *)
-          let prefix_blocks = path_to_head rv id ~head blocks preds label in
+          let prefix_blocks = path_to_head region_of id ~head blocks preds label in
           let loads_before =
             List.concat_map
               (fun l ->
-                let blk = Func.block func l in
-                List.filter_map load_access (Block.body_list blk))
+                Option.value (Hashtbl.find_opt loads_tbl l) ~default:[])
               prefix_blocks
           in
           let seen = ref loads_before in

@@ -3,6 +3,7 @@
     verification-bypass claims (paper §4.3.1). *)
 
 val name : string
+(** ["war-bypass"]. *)
 
 val independent_set : Context.t -> (string * int) list
 (** Stores ((block, body index), sorted) with no may-aliasing load earlier
@@ -10,3 +11,7 @@ val independent_set : Context.t -> (string * int) list
     verification. *)
 
 val run : Context.t -> Diag.t list
+(** Error on every claimed bypass store outside {!independent_set} (a
+    rollback could replay an earlier load against the released value),
+    plus an informational count of provably WAR-free stores left
+    unclaimed. Returns sorted diagnostics. *)

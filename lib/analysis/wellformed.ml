@@ -48,99 +48,156 @@ let run (ctx : Context.t) =
   if not !structural_ok then Diag.sort !diags
   else begin
   let cfg = Context.cfg ctx in
+  (* One fused scan: reachability diags, register-class sanity, and the
+     physical/virtual id extents the definite-assignment bitsets are sized
+     from. The extents are tracked separately so the dataflow can remap
+     the sparse id space (physicals near 0, virtuals from [Reg.virt_base])
+     onto a compact universe — pre-regalloc rounds would otherwise drag
+     ~[Reg.virt_base] permanently-zero bits through every word loop. *)
+  let max_phys = ref 0 in
+  let max_virt = ref (-1) in
+  let span r =
+    if Reg.is_virtual r then (if r > !max_virt then max_virt := r)
+    else if r > !max_phys then max_phys := r
+  in
+  let check_classes = not ctx.Context.allow_virtual in
   Func.iter_blocks
     (fun b ->
       if not (Cfg.is_reachable cfg b.Block.label) then
-        emit ~block:b.Block.label Diag.Info "block is unreachable from the entry")
-    func;
-  (* --- register-class sanity ----------------------------------------- *)
-  if not ctx.Context.allow_virtual then
-    Func.iter_blocks
-      (fun b ->
-        let bad ?instr r =
-          if Reg.is_virtual r then
-            emit ~block:b.Block.label ?instr Diag.Error
-              (Printf.sprintf "virtual register %s survives register allocation" (Reg.to_string r))
-          else if (not (Reg.is_zero r)) && r >= ctx.Context.nregs then
-            emit ~block:b.Block.label ?instr Diag.Error
-              (Printf.sprintf "register %s is outside the %d-register machine file"
-                 (Reg.to_string r) ctx.Context.nregs)
-        in
-        Array.iteri
-          (fun i instr ->
-            List.iter (bad ~instr:i) (Instr.defs instr);
-            List.iter (bad ~instr:i) (Instr.uses instr);
-            match instr with
-            | Instr.Ckpt r when Reg.is_zero r ->
-              emit ~block:b.Block.label ~instr:i Diag.Error "checkpoint of the zero register"
-            | _ -> ())
-          b.Block.body;
-        List.iter bad (Block.term_uses b))
-      func;
-  (* --- definite assignment: defs must reach uses on every path -------- *)
-  let rpo = Cfg.reverse_postorder cfg in
-  let all_regs = ref ctx.Context.entry_defined in
-  Func.iter_blocks
-    (fun b ->
-      Array.iter
-        (fun i -> List.iter (fun r -> all_regs := Reg.Set.add r !all_regs) (Instr.defs i))
-        b.Block.body)
-    func;
-  (* OUT sets, None = not yet computed (top of the must lattice). *)
-  let out : (string, Reg.Set.t) Hashtbl.t = Hashtbl.create 32 in
-  let block_defs b =
-    Array.fold_left
-      (fun acc i -> List.fold_left (fun acc r -> Reg.Set.add r acc) acc (Instr.defs i))
-      Reg.Set.empty b.Block.body
-  in
-  let in_of label =
-    if String.equal label func.Func.entry then ctx.Context.entry_defined
-    else
-      let preds = Cfg.predecessors cfg label in
-      List.fold_left
-        (fun acc p ->
-          match Hashtbl.find_opt out p with
-          | None -> acc (* unresolved pred: optimistic top *)
-          | Some s -> ( match acc with None -> Some s | Some a -> Some (Reg.Set.inter a s)))
-        None preds
-      |> Option.value ~default:!all_regs
-  in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun label ->
-        let b = Func.block func label in
-        let o = Reg.Set.union (in_of label) (block_defs b) in
-        match Hashtbl.find_opt out label with
-        | Some prev when Reg.Set.equal prev o -> ()
-        | _ ->
-          Hashtbl.replace out label o;
-          changed := true)
-      rpo
-  done;
-  List.iter
-    (fun label ->
-      let b = Func.block func label in
-      let defined = ref (in_of label) in
+        emit ~block:b.Block.label Diag.Info "block is unreachable from the entry";
+      let bad ?instr r =
+        if Reg.is_virtual r then
+          emit ~block:b.Block.label ?instr Diag.Error
+            (Printf.sprintf "virtual register %s survives register allocation" (Reg.to_string r))
+        else if (not (Reg.is_zero r)) && r >= ctx.Context.nregs then
+          emit ~block:b.Block.label ?instr Diag.Error
+            (Printf.sprintf "register %s is outside the %d-register machine file"
+               (Reg.to_string r) ctx.Context.nregs)
+      in
       Array.iteri
         (fun i instr ->
-          List.iter
-            (fun r ->
-              if not (Reg.Set.mem r !defined) then
-                emit ~block:label ~instr:i Diag.Warn
-                  (Printf.sprintf "register %s may be read before any definition reaches it"
-                     (Reg.to_string r)))
-            (Instr.uses instr);
-          List.iter (fun r -> defined := Reg.Set.add r !defined) (Instr.defs instr))
+          let visit =
+            if check_classes then fun r ->
+              span r;
+              bad ~instr:i r
+            else span
+          in
+          Instr.iter_defs visit instr;
+          Instr.iter_uses visit instr;
+          match instr with
+          | Instr.Ckpt r when check_classes && Reg.is_zero r ->
+            emit ~block:b.Block.label ~instr:i Diag.Error "checkpoint of the zero register"
+          | _ -> ())
         b.Block.body;
       List.iter
         (fun r ->
-          if not (Reg.Set.mem r !defined) then
+          span r;
+          if check_classes then bad r)
+        (Block.term_uses b))
+    func;
+  (* --- definite assignment: defs must reach uses on every path -------- *)
+  let rpo = Cfg.reverse_postorder cfg in
+  Reg.Set.iter span ctx.Context.entry_defined;
+  (* Compact universe: physicals keep their ids, virtuals are shifted down
+     to sit just above the highest physical actually seen. *)
+  let gap = !max_phys + 1 in
+  let rid r = if Reg.is_virtual r then r - Reg.virt_base + gap else r in
+  let maxid =
+    if !max_virt < 0 then !max_phys else gap + (!max_virt - Reg.virt_base)
+  in
+  let entry_bs = Bitset.create ~max_id:maxid in
+  Reg.Set.iter (fun r -> Bitset.add entry_bs (rid r)) ctx.Context.entry_defined;
+  (* The fixpoint runs on dense reverse-postorder indices — block labels
+     are resolved to indices once, so the iterations touch only arrays.
+     Unreachable blocks are absent from [rpo]: their defs still feed
+     [all_regs] (the optimistic top of the must lattice), and an edge from
+     one stays permanently unresolved, exactly as before. *)
+  let rpo_arr = Array.of_list rpo in
+  let n = Array.length rpo_arr in
+  let idx : (string, int) Hashtbl.t = Hashtbl.create n in
+  Array.iteri (fun i l -> Hashtbl.replace idx l i) rpo_arr;
+  let all_regs = Bitset.copy entry_bs in
+  Func.iter_blocks
+    (fun b ->
+      Array.iter
+        (Instr.iter_defs (fun r -> Bitset.add all_regs (rid r)))
+        b.Block.body)
+    func;
+  let defs_arr =
+    Array.map
+      (fun label ->
+        let ds = Bitset.create ~max_id:maxid in
+        Array.iter
+          (Instr.iter_defs (fun r -> Bitset.add ds (rid r)))
+          (Func.block func label).Block.body;
+        ds)
+      rpo_arr
+  in
+  let preds_arr =
+    Array.map
+      (fun label ->
+        List.filter_map
+          (fun p -> Hashtbl.find_opt idx p)
+          (Cfg.predecessors cfg label))
+      rpo_arr
+  in
+  let entry_i = Option.value (Hashtbl.find_opt idx func.Func.entry) ~default:0 in
+  (* OUT absent = not yet computed (top of the must lattice). *)
+  let out : Bitset.t option array = Array.make n None in
+  let ins : Bitset.t array = Array.make n entry_bs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let inn =
+        if i = entry_i then entry_bs
+        else begin
+          let acc = ref None in
+          List.iter
+            (fun p ->
+              match out.(p) with
+              | None -> () (* unresolved pred: optimistic top *)
+              | Some s -> (
+                match !acc with
+                | None -> acc := Some (Bitset.copy s)
+                | Some a -> Bitset.inter_into ~dst:a s))
+            preds_arr.(i);
+          Option.value !acc ~default:all_regs
+        end
+      in
+      (* the last (quiescent) iteration leaves the converged IN sets *)
+      ins.(i) <- inn;
+      let o = Bitset.copy inn in
+      Bitset.union_into ~dst:o defs_arr.(i);
+      match out.(i) with
+      | Some prev when Bitset.equal prev o -> ()
+      | _ ->
+        out.(i) <- Some o;
+        changed := true
+    done
+  done;
+  Array.iteri
+    (fun bi label ->
+      let b = Func.block func label in
+      let defined = Bitset.copy ins.(bi) in
+      Array.iteri
+        (fun i instr ->
+          Instr.iter_uses
+            (fun r ->
+              if not (Bitset.mem defined (rid r)) then
+                emit ~block:label ~instr:i Diag.Warn
+                  (Printf.sprintf "register %s may be read before any definition reaches it"
+                     (Reg.to_string r)))
+            instr;
+          Instr.iter_defs (fun r -> Bitset.add defined (rid r)) instr)
+        b.Block.body;
+      List.iter
+        (fun r ->
+          if not (Bitset.mem defined (rid r)) then
             emit ~block:label Diag.Warn
               (Printf.sprintf "branch reads register %s before any definition reaches it"
                  (Reg.to_string r)))
         (Block.term_uses b))
-    rpo;
+    rpo_arr;
   Diag.sort !diags
   end

@@ -3,4 +3,11 @@
     register-class sanity after allocation. *)
 
 val name : string
+(** ["wellformed"]. *)
+
 val run : Context.t -> Diag.t list
+(** Check label/layout consistency (entry exists, no duplicate or dangling
+    labels), warn on uses not reached by a definition on every path (a
+    forward must-dataflow over the CFG), and — once register allocation
+    has run — reject surviving virtual registers, out-of-file register
+    numbers and zero-register checkpoints. Returns sorted diagnostics. *)

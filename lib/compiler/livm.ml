@@ -13,7 +13,15 @@
 
 open Turnpike_ir
 
-type result = { func : Func.t; merged : int }
+type merge = {
+  victim : Reg.t;
+  anchor : Reg.t;
+  ratio : int;
+  m_base : [ `Const of int | `Reg of Reg.t ];
+  header : string;
+}
+
+type result = { func : Func.t; merged : int; merges : merge list }
 
 type iv = {
   reg : Reg.t;
@@ -87,6 +95,7 @@ let run func =
   let loops = Loop_info.compute cfg dom in
   let live = Liveness.compute cfg func in
   let merged = ref 0 in
+  let merges = ref [] in
   let fresh =
     let next = ref (Func.max_reg func + 1) in
     fun () ->
@@ -213,10 +222,19 @@ let run func =
                   lp.Loop_info.blocks;
                 if !ok then begin
                   List.iter (fun (b, body) -> Block.set_body b body) !rewritten;
-                  incr merged
+                  incr merged;
+                  merges :=
+                    {
+                      victim = victim.reg;
+                      anchor = anchor.reg;
+                      ratio;
+                      m_base = victim.init;
+                      header = lp.Loop_info.header;
+                    }
+                    :: !merges
                 end
               end
             end)
           ivs)
     (Loop_info.loops loops);
-  { func; merged = !merged }
+  { func; merged = !merged; merges = List.rev !merges }

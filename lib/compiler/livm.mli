@@ -13,9 +13,20 @@
 
 open Turnpike_ir
 
+(** One merge the pass performed, reported so the analysis layer can
+    audit it against a before/after snapshot pair. *)
+type merge = {
+  victim : Reg.t;  (** the merged-away induction variable *)
+  anchor : Reg.t;  (** the surviving IV the victim recomputes from *)
+  ratio : int;  (** victim step / anchor step (≥ 1) *)
+  m_base : [ `Const of int | `Reg of Reg.t ];  (** victim's loop-entry value *)
+  header : string;  (** header of the loop the merge happened in *)
+}
+
 type result = {
   func : Func.t;
   merged : int;  (** induction variables eliminated by merging *)
+  merges : merge list;  (** one record per elimination, in merge order *)
 }
 
 val run : Func.t -> result

@@ -56,7 +56,7 @@ let turnpike_opts =
     sched = true;
   }
 
-type check_level = Off | Final | PerPass
+type check_level = Off | Final | PerPass | PerPassFull
 
 type region_info = { id : int; head : string; live_in : Reg.t list }
 
@@ -67,6 +67,7 @@ type t = {
   recovery_exprs : (Reg.t, Recovery_expr.t) Hashtbl.t;
   claims : Claims.t;
   diags : Analysis.Diag.t list;
+  check_log : (string * string list) list;
   stats : Static_stats.t;
 }
 
@@ -128,86 +129,171 @@ type env = {
   mutable recovery_exprs : (Reg.t, Recovery_expr.t) Hashtbl.t;
   mutable regions : region_info array;
   mutable claims : Claims.t;
+  mutable iv_merges : Livm.merge list;
   mutable regalloc_done : bool;
   e_opts : opts;
 }
 
-(* THE declared pass list. [pass_names], the telemetry span names and the
-   per-pass check provenance all come from here — never restate a pass
-   name elsewhere. *)
-let passes : (string * (opts -> bool) * (env -> unit)) list =
+type pass = {
+  pname : string;
+  enabled : opts -> bool;
+  dirties : Analysis.Facet.Set.t;
+      (* facets the pass may touch — the incremental registry re-runs
+         exactly the checks whose read sets intersect these. Declare
+         conservatively: a spurious facet only costs a redundant
+         re-check, a missing one would silently drop diagnostics
+         (tools/check.sh pins incremental ≡ full re-check output). *)
+  action : env -> bool;
+      (* returns whether the pass changed anything. A pass that reports
+         [false] charges no dirty facets at all — its round of checks is
+         skipped entirely. The report must be honest in the same sense
+         the facet declaration must: claiming no-change while mutating
+         would drop diagnostics, and the incremental ≡ full-re-check diff
+         would catch it. *)
+}
+
+let facets = Analysis.Facet.Set.of_list
+
+(* THE declared pass list. [pass_names], the telemetry span names, the
+   per-pass check provenance and the dirty-facet charging all come from
+   here — never restate a pass name elsewhere. *)
+let passes : pass list =
   [
-    ( "unroll",
-      (fun o -> o.unroll > 1),
-      fun env -> ignore (Unroll.run ~factor:env.e_opts.unroll env.prog.Prog.func) );
-    ( "livm",
-      (fun o -> o.livm),
-      fun env ->
-        let r = Livm.run env.prog.Prog.func in
-        env.stats.Static_stats.livm_merged_ivs <- r.Livm.merged );
-    ( "regalloc",
-      (fun _ -> true),
-      fun env ->
-        let ra_config =
-          {
-            Regalloc.default_config with
-            nregs = env.e_opts.nregs;
-            store_aware = env.e_opts.store_aware_ra;
-          }
-        in
-        let func = env.prog.Prog.func in
-        let ra = Regalloc.run ~config:ra_config func in
-        env.stats.Static_stats.spill_stores <- ra.Regalloc.spill_stores;
-        env.stats.Static_stats.spill_loads <- ra.Regalloc.spill_loads;
-        env.stats.Static_stats.spilled_vregs <- ra.Regalloc.spilled_vregs;
-        let reg_init, extra_mem = Regalloc.remap_inputs ra env.prog.Prog.reg_init in
-        env.prog <-
-          {
-            env.prog with
-            Prog.reg_init;
-            mem_init = env.prog.Prog.mem_init @ extra_mem;
-          };
-        env.stats.Static_stats.base_code_size <- count_code_size func;
-        env.regalloc_done <- true );
-    ( "partition_and_checkpoint",
-      (fun o -> o.resilient),
-      fun env ->
-        let entry_live = List.map fst env.prog.Prog.reg_init in
-        ignore
-          (partition_and_checkpoint env.prog.Prog.func ~sb_size:env.e_opts.sb_size
-             ~entry_live env.stats) );
-    ( "pruning",
-      (fun o -> o.resilient && o.pruning),
-      fun env ->
-        let r = Pruning.run env.prog.Prog.func in
-        env.stats.Static_stats.ckpts_pruned <- r.Pruning.pruned;
-        env.recovery_exprs <- r.Pruning.exprs );
-    ( "licm_sink",
-      (fun o -> o.resilient && o.licm),
-      fun env ->
-        let r = Licm_sink.run env.prog.Prog.func in
-        env.stats.Static_stats.ckpts_licm_moved <- r.Licm_sink.moved;
-        env.stats.Static_stats.ckpts_licm_eliminated <- r.Licm_sink.eliminated );
-    ( "scheduling",
-      (fun o -> o.resilient && o.sched),
-      fun env ->
-        let r = Scheduling.run ~separation:env.e_opts.sched_separation env.prog.Prog.func in
-        env.stats.Static_stats.sched_moved <- r.Scheduling.moved );
-    ( "region_metadata",
-      (fun o -> o.resilient),
-      fun env ->
-        let func = env.prog.Prog.func in
-        env.stats.Static_stats.code_size <- count_code_size func;
-        let structure = Regions.of_func func in
-        let infos = live_in_table func structure in
-        let regions = Array.of_list infos in
-        Array.sort (fun a b -> compare a.id b.id) regions;
-        env.regions <- regions;
-        env.claims <- Claims.compute func );
+    {
+      pname = "unroll";
+      enabled = (fun o -> o.unroll > 1);
+      (* replicates loop bodies in place; the block set and terminators
+         are untouched *)
+      dirties = facets [ Analysis.Facet.Instrs ];
+      action =
+        (fun env ->
+          let r = Unroll.run ~factor:env.e_opts.unroll env.prog.Prog.func in
+          r.Unroll.unrolled > 0);
+    };
+    {
+      pname = "livm";
+      enabled = (fun o -> o.livm);
+      dirties = facets [ Analysis.Facet.Instrs ];
+      action =
+        (fun env ->
+          let r = Livm.run env.prog.Prog.func in
+          env.stats.Static_stats.livm_merged_ivs <- r.Livm.merged;
+          env.iv_merges <- r.Livm.merges;
+          r.Livm.merged > 0);
+    };
+    {
+      pname = "regalloc";
+      enabled = (fun _ -> true);
+      dirties = facets [ Analysis.Facet.Instrs; Analysis.Facet.Reg_classes ];
+      action =
+        (fun env ->
+          let ra_config =
+            {
+              Regalloc.default_config with
+              nregs = env.e_opts.nregs;
+              store_aware = env.e_opts.store_aware_ra;
+            }
+          in
+          let func = env.prog.Prog.func in
+          let ra = Regalloc.run ~config:ra_config func in
+          env.stats.Static_stats.spill_stores <- ra.Regalloc.spill_stores;
+          env.stats.Static_stats.spill_loads <- ra.Regalloc.spill_loads;
+          env.stats.Static_stats.spilled_vregs <- ra.Regalloc.spilled_vregs;
+          let reg_init, extra_mem = Regalloc.remap_inputs ra env.prog.Prog.reg_init in
+          env.prog <-
+            {
+              env.prog with
+              Prog.reg_init;
+              mem_init = env.prog.Prog.mem_init @ extra_mem;
+            };
+          env.stats.Static_stats.base_code_size <- count_code_size func;
+          env.regalloc_done <- true;
+          true);
+    };
+    {
+      pname = "partition_and_checkpoint";
+      enabled = (fun o -> o.resilient);
+      dirties =
+        facets
+          [
+            Analysis.Facet.Cfg_shape;
+            Analysis.Facet.Instrs;
+            Analysis.Facet.Boundaries;
+          ];
+      action =
+        (fun env ->
+          let entry_live = List.map fst env.prog.Prog.reg_init in
+          ignore
+            (partition_and_checkpoint env.prog.Prog.func
+               ~sb_size:env.e_opts.sb_size ~entry_live env.stats);
+          true);
+    };
+    {
+      pname = "pruning";
+      enabled = (fun o -> o.resilient && o.pruning);
+      dirties =
+        facets [ Analysis.Facet.Instrs; Analysis.Facet.Recovery_exprs ];
+      action =
+        (fun env ->
+          let r = Pruning.run env.prog.Prog.func in
+          env.stats.Static_stats.ckpts_pruned <- r.Pruning.pruned;
+          env.recovery_exprs <- r.Pruning.exprs;
+          r.Pruning.pruned > 0 || Hashtbl.length r.Pruning.exprs > 0);
+    };
+    {
+      pname = "licm_sink";
+      enabled = (fun o -> o.resilient && o.licm);
+      dirties = facets [ Analysis.Facet.Instrs ];
+      action =
+        (fun env ->
+          let r = Licm_sink.run env.prog.Prog.func in
+          env.stats.Static_stats.ckpts_licm_moved <- r.Licm_sink.moved;
+          env.stats.Static_stats.ckpts_licm_eliminated <- r.Licm_sink.eliminated;
+          r.Licm_sink.moved > 0 || r.Licm_sink.eliminated > 0);
+    };
+    {
+      pname = "scheduling";
+      enabled = (fun o -> o.resilient && o.sched);
+      (* the scheduler only permutes within blocks, preserving every
+         dependence (sched-deps audits this), so block-level dataflow —
+         the liveness cache in particular — survives the pass *)
+      dirties = facets [ Analysis.Facet.Instr_order ];
+      action =
+        (fun env ->
+          let r =
+            Scheduling.run ~separation:env.e_opts.sched_separation
+              env.prog.Prog.func
+          in
+          env.stats.Static_stats.sched_moved <- r.Scheduling.moved;
+          r.Scheduling.moved > 0);
+    };
+    {
+      pname = "region_metadata";
+      enabled = (fun o -> o.resilient);
+      dirties = facets [ Analysis.Facet.Claims ];
+      action =
+        (fun env ->
+          let func = env.prog.Prog.func in
+          env.stats.Static_stats.code_size <- count_code_size func;
+          let structure = Regions.of_func func in
+          let infos = live_in_table func structure in
+          let regions = Array.of_list infos in
+          Array.sort (fun a b -> compare a.id b.id) regions;
+          env.regions <- regions;
+          env.claims <- Claims.compute func;
+          true);
+    };
   ]
 
 let pass_names (opts : opts) =
-  List.filter_map (fun (name, enabled, _) -> if enabled opts then Some name else None) passes
+  List.filter_map
+    (fun p -> if p.enabled opts then Some p.pname else None)
+    passes
+
+let pass_dirties (opts : opts) =
+  List.filter_map
+    (fun p -> if p.enabled opts then Some (p.pname, p.dirties) else None)
+    passes
 
 (* Run one pass under a wall-clock profiling span whose args carry the
    [Static_stats] delta the pass contributed (category ["compiler"]). With
@@ -227,26 +313,41 @@ let run_pass tel stats name f =
     v
   end
 
-let context_of ?pass ~prog ~(opts : opts) ~recovery_exprs ~claims ~regalloc_done () =
-  let exprs =
-    Hashtbl.fold (fun r e acc -> (r, e) :: acc) recovery_exprs []
-    |> List.sort (fun (a, _) (b, _) -> Reg.compare a b)
-  in
-  let claims =
-    Option.map
-      (fun (c : Claims.t) ->
-        {
-          Analysis.Context.bypass_stores = c.Claims.bypass_stores;
-          direct_ckpts = c.Claims.direct_ckpts;
-        })
-      claims
-  in
+let sorted_exprs recovery_exprs =
+  Hashtbl.fold (fun r e acc -> (r, e) :: acc) recovery_exprs []
+  |> List.sort (fun (a, _) (b, _) -> Reg.compare a b)
+
+let conv_claims claims =
+  Option.map
+    (fun (c : Claims.t) ->
+      {
+        Analysis.Context.bypass_stores = c.Claims.bypass_stores;
+        direct_ckpts = c.Claims.direct_ckpts;
+      })
+    claims
+
+let conv_merges merges =
+  List.map
+    (fun (m : Livm.merge) ->
+      {
+        Analysis.Context.victim = m.Livm.victim;
+        anchor = m.Livm.anchor;
+        ratio = m.Livm.ratio;
+        iv_base = m.Livm.m_base;
+        header = m.Livm.header;
+      })
+    merges
+
+let context_of ?pass ?(iv_merges = []) ~prog ~(opts : opts) ~recovery_exprs
+    ~claims ~regalloc_done () =
   Analysis.Context.make
     ~entry_defined:(Reg.Set.of_list (List.map fst prog.Prog.reg_init))
     ~nregs:opts.nregs
     ~allow_virtual:(not regalloc_done)
-    ~resilient:opts.resilient ~sb_size:opts.sb_size ~recovery_exprs:exprs ?claims
-    ?pass prog.Prog.func
+    ~resilient:opts.resilient ~sb_size:opts.sb_size
+    ~recovery_exprs:(sorted_exprs recovery_exprs)
+    ?claims:(conv_claims claims) ~iv_merges:(conv_merges iv_merges) ?pass
+    prog.Prog.func
 
 let analysis_context ?pass (t : t) =
   context_of ?pass ~prog:t.prog ~opts:t.opts ~recovery_exprs:t.recovery_exprs
@@ -263,11 +364,13 @@ let compile ?(opts = turnstile_opts) ?(tel = Telemetry.null) ?(check = Off)
       recovery_exprs = Hashtbl.create 0;
       regions = [||];
       claims = Claims.empty;
+      iv_merges = [];
       regalloc_done = false;
       e_opts = opts;
     }
   in
   let diags = ref [] in
+  let check_log = ref [] in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let claims_of env =
     (* Claims only exist once region_metadata has computed them; before
@@ -275,41 +378,91 @@ let compile ?(opts = turnstile_opts) ?(tel = Telemetry.null) ?(check = Off)
     if env.claims == Claims.empty then None else Some env.claims
   in
   let env_context ?pass env =
-    context_of ?pass ~prog:env.prog ~opts:env.e_opts
+    context_of ?pass ~iv_merges:env.iv_merges ~prog:env.prog ~opts:env.e_opts
       ~recovery_exprs:env.recovery_exprs ~claims:(claims_of env)
       ~regalloc_done:env.regalloc_done ()
   in
-  let run_whole ?pass env =
-    let ds = Analysis.Registry.run_whole (env_context ?pass env) in
-    diags := !diags @ Analysis.Registry.fresh ~seen ds
+  let per_pass = check = PerPass || check = PerPassFull in
+  let whole_names =
+    List.map (fun (c : Analysis.Registry.whole) -> c.Analysis.Registry.name)
+      Analysis.Registry.whole_checks
+  in
+  (* Incremental state ([PerPass] only): the context is stepped across
+     each pass with [Context.advance], carrying forward every derived
+     analysis the pass's dirty facets leave valid, and the registry
+     re-runs only the checks whose read sets those facets intersect. *)
+  let inc = Analysis.Registry.inc_create () in
+  let ictx : Analysis.Context.t option ref = ref None in
+  let step_context ?pass ~dirty env =
+    let ctx =
+      match (check, !ictx) with
+      | PerPass, Some prev ->
+        Analysis.Context.advance ~dirty
+          ~entry_defined:(Reg.Set.of_list (List.map fst env.prog.Prog.reg_init))
+          ~allow_virtual:(not env.regalloc_done)
+          ~recovery_exprs:(sorted_exprs env.recovery_exprs)
+          ?claims:(conv_claims (claims_of env))
+          ~iv_merges:(conv_merges env.iv_merges) ?pass prev env.prog.Prog.func
+      | _ -> env_context ?pass env
+    in
+    if check = PerPass then ictx := Some ctx;
+    ctx
+  in
+  let run_whole_on ~dirty ctx =
+    match check with
+    | PerPass ->
+      let ds, ran = Analysis.Registry.run_whole_inc inc ~dirty ctx in
+      diags := !diags @ Analysis.Registry.fresh ~seen ds;
+      ran
+    | _ ->
+      let ds = Analysis.Registry.run_whole ctx in
+      diags := !diags @ Analysis.Registry.fresh ~seen ds;
+      whole_names
   in
   (* In per-pass mode, violations already present in the input carry no
      pass provenance; anything that appears later is attributed to the
      first pass after which the registry reports it. *)
-  if check = PerPass then run_whole env;
+  if per_pass then begin
+    let dirty = Analysis.Facet.all in
+    let ran = run_whole_on ~dirty (step_context ~dirty env) in
+    check_log := ("<input>", ran) :: !check_log
+  end;
   List.iter
-    (fun (name, enabled, action) ->
-      if enabled opts then begin
+    (fun p ->
+      if p.enabled opts then begin
         let snapshot =
-          if check = PerPass && List.mem name Analysis.Registry.pair_passes then
+          if per_pass && List.mem p.pname Analysis.Registry.pair_passes then
             Some (Func.copy env.prog.Prog.func)
           else None
         in
-        run_pass tel stats name (fun () -> action env);
-        if check = PerPass then begin
-          (match snapshot with
-          | Some before ->
-            let ds =
-              Analysis.Registry.run_pair ~pass:name ~before
-                (env_context ~pass:name env)
-            in
-            diags := !diags @ Analysis.Registry.fresh ~seen ds
-          | None -> ());
-          run_whole ~pass:name env
+        let changed = run_pass tel stats p.pname (fun () -> p.action env) in
+        if per_pass then begin
+          (* A pass that reports no change charges nothing: its checks
+             (pair and whole alike) would see the exact state the previous
+             round already checked. The [PerPassFull] oracle still re-runs
+             every whole check, so tools/check.sh's byte-diff verifies the
+             skip is output-preserving. *)
+          let dirty =
+            if changed then p.dirties else Analysis.Facet.Set.empty
+          in
+          let ctx = step_context ~pass:p.pname ~dirty env in
+          let pair_ran =
+            match snapshot with
+            | Some before when changed ->
+              let ds = Analysis.Registry.run_pair ~pass:p.pname ~before ctx in
+              diags := !diags @ Analysis.Registry.fresh ~seen ds;
+              Analysis.Registry.pair_names_for p.pname
+            | Some _ | None -> []
+          in
+          let whole_ran = run_whole_on ~dirty ctx in
+          check_log := (p.pname, pair_ran @ whole_ran) :: !check_log
         end
       end)
     passes;
-  if check = Final then run_whole env;
+  if check = Final then begin
+    let ran = run_whole_on ~dirty:Analysis.Facet.all (env_context env) in
+    check_log := ("<final>", ran) :: !check_log
+  end;
   if not opts.resilient then
     stats.Static_stats.code_size <- stats.Static_stats.base_code_size;
   {
@@ -319,6 +472,7 @@ let compile ?(opts = turnstile_opts) ?(tel = Telemetry.null) ?(check = Off)
     recovery_exprs = env.recovery_exprs;
     claims = env.claims;
     diags = Analysis.Diag.sort !diags;
+    check_log = List.rev !check_log;
     stats;
   }
 

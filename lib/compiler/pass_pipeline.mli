@@ -37,9 +37,16 @@ val turnpike_opts : opts
 (** How much static checking {!compile} performs: [Off] none, [Final] the
     whole-program registry once on the compiled result, [PerPass] the
     registry between every pass — each new diagnostic is attributed to the
-    pass that introduced it, and pair checks (scheduling dependence
-    preservation) compare before/after snapshots. *)
-type check_level = Off | Final | PerPass
+    pass that introduced it, and pair checks (induction-variable merge
+    audit, scheduling dependence preservation) compare before/after
+    snapshots. [PerPass] is incremental: each pass declares the IR facets
+    it may dirty and only the checks reading those facets re-run, with the
+    analysis context's derived analyses carried across passes.
+    [PerPassFull] forces the pre-incremental behavior — every check after
+    every pass on a fresh context — and must produce byte-identical
+    diagnostics (the redundant re-runs are deduplicated by provenance);
+    it exists as the oracle the incremental engine is diffed against. *)
+type check_level = Off | Final | PerPass | PerPassFull
 
 type region_info = {
   id : int;
@@ -58,12 +65,20 @@ type t = {
           non-resilient) *)
   diags : Turnpike_analysis.Diag.t list;
       (** diagnostics from the requested {!check_level} (empty for [Off]) *)
+  check_log : (string * string list) list;
+      (** per-pass-mode audit trail: for ["<input>"], then each executed
+          pass (and ["<final>"] under [Final]), the checks that actually
+          ran — what [lint --explain] prints. Empty for [Off]. *)
   stats : Static_stats.t;
 }
 
 val pass_names : opts -> string list
 (** The exact pass sequence {!compile} runs for these options, in order —
     the profiling span per compile is one per name here. *)
+
+val pass_dirties : opts -> (string * Turnpike_analysis.Facet.Set.t) list
+(** The enabled passes paired with the facet sets they declare they may
+    dirty — the contract the incremental registry schedules by. *)
 
 val compile :
   ?opts:opts ->

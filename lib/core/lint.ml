@@ -12,7 +12,12 @@ module Analysis = Turnpike_analysis
 module Suite = Turnpike_workloads.Suite
 module Diag = Turnpike_analysis.Diag
 
-type entry = { benchmark : string; scheme : string; diags : Diag.t list }
+type entry = {
+  benchmark : string;
+  scheme : string;
+  diags : Diag.t list;
+  check_log : (string * string list) list;
+}
 
 type report = {
   per_pass : bool;
@@ -22,11 +27,15 @@ type report = {
   infos : int;
 }
 
-let lint_one ?(per_pass = false) ?(sb_size = 4) ?(scale = Run.default_scale)
-    (scheme : Scheme.t) (bench : Suite.entry) =
+let lint_cell ?(per_pass = false) ?(full_recheck = false) ?(sb_size = 4)
+    ?(scale = Run.default_scale) (scheme : Scheme.t) (bench : Suite.entry) =
   let prog = bench.Suite.build ~scale in
   let opts = Scheme.compile_opts scheme ~sb_size in
-  let check = if per_pass then Pass_pipeline.PerPass else Pass_pipeline.Final in
+  let check =
+    if not per_pass then Pass_pipeline.Final
+    else if full_recheck then Pass_pipeline.PerPassFull
+    else Pass_pipeline.PerPass
+  in
   let compiled = Pass_pipeline.compile ~opts ~check prog in
   (* The pipeline knows nothing of the machine; graft the scheme's RBB
      depth and CLQ size on and rerun the registry for the capacity checks
@@ -48,9 +57,14 @@ let lint_one ?(per_pass = false) ?(sb_size = 4) ?(scale = Run.default_scale)
   let extra =
     Analysis.Registry.fresh ~seen (Analysis.Registry.run_whole ctx)
   in
-  Diag.sort (compiled.Pass_pipeline.diags @ extra)
+  ( Diag.sort (compiled.Pass_pipeline.diags @ extra),
+    compiled.Pass_pipeline.check_log )
 
-let run ?(per_pass = false) ?sb_size ?scale ?jobs ~schemes benches =
+let lint_one ?per_pass ?full_recheck ?sb_size ?scale scheme bench =
+  fst (lint_cell ?per_pass ?full_recheck ?sb_size ?scale scheme bench)
+
+let run ?(per_pass = false) ?full_recheck ?sb_size ?scale ?jobs ~schemes
+    benches =
   let cells =
     List.concat_map
       (fun b -> List.map (fun s -> (b, s)) schemes)
@@ -59,10 +73,14 @@ let run ?(per_pass = false) ?sb_size ?scale ?jobs ~schemes benches =
   let entries =
     Parallel.map_list ?jobs
       (fun ((b : Suite.entry), (s : Scheme.t)) ->
+        let diags, check_log =
+          lint_cell ~per_pass ?full_recheck ?sb_size ?scale s b
+        in
         {
           benchmark = Suite.qualified_name b;
           scheme = s.Scheme.name;
-          diags = lint_one ~per_pass ?sb_size ?scale s b;
+          diags;
+          check_log;
         })
       cells
   in
@@ -85,10 +103,22 @@ let run ?(per_pass = false) ?sb_size ?scale ?jobs ~schemes benches =
 let max_severity r =
   Diag.max_severity (List.concat_map (fun e -> e.diags) r.entries)
 
-let to_text r =
+let to_text ?(explain = false) r =
   let buf = Buffer.create 1024 in
   List.iter
     (fun e ->
+      if explain && e.check_log <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "%s / %s: per-pass check schedule\n" e.benchmark
+             e.scheme);
+        List.iter
+          (fun (pass, ran) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-26s %s\n" pass
+                 (if ran = [] then "(all clean; every check skipped)"
+                  else String.concat " " ran)))
+          e.check_log
+      end;
       if e.diags <> [] then begin
         Buffer.add_string buf
           (Printf.sprintf "%s / %s:\n" e.benchmark e.scheme);

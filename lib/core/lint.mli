@@ -20,6 +20,11 @@ type entry = {
   benchmark : string;  (** suite-qualified name, e.g. ["mcf@2006"] *)
   scheme : string;
   diags : Diag.t list;  (** sorted per {!Diag.sort} *)
+  check_log : (string * string list) list;
+      (** per-pass check schedule (which checks ran after which pass) —
+          rendered by [to_text ~explain:true]; deliberately absent from
+          {!to_json} so incremental and full-recheck reports stay
+          byte-identical *)
 }
 
 type report = {
@@ -31,26 +36,40 @@ type report = {
 }
 
 val lint_one :
-  ?per_pass:bool -> ?sb_size:int -> ?scale:int -> Scheme.t -> Suite.entry ->
+  ?per_pass:bool ->
+  ?full_recheck:bool ->
+  ?sb_size:int ->
+  ?scale:int ->
+  Scheme.t ->
+  Suite.entry ->
   Diag.t list
 (** Compile one benchmark under one scheme with checking on ([Final], or
-    [PerPass] when [per_pass] — diagnostics then carry pass provenance)
-    and return the sorted diagnostics, machine-parameter checks
+    incremental [PerPass] when [per_pass] — diagnostics then carry pass
+    provenance; [full_recheck] forces the non-incremental [PerPassFull]
+    oracle) and return the sorted diagnostics, machine-parameter checks
     included. *)
 
 val run :
   ?per_pass:bool ->
+  ?full_recheck:bool ->
   ?sb_size:int ->
   ?scale:int ->
   ?jobs:int ->
   schemes:Scheme.t list ->
   Suite.entry list ->
   report
-(** Lint the full (benchmark × scheme) grid over the {!Parallel} pool. *)
+(** Lint the full (benchmark × scheme) grid over the {!Parallel} pool.
+    [full_recheck] (with [per_pass]) re-runs every check after every pass
+    instead of only the invalidated ones — the report must come out
+    byte-identical; [tools/check.sh] diffs the two. *)
 
 val max_severity : report -> Diag.severity option
-val to_text : report -> string
-(** Human rendering: one line per diagnostic plus a summary line. *)
+(** Highest severity across the whole report, if any diagnostics. *)
+
+val to_text : ?explain:bool -> report -> string
+(** Human rendering: one line per diagnostic plus a summary line.
+    [explain] prefixes each cell with its per-pass check schedule — which
+    checks the incremental registry actually re-ran after each pass. *)
 
 val to_json : report -> string
 (** Machine rendering, deterministic bytes (keys in fixed order, entries

@@ -46,6 +46,30 @@ let uses = function
   | Ckpt r -> [ r ]
   | Boundary _ | Nop -> []
 
+(* Allocation-free variants of [defs]/[uses] for the per-pass checks,
+   whose traversals visit every instruction several times per compile;
+   visit order matches the list versions. *)
+let iter_defs f = function
+  | Binop (_, d, _, _) | Cmp (_, d, _, _) | Mov (d, _) | Load (d, _, _, _) ->
+    if not (Reg.is_zero d) then f d
+  | Store _ | Ckpt _ | Boundary _ | Nop -> ()
+
+let iter_operand_use f = function
+  | Reg r when not (Reg.is_zero r) -> f r
+  | Reg _ | Imm _ -> ()
+
+let iter_uses f = function
+  | Binop (_, _, a, o) | Cmp (_, _, a, o) ->
+    if not (Reg.is_zero a) then f a;
+    iter_operand_use f o
+  | Mov (_, o) -> iter_operand_use f o
+  | Load (_, b, _, _) -> if not (Reg.is_zero b) then f b
+  | Store (s, b, _, _) ->
+    if not (Reg.is_zero s) then f s;
+    if not (Reg.is_zero b) then f b
+  | Ckpt r -> f r
+  | Boundary _ | Nop -> ()
+
 let is_store = function Store _ -> true | _ -> false
 
 let is_ckpt = function Ckpt _ -> true | _ -> false

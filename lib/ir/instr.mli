@@ -39,6 +39,13 @@ val defs : t -> Reg.t list
 val uses : t -> Reg.t list
 (** Registers read. {!Reg.zero} never appears (it is the constant 0). *)
 
+val iter_defs : (Reg.t -> unit) -> t -> unit
+(** Allocation-free {!defs}: applies the callback to each written register
+    in the same order [defs] lists them. *)
+
+val iter_uses : (Reg.t -> unit) -> t -> unit
+(** Allocation-free {!uses}, in the same order [uses] lists them. *)
+
 val is_store : t -> bool
 val is_ckpt : t -> bool
 val is_load : t -> bool

@@ -21,16 +21,57 @@ let block_use_def (b : Block.t) =
     (Block.term_uses b);
   (!use, !def)
 
+(* The fixpoint runs on {!Bitset}s over a compacted id universe —
+   physical registers keep their ids, virtuals are shifted down next to
+   them — and only the converged sets are materialized as the public
+   tree-set view. Compilation recomputes liveness after most
+   instruction-editing passes (and the per-pass checker does so again),
+   which makes the fixpoint itself the hot path. *)
 let compute cfg func =
-  let live_in = Hashtbl.create 64 and live_out = Hashtbl.create 64 in
-  let use_def = Hashtbl.create 64 in
-  Func.iter_blocks
-    (fun b -> Hashtbl.replace use_def b.Block.label (block_use_def b))
-    func;
+  let max_phys = ref 0 in
+  let max_virt = ref (-1) in
+  let span r =
+    if Reg.is_virtual r then (if r > !max_virt then max_virt := r)
+    else if r > !max_phys then max_phys := r
+  in
   Func.iter_blocks
     (fun b ->
-      Hashtbl.replace live_in b.Block.label Reg.Set.empty;
-      Hashtbl.replace live_out b.Block.label Reg.Set.empty)
+      Array.iter
+        (fun i ->
+          Instr.iter_defs span i;
+          Instr.iter_uses span i)
+        b.Block.body;
+      List.iter span (Block.term_uses b))
+    func;
+  let gap = !max_phys + 1 in
+  let rid r = if Reg.is_virtual r then r - Reg.virt_base + gap else r in
+  let inv id = if id < gap then id else id - gap + Reg.virt_base in
+  let maxid =
+    if !max_virt < 0 then !max_phys else gap + (!max_virt - Reg.virt_base)
+  in
+  let use_def = Hashtbl.create 64 in
+  let in_bs = Hashtbl.create 64 and out_bs = Hashtbl.create 64 in
+  Func.iter_blocks
+    (fun b ->
+      let use = Bitset.create ~max_id:maxid in
+      let def = Bitset.create ~max_id:maxid in
+      Array.iter
+        (fun i ->
+          Instr.iter_uses
+            (fun r ->
+              let r = rid r in
+              if not (Bitset.mem def r) then Bitset.add use r)
+            i;
+          Instr.iter_defs (fun r -> Bitset.add def (rid r)) i)
+        b.Block.body;
+      List.iter
+        (fun r ->
+          let r = rid r in
+          if not (Bitset.mem def r) then Bitset.add use r)
+        (Block.term_uses b);
+      Hashtbl.replace use_def b.Block.label (use, def);
+      Hashtbl.replace in_bs b.Block.label (Bitset.create ~max_id:maxid);
+      Hashtbl.replace out_bs b.Block.label (Bitset.create ~max_id:maxid))
     func;
   let changed = ref true in
   let order = Cfg.postorder cfg in
@@ -38,23 +79,33 @@ let compute cfg func =
     changed := false;
     List.iter
       (fun l ->
-        let out =
-          List.fold_left
-            (fun acc s -> Reg.Set.union acc (Hashtbl.find live_in s))
-            Reg.Set.empty (Cfg.successors cfg l)
-        in
+        let out = Bitset.create ~max_id:maxid in
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt in_bs s with
+            | Some bs -> Bitset.union_into ~dst:out bs
+            | None -> ())
+          (Cfg.successors cfg l);
         let use, def = Hashtbl.find use_def l in
-        let inn = Reg.Set.union use (Reg.Set.diff out def) in
-        if not (Reg.Set.equal out (Hashtbl.find live_out l)) then begin
-          Hashtbl.replace live_out l out;
+        let inn = Bitset.transfer ~gen:use ~kill:def out in
+        if not (Bitset.equal out (Hashtbl.find out_bs l)) then begin
+          Hashtbl.replace out_bs l out;
           changed := true
         end;
-        if not (Reg.Set.equal inn (Hashtbl.find live_in l)) then begin
-          Hashtbl.replace live_in l inn;
+        if not (Bitset.equal inn (Hashtbl.find in_bs l)) then begin
+          Hashtbl.replace in_bs l inn;
           changed := true
         end)
       order
   done;
+  let to_set bs =
+    let acc = ref Reg.Set.empty in
+    Bitset.iter (fun id -> acc := Reg.Set.add (inv id) !acc) bs;
+    !acc
+  in
+  let live_in = Hashtbl.create 64 and live_out = Hashtbl.create 64 in
+  Hashtbl.iter (fun l bs -> Hashtbl.replace live_in l (to_set bs)) in_bs;
+  Hashtbl.iter (fun l bs -> Hashtbl.replace live_out l (to_set bs)) out_bs;
   { live_in; live_out }
 
 let live_in t l = Option.value (Hashtbl.find_opt t.live_in l) ~default:Reg.Set.empty

@@ -93,7 +93,7 @@ let test_registry_fresh_attribution () =
   check_int "only the new finding survives" 1 (List.length newer);
   check "new finding keeps its pass" true
     ((List.hd newer).Diag.pass = Some "scheduling");
-  check_int "registry covers all six checks" 6 (List.length Registry.names)
+  check_int "registry covers all seven checks" 7 (List.length Registry.names)
 
 (* ------------------------------------------------------------------ *)
 (* Hand-built negative programs, one per check *)
@@ -452,6 +452,46 @@ let test_mutant_loop_direct_release () =
   let config = { Recovery.default_config with Recovery.honor_static_claims = true } in
   check "campaign convicts the mutant" true (convicted ~config c > 0)
 
+let test_mutant_corrupt_recovery_expr () =
+  (* A buggy pruning that publishes recovery expressions reading the slot
+     of a clobbered (multiply-defined) register: the slot has no stable
+     value, so the reconstruction is garbage. Statically: the independent
+     expression re-derivation raises a recoverability error. Dynamically
+     (claims honored): every rollback that consults the expression
+     restores a wrong value — SDC. *)
+  let c = compile_bench Turnpike.Scheme.turnpike "libquan" in
+  let f = c.PP.prog.Prog.func in
+  check "libquan publishes recovery expressions to corrupt" true
+    (Hashtbl.length c.PP.recovery_exprs > 0);
+  let def_count = Hashtbl.create 16 in
+  Func.iter_blocks
+    (fun b ->
+      Array.iter
+        (Instr.iter_defs (fun r ->
+             Hashtbl.replace def_count r
+               (1 + Option.value (Hashtbl.find_opt def_count r) ~default:0)))
+        b.Block.body)
+    f;
+  let clobbered =
+    Hashtbl.fold (fun r n acc -> if n > 1 then r :: acc else acc) def_count []
+    |> List.sort Reg.compare |> List.hd
+  in
+  let victims =
+    Hashtbl.fold (fun r e acc -> (r, e) :: acc) c.PP.recovery_exprs []
+  in
+  List.iter
+    (fun (r, e) ->
+      Hashtbl.replace c.PP.recovery_exprs r
+        (Recovery_expr.Op (Instr.Add, e, Recovery_expr.Slot clobbered)))
+    victims;
+  let errs = mutant_errors ~pass:"pruning" c in
+  check "analyzer rejects the clobbered-operand expression" true
+    (has_error ~check:"recoverability" ~containing:"multiple definitions" errs);
+  check "provenance names the buggy pass" true
+    (List.for_all (fun d -> d.Diag.pass = Some "pruning") errs);
+  let config = { Recovery.default_config with Recovery.honor_static_claims = true } in
+  check "campaign convicts the mutant" true (convicted ~config c > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Coverage: the full grid is clean and the lint report is deterministic *)
 
@@ -487,6 +527,8 @@ let tests =
     Alcotest.test_case "mutant: dropped checkpoint" `Quick test_mutant_dropped_checkpoint;
     Alcotest.test_case "mutant: bogus WAR-bypass claim" `Quick test_mutant_bogus_bypass_claim;
     Alcotest.test_case "mutant: loop direct-release claim" `Quick test_mutant_loop_direct_release;
+    Alcotest.test_case "mutant: corrupted recovery expression" `Quick
+      test_mutant_corrupt_recovery_expr;
     Alcotest.test_case "full grid clean + deterministic lint" `Quick
       test_full_grid_clean_and_deterministic;
   ]

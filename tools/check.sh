@@ -7,7 +7,10 @@
 #                             the fault-injection campaign (resilience
 #                             table), and the telemetry timeline export
 #                             (turnpike-cli trace), which must also be
-#                             well-formed JSON.
+#                             well-formed JSON. Also asserts that the
+#                             incremental per-pass lint report is
+#                             byte-identical to the forced full re-check,
+#                             and (advisorily) that the odoc docs build.
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -77,6 +80,27 @@ if dune exec --no-build bin/turnpike_cli.exe -- lint -s no-such-scheme \
      > /dev/null 2>&1; then
   echo "lint should have failed on an unknown scheme" >&2
   exit 1
+fi
+
+echo "== lint smoke: incremental vs full re-check byte parity =="
+# The incremental per-pass engine (facet invalidation) must produce a
+# report byte-identical to the forced non-incremental oracle.
+for b in mcf radix; do
+  dune exec --no-build bin/turnpike_cli.exe -- lint --per-pass -b "$b" \
+    --scale 2 --jobs 1 --json > "$tmp/lint_${b}_inc.json"
+  dune exec --no-build bin/turnpike_cli.exe -- lint --per-pass --full-recheck \
+    -b "$b" --scale 2 --jobs 1 --json > "$tmp/lint_${b}_full.json"
+  diff "$tmp/lint_${b}_inc.json" "$tmp/lint_${b}_full.json"
+done
+
+echo "== docs smoke: odoc build (advisory) =="
+if command -v odoc > /dev/null 2>&1; then
+  if ! dune build @doc > "$tmp/odoc.log" 2>&1; then
+    echo "(advisory) dune build @doc failed:" >&2
+    cat "$tmp/odoc.log" >&2
+  fi
+else
+  echo "(odoc not found; skipping doc build)"
 fi
 
 echo "check.sh: OK"
