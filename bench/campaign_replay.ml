@@ -1,0 +1,118 @@
+(* Measures what snapshot/fork replay buys a fault campaign: runs the same
+   seeded campaign per suite benchmark twice — every fault replayed from
+   scratch (step 0) and every fault forked from the pilot snapshot nearest
+   its strike site — asserts the reports are byte-identical, and reports
+   the faults/sec of both modes as JSON on stdout.
+
+   Usage:
+     dune exec bench/campaign_replay.exe -- [--scale N] [--faults N] \
+       [--seed S] [--every K] > BENCH_campaign_replay.json
+
+   Runs strictly sequentially (jobs=1) so the two timed modes are
+   comparable and the speedup reflects per-fault replay cost, not pool
+   scheduling; parallel fan-out multiplies both sides equally. *)
+
+module Run = Turnpike.Run
+module Scheme = Turnpike.Scheme
+module Suite = Turnpike_workloads.Suite
+module Injector = Turnpike_resilience.Injector
+module Verifier = Turnpike_resilience.Verifier
+module Snapshot = Turnpike_resilience.Snapshot
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let () =
+  let scale = ref 8 in
+  let faults = ref 200 in
+  let seed = ref 7 in
+  let every = ref Snapshot.default_every in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+      scale := int_of_string n;
+      parse rest
+    | "--faults" :: n :: rest ->
+      faults := int_of_string n;
+      parse rest
+    | "--seed" :: n :: rest ->
+      seed := int_of_string n;
+      parse rest
+    | "--every" :: n :: rest ->
+      every := int_of_string n;
+      parse rest
+    | x :: _ ->
+      Printf.eprintf
+        "unknown argument %s; known: --scale N --faults N --seed S --every K\n" x;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let params =
+    { Run.default_params with Run.scale = max 1 (!scale / 4); sb_size = 4 }
+  in
+  let rows = ref [] in
+  let total_faults = ref 0 in
+  let scratch_total = ref 0.0 and forked_total = ref 0.0 and pilot_total = ref 0.0 in
+  List.iter
+    (fun b ->
+      let c = Run.compile_with params Scheme.turnpike b in
+      if c.Run.trace.Turnpike_ir.Trace.complete then begin
+        let campaign = Injector.campaign ~seed:!seed ~count:!faults c.Run.trace in
+        let golden = c.Run.final in
+        let compiled = c.Run.compiled in
+        let scratch_s, scratch_rep =
+          time (fun () -> Verifier.run_campaign ~jobs:1 ~golden ~compiled campaign)
+        in
+        let pilot_s, plan = time (fun () -> Snapshot.record ~every:!every compiled) in
+        let forked_s, forked_rep =
+          time (fun () ->
+              Verifier.run_campaign ~jobs:1 ~plan ~golden ~compiled campaign)
+        in
+        if scratch_rep <> forked_rep then begin
+          Printf.eprintf "FATAL: %s forked report diverges from scratch\n"
+            (Suite.qualified_name b);
+          exit 1
+        end;
+        let n = List.length campaign in
+        total_faults := !total_faults + n;
+        scratch_total := !scratch_total +. scratch_s;
+        pilot_total := !pilot_total +. pilot_s;
+        forked_total := !forked_total +. forked_s;
+        rows :=
+          Printf.sprintf
+            "    { \"bench\": %S, \"faults\": %d, \"trace_steps\": %d,\n\
+            \      \"scratch_s\": %.3f, \"pilot_s\": %.3f, \"forked_s\": %.3f,\n\
+            \      \"snapshots\": %d, \"speedup\": %.2f }"
+            (Suite.qualified_name b) n
+            (Array.length c.Run.trace.Turnpike_ir.Trace.events)
+            scratch_s pilot_s forked_s (Snapshot.snapshot_count plan)
+            (scratch_s /. Float.max 1e-9 (pilot_s +. forked_s))
+          :: !rows
+      end)
+    (Suite.all ());
+  (* The pilot is amortized over the campaign, so it counts against the
+     forked mode's faults/sec. *)
+  let scratch_fps = float_of_int !total_faults /. Float.max 1e-9 !scratch_total in
+  let forked_fps =
+    float_of_int !total_faults /. Float.max 1e-9 (!forked_total +. !pilot_total)
+  in
+  Printf.printf
+    "{\n\
+    \  \"benchmark\": \"campaign_replay\",\n\
+    \  \"scale\": %d,\n\
+    \  \"faults_per_bench\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"snapshot_every\": %d,\n\
+    \  \"total_faults\": %d,\n\
+    \  \"scratch\": { \"seconds\": %.3f, \"faults_per_sec\": %.1f },\n\
+    \  \"forked\": { \"seconds\": %.3f, \"pilot_seconds\": %.3f, \
+     \"faults_per_sec\": %.1f },\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"reports_identical\": true,\n\
+    \  \"per_bench\": [\n%s\n  ]\n\
+     }\n"
+    !scale !faults !seed !every !total_faults !scratch_total scratch_fps
+    !forked_total !pilot_total forked_fps (forked_fps /. Float.max 1e-9 scratch_fps)
+    (String.concat ",\n" (List.rev !rows))

@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- --scale 4     # smaller simulation windows
      dune exec bench/main.exe -- --jobs 4      # 4 worker domains (0 = auto)
      dune exec bench/main.exe -- resilience --faults 100 --seed 3
+     dune exec bench/main.exe -- resilience --ci 0.01   # stop at +/-1% SDC CI
      dune exec bench/main.exe -- --micro       # harness micro-benchmarks
      dune exec bench/main.exe -- --profile     # per-pass spans + pool utilization
 
@@ -28,6 +29,7 @@ let params = ref E.default_params
 let csv_dir : string option ref = ref None
 let campaign_faults = ref 24
 let campaign_seed = ref 7
+let campaign_ci : float option ref = ref None
 
 let csv name render rows =
   match !csv_dir with
@@ -405,7 +407,42 @@ let run_table1 () =
         [ r.label; Printf.sprintf "%.3f" r.area_um2; Printf.sprintf "%.5f" r.energy_pj ])
     (E.table1 ())
 
+let run_resilience_ci half_width =
+  Report.section
+    "Fault injection: sequential stopping on the SDC-rate confidence interval";
+  let stopping = { E.Verifier.default_stopping with E.Verifier.half_width } in
+  let rows =
+    E.resilience_campaign_ci ~params:!params ~max_faults:!campaign_faults
+      ~seed:!campaign_seed ~stopping ()
+  in
+  let cols =
+    Report.[ { title = "benchmark"; width = 18 }; { title = "faults"; width = 7 };
+             { title = "SDC rate"; width = 8 }; { title = "ci low"; width = 7 };
+             { title = "ci high"; width = 7 }; { title = "+/-"; width = 7 };
+             { title = "batches"; width = 7 }; { title = "stopped"; width = 9 } ]
+  in
+  Report.print_header cols;
+  List.iter
+    (fun (r : E.resilience_ci_row) ->
+      Report.print_row cols
+        [ r.ci_bench; string_of_int r.ci.E.Verifier.report.E.Verifier.total;
+          Printf.sprintf "%.4f" r.ci.E.Verifier.sdc_rate;
+          Printf.sprintf "%.4f" r.ci.E.Verifier.ci_low;
+          Printf.sprintf "%.4f" r.ci.E.Verifier.ci_high;
+          Printf.sprintf "%.4f" r.ci.E.Verifier.achieved_half_width;
+          string_of_int r.ci.E.Verifier.batches;
+          (if r.ci.E.Verifier.exhausted then "supply" else "interval") ])
+    rows;
+  Printf.printf
+    "(stop target: half-width %.4f at %g%% confidence; 'supply' = fault list \
+     exhausted first)\n"
+    half_width
+    (100.0 *. E.Verifier.default_stopping.E.Verifier.confidence)
+
 let run_resilience () =
+  match !campaign_ci with
+  | Some hw -> run_resilience_ci hw
+  | None ->
   Report.section "Fault injection: SDC-freedom campaign (beyond the paper's figures)";
   let rows =
     E.resilience_campaign ~params:!params ~faults:!campaign_faults
@@ -641,6 +678,9 @@ let () =
     | "--seed" :: n :: rest ->
       campaign_seed := int_of_string n;
       parse sel rest
+    | "--ci" :: w :: rest ->
+      campaign_ci := Some (float_of_string w);
+      parse sel rest
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some j ->
@@ -663,7 +703,7 @@ let () =
     | x :: _ ->
       Printf.eprintf
         "unknown argument %s; known: %s --scale N --fuel N --jobs N --faults N \
-         --seed S --micro --profile --csv DIR\n"
+         --seed S --ci W --micro --profile --csv DIR\n"
         x
         (String.concat " " (List.map fst experiments));
       exit 2

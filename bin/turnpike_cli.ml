@@ -197,17 +197,57 @@ let inject_cmd =
   let doc =
     "Run a fault-injection campaign and verify SDC-freedom. Faults fan out \
      over the --jobs worker domains (one interpreter replay each); the \
-     report is identical at any job count for a fixed --seed."
+     report is identical at any job count for a fixed --seed. By default \
+     each fault forks from the snapshot of a fault-free pilot run nearest \
+     its strike site (byte-identical to a from-scratch replay, at \
+     O(suffix) cost); --scratch disables the snapshots. With --ci the \
+     fixed fault count is replaced by sequential stopping: batches are \
+     injected until the Wilson confidence interval on the SDC rate is \
+     narrower than +/- WIDTH."
   in
   let faults_arg =
     Arg.(value & opt int 30
          & info [ "n"; "faults" ] ~docv:"N"
-             ~doc:"Campaign size: number of injected faults.")
+             ~doc:"Campaign size: number of injected faults (with --ci, the \
+                   maximum fault supply).")
   in
   let seed_arg =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
   in
-  let run () name faults seed scale =
+  let scratch_arg =
+    Arg.(
+      value & flag
+      & info [ "scratch" ]
+          ~doc:"Replay every fault from step 0 instead of forking from \
+                pilot snapshots (same report, slower).")
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"K"
+          ~doc:"Pilot snapshot cadence in steps (0 = default cadence).")
+  in
+  let ci_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "ci" ] ~docv:"WIDTH"
+          ~doc:"Stop when the confidence interval's half-width on the SDC \
+                rate reaches WIDTH (e.g. 0.01 for +/- 1%).")
+  in
+  let confidence_arg =
+    Arg.(
+      value & opt float 0.95
+      & info [ "confidence" ] ~docv:"C"
+          ~doc:"Confidence level of the stopping interval.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Faults per sequential batch of the --ci stopping loop.")
+  in
+  let run () name faults seed scale scratch every ci confidence batch =
     match find_bench name with
     | Error e ->
       prerr_endline e;
@@ -222,22 +262,55 @@ let inject_cmd =
         prerr_endline "trace truncated; lower --scale";
         exit 1
       end;
+      let module V = Turnpike_resilience.Verifier in
+      let module Snapshot = Turnpike_resilience.Snapshot in
+      let plan =
+        if scratch then None
+        else
+          Some
+            (Snapshot.record
+               ?every:(if every > 0 then Some every else None)
+               c.Turnpike.Run.compiled)
+      in
       let campaign =
         Turnpike_resilience.Injector.campaign ~seed ~count:faults c.Turnpike.Run.trace
       in
-      let rep =
-        Turnpike_resilience.Verifier.run_campaign ~golden:c.Turnpike.Run.final
-          ~compiled:c.Turnpike.Run.compiled campaign
+      let print_report (rep : V.campaign_report) =
+        Printf.printf
+          "%s: %d faults -> %d recovered, %d SDC, %d crashed (parity %d, sensor %d)\n"
+          (Suite.qualified_name b) rep.V.total rep.V.recovered rep.V.sdc
+          rep.V.crashed rep.V.parity_detections rep.V.sensor_detections;
+        rep.V.sdc > 0 || rep.V.crashed > 0
       in
-      let module V = Turnpike_resilience.Verifier in
-      Printf.printf
-        "%s: %d faults -> %d recovered, %d SDC, %d crashed (parity %d, sensor %d)\n"
-        (Suite.qualified_name b) rep.V.total rep.V.recovered rep.V.sdc rep.V.crashed
-        rep.V.parity_detections rep.V.sensor_detections;
-      if rep.V.sdc > 0 || rep.V.crashed > 0 then exit 1
+      let failed =
+        match ci with
+        | None ->
+          print_report
+            (V.run_campaign ?plan ~golden:c.Turnpike.Run.final
+               ~compiled:c.Turnpike.Run.compiled campaign)
+        | Some half_width ->
+          let stopping =
+            { V.default_stopping with V.half_width; confidence; batch }
+          in
+          let r =
+            V.run_campaign_ci ?plan ~stopping ~golden:c.Turnpike.Run.final
+              ~compiled:c.Turnpike.Run.compiled campaign
+          in
+          let failed = print_report r.V.report in
+          Printf.printf
+            "  SDC rate %.4f in [%.4f, %.4f] at %g%% confidence (+/- %.4f, \
+             %d batches%s)\n"
+            r.V.sdc_rate r.V.ci_low r.V.ci_high (100.0 *. confidence)
+            r.V.achieved_half_width r.V.batches
+            (if r.V.exhausted then "; fault supply exhausted" else "");
+          failed
+      in
+      if failed then exit 1
   in
   Cmd.v (Cmd.info "inject" ~doc)
-    Term.(const run $ jobs_arg $ bench_arg $ faults_arg $ seed_arg $ scale_arg)
+    Term.(
+      const run $ jobs_arg $ bench_arg $ faults_arg $ seed_arg $ scale_arg
+      $ scratch_arg $ every_arg $ ci_arg $ confidence_arg $ batch_arg)
 
 (* ------------------------------------------------------------------ *)
 

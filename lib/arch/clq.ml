@@ -38,6 +38,17 @@ let create design =
     populated_samples = [];
   }
 
+let copy t =
+  (* Deep copy for executor snapshotting: entries hold mutable fields, so
+     each gets a fresh record (the address sets are immutable and shared). *)
+  {
+    t with
+    entries =
+      List.map
+        (fun e -> { e with region = e.region })
+        t.entries;
+  }
+
 let enabled t = t.enabled
 
 let entries_in_use t = List.length t.entries

@@ -15,6 +15,10 @@ type t
 val create : design -> t
 (** @raise Invalid_argument on a non-positive compact entry count. *)
 
+val copy : t -> t
+(** Deep copy: mutating either the original or the copy afterwards leaves
+    the other untouched. Used by executor snapshotting. *)
+
 val enabled : t -> bool
 (** Fast-release state of the Fig-13 automaton. *)
 

@@ -22,6 +22,8 @@ let create ~nregs =
     fallbacks = 0;
   }
 
+let copy t = { t with states = Array.map Array.copy t.states }
+
 let in_range t reg = reg >= 0 && reg < t.nregs
 
 let try_assign t ~reg ~region =

@@ -13,6 +13,10 @@ type t
 val create : nregs:int -> t
 (** @raise Invalid_argument on non-positive register count. *)
 
+val copy : t -> t
+(** Deep copy: mutating either the original or the copy afterwards leaves
+    the other untouched. Used by executor snapshotting. *)
+
 val try_assign : t -> reg:int -> region:int -> int option
 (** Take a free color for a checkpoint of [reg] committed by dynamic
     [region]. [None] (fallback to store-buffer quarantine) when the pool

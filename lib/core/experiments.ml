@@ -442,23 +442,38 @@ type resilience_row = {
   report : Verifier.campaign_report;
 }
 
-let resilience_campaign ?(params = default_params) ?(faults = 24) ?(seed = 7) () =
-  (* Benchmarks are walked sequentially (compiles are cached and cheap
-     next to a campaign); the fan-out happens per FAULT inside
-     [Verifier.run_campaign], where each task replays the whole
-     interpreter under the recovery executor — the heaviest simulation
-     work the pool carries. *)
+module Snapshot = Turnpike_resilience.Snapshot
+
+(* Benchmarks are walked sequentially (compiles are cached and cheap next
+   to a campaign); the fan-out happens per FAULT inside the verifier,
+   where each task replays the interpreter under the recovery executor —
+   the heaviest simulation work the pool carries. One fault-free pilot per
+   benchmark records the snapshots every fault then forks from. *)
+let campaign_over ?(params = default_params) ~f () =
   let params = { params with scale = max 1 (params.scale / 4); sb_size = 4 } in
   List.filter_map
     (fun b ->
       let c = Run.compile_with params Scheme.turnpike b in
       if not c.Run.trace.Turnpike_ir.Trace.complete then None
       else begin
-        let golden = c.Run.final in
-        let campaign = Injector.campaign ~seed ~count:faults c.Run.trace in
-        let report =
-          Verifier.run_campaign ~golden ~compiled:c.Run.compiled campaign
-        in
-        Some { bench = Suite.qualified_name b; report }
+        let plan = Snapshot.record c.Run.compiled in
+        Some (Suite.qualified_name b, f c plan)
       end)
     (benchmarks ())
+
+let resilience_campaign ?params ?(faults = 24) ?(seed = 7) () =
+  campaign_over ?params () ~f:(fun c plan ->
+      let campaign = Injector.campaign ~seed ~count:faults c.Run.trace in
+      Verifier.run_campaign ~plan ~golden:c.Run.final ~compiled:c.Run.compiled
+        campaign)
+  |> List.map (fun (bench, report) -> { bench; report })
+
+type resilience_ci_row = { ci_bench : string; ci : Verifier.ci_report }
+
+let resilience_campaign_ci ?params ?(max_faults = 4096) ?(seed = 7)
+    ?(stopping = Verifier.default_stopping) () =
+  campaign_over ?params () ~f:(fun c plan ->
+      let campaign = Injector.campaign ~seed ~count:max_faults c.Run.trace in
+      Verifier.run_campaign_ci ~plan ~stopping ~golden:c.Run.final
+        ~compiled:c.Run.compiled campaign)
+  |> List.map (fun (ci_bench, ci) -> { ci_bench; ci })

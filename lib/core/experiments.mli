@@ -163,4 +163,21 @@ type resilience_row = { bench : string; report : Verifier.campaign_report }
 val resilience_campaign :
   ?params:params -> ?faults:int -> ?seed:int -> unit -> resilience_row list
 (** Inject single-bit faults across each (completed) benchmark trace and
-    verify every run recovers to the golden output — SDC-freedom. *)
+    verify every run recovers to the golden output — SDC-freedom. Each
+    benchmark runs one fault-free pilot recording executor snapshots; every
+    fault forks from the snapshot nearest its strike site (byte-identical
+    to a from-scratch replay, at O(suffix) cost). *)
+
+type resilience_ci_row = { ci_bench : string; ci : Verifier.ci_report }
+
+val resilience_campaign_ci :
+  ?params:params ->
+  ?max_faults:int ->
+  ?seed:int ->
+  ?stopping:Verifier.stopping ->
+  unit ->
+  resilience_ci_row list
+(** Like {!resilience_campaign}, but with sequential stopping: per
+    benchmark, seeded faults (at most [max_faults] distinct ones) are
+    consumed in batches until the Wilson confidence interval on the SDC
+    rate reaches [stopping.half_width]. Deterministic at any job count. *)

@@ -34,12 +34,49 @@ let campaign ?(seed = 42) ~count (trace : Trace.t) =
   let sites = written_regs_by_step trace in
   let n = Array.length sites in
   let last_step = Array.length trace.Trace.events - 1 in
-  if n = 0 then []
-  else
-    List.init count (fun k ->
-        let step, reg = sites.(mix seed k mod n) in
-        let bit = mix seed (k * 7 + 1) mod value_bits in
-        (* Strike one step after the write so the fault lands on a live,
-           freshly produced value — clamped into the trace when the
-           sampled write is its final event. *)
-        Fault.single_bit ~at_step:(min (step + 1) last_step) ~reg ~bit)
+  if n = 0 || count <= 0 then []
+  else begin
+    (* The site and bit draws both come from the [mix seed _] stream, so
+       distinct k can repeat a (step, reg, bit) triple; repeated trials
+       waste campaign budget and bias the i.i.d. assumption behind the
+       sequential stopping rules. Deduplicate in seeded draw order,
+       topping up with extra draws (then a systematic sweep) until [count]
+       distinct faults exist or the site/bit space is exhausted. *)
+    let distinct_sites =
+      let t = Hashtbl.create n in
+      Array.iter (fun (s, r) -> Hashtbl.replace t (min (s + 1) last_step, r) ()) sites;
+      Hashtbl.length t
+    in
+    let target = min count (distinct_sites * value_bits) in
+    let seen = Hashtbl.create (2 * target) in
+    let acc = ref [] in
+    let added = ref 0 in
+    let add step reg bit =
+      (* Strike one step after the write so the fault lands on a live,
+         freshly produced value — clamped into the trace when the
+         sampled write is its final event. *)
+      let at_step = min (step + 1) last_step in
+      if not (Hashtbl.mem seen (at_step, reg, bit)) then begin
+        Hashtbl.replace seen (at_step, reg, bit) ();
+        acc := Fault.single_bit ~at_step ~reg ~bit :: !acc;
+        incr added
+      end
+    in
+    let k = ref 0 in
+    let max_draws = (64 * target) + 256 in
+    while !added < target && !k < max_draws do
+      let step, reg = sites.(mix seed !k mod n) in
+      let bit = mix seed ((!k * 7) + 1) mod value_bits in
+      add step reg bit;
+      incr k
+    done;
+    (* Hashed draws starved (tiny site space): sweep site-major so the
+       remaining distinct faults are reached deterministically. *)
+    let i = ref 0 in
+    while !added < target && !i < n * value_bits do
+      let step, reg = sites.(!i mod n) in
+      add step reg (!i / n);
+      incr i
+    done;
+    List.rev !acc
+  end

@@ -5,7 +5,11 @@
 open Turnpike_ir
 
 val campaign : ?seed:int -> count:int -> Trace.t -> Fault.t list
-(** Build [count] single-bit faults from a reference trace of the program
-    (empty when the trace writes no registers). Bits are drawn over the
-    full 63-bit register value width, and strike sites are clamped inside
-    the trace. Deterministic in [seed]. *)
+(** Build up to [count] {e distinct} single-bit faults from a reference
+    trace of the program (empty when the trace writes no registers). Bits
+    are drawn over the full 63-bit register value width, and strike sites
+    are clamped inside the trace. Faults are deduplicated by
+    (step, register, bit) in seeded draw order, topping up until [count]
+    distinct faults exist or the site/bit space of the trace is exhausted
+    — so the list is shorter than [count] only for very small programs.
+    Deterministic in [seed]. *)

@@ -74,6 +74,8 @@ type outcome = {
 
 exception Recovery_failed of string
 
+exception Out_of_fuel of { recoveries : int; steps : int }
+
 (* Where the latest verified checkpoint of a register lives. *)
 type slot_loc = Base | Color of int
 
@@ -87,6 +89,11 @@ type ckpt_record = Colored of Reg.t * int | Fallback of Reg.t * int (* value *)
 type dynamic_region = {
   seq : int;
   static_id : int;
+  start_pos : int;
+      (* fault-free position (see [exec.delta]) at which the region's head
+         re-executes after a recovery restart: the boundary marker is the
+         head block's first instruction, so a restart at [(head, 0)]
+         replays it at exactly this position *)
   mutable end_step : int option;
   mutable undo : (int * int) list; (* (addr, previous value), newest first *)
   mutable ckpts : ckpt_record list; (* newest first *)
@@ -105,12 +112,23 @@ type exec = {
   mutable pending : dynamic_region list; (* closed, unverified; oldest first *)
   mutable next_seq : int;
   mutable tainted : Reg.Set.t;
+  mutable remaining : Fault.t list; (* strike order *)
+  mutable detection_step : int; (* earliest pending sensor detection *)
+  mutable budget : int;
+  mutable delta : int;
+      (* [st.steps - delta] is the run's {e position}: the step index the
+         same pc would have in a fault-free run. 0 until the first
+         recovery; each restart re-executes the restart region's head at
+         its recorded [start_pos], so the position rewinds with the pc
+         while [st.steps] keeps counting re-executed work. *)
   mutable recoveries : int;
   mutable detections : detection list;
   mutable fast_released : int;
   mutable colored : int;
   mutable quarantined : int;
 }
+
+let position ex = ex.st.Interp.steps - ex.delta
 
 let slot_addr reg = function
   | Base -> Layout.ckpt_slot ~reg ~color:0
@@ -122,7 +140,14 @@ let current_region ex =
   | None ->
     (* Implicit region before the first boundary marker. *)
     let r =
-      { seq = ex.next_seq; static_id = -1; end_step = None; undo = []; ckpts = [] }
+      {
+        seq = ex.next_seq;
+        static_id = -1;
+        start_pos = position ex;
+        end_step = None;
+        undo = [];
+        ckpts = [];
+      }
     in
     ex.next_seq <- ex.next_seq + 1;
     ex.open_region <- Some r;
@@ -203,7 +228,14 @@ let on_boundary ex static_id =
     Clq.maybe_enable clq ~unverified_regions:(List.length ex.pending)
   | None -> ());
   let r =
-    { seq = ex.next_seq; static_id; end_step = None; undo = []; ckpts = [] }
+    {
+      seq = ex.next_seq;
+      static_id;
+      start_pos = position ex;
+      end_step = None;
+      undo = [];
+      ckpts = [];
+    }
   in
   ex.next_seq <- ex.next_seq + 1;
   ex.open_region <- Some r
@@ -339,7 +371,11 @@ let recover ex ~kind =
       (fun reg -> Interp.set_reg ex.st reg (restore_register ex reg))
       info.Pass_pipeline.live_in;
     ex.st.Interp.pc <- { Interp.block = info.Pass_pipeline.head; index = 0 };
-    ex.st.Interp.halted <- false
+    ex.st.Interp.halted <- false;
+    (* The restart region's boundary marker is its head block's first
+       instruction, so the next step re-executes it at the position it
+       first ran at: rebase [delta] so [position ex] rewinds with the pc. *)
+    ex.delta <- now - restart.start_pos
   | None ->
     raise
       (Recovery_failed
@@ -385,46 +421,174 @@ let hash_mix a b =
   z := !z lxor (!z lsr 13);
   !z land max_int
 
-let run ?fault ?(faults = []) ?(config = default_config) (compiled : Pass_pipeline.t) =
-  let faults =
-    List.sort
-      (fun (a : Fault.t) b -> compare a.Fault.at_step b.Fault.at_step)
-      (match fault with Some f -> f :: faults | None -> faults)
+let claim_table enabled sites =
+  let tbl = Hashtbl.create 16 in
+  if enabled then List.iter (fun site -> Hashtbl.replace tbl site ()) sites;
+  tbl
+
+let make_exec ?(config = default_config) ?(faults = []) (compiled : Pass_pipeline.t) =
+  {
+    cfg = config;
+    compiled;
+    st = Interp.init compiled.Pass_pipeline.prog;
+    clq = Option.map Clq.create config.clq;
+    col = (if config.coloring then Some (Coloring.create ~nregs:config.nregs) else None);
+    verified_loc = Hashtbl.create 32;
+    claim_bypass =
+      claim_table config.honor_static_claims
+        compiled.Pass_pipeline.claims.Turnpike_compiler.Claims.bypass_stores;
+    claim_direct =
+      claim_table config.honor_static_claims
+        compiled.Pass_pipeline.claims.Turnpike_compiler.Claims.direct_ckpts;
+    open_region = None;
+    pending = [];
+    next_seq = 0;
+    tainted = Reg.Set.empty;
+    remaining = faults;
+    detection_step = max_int;
+    budget = config.fuel;
+    delta = 0;
+    recoveries = 0;
+    detections = [];
+    fast_released = 0;
+    colored = 0;
+    quarantined = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: a deep copy of the whole executor (interpreter state plus
+   region/quarantine/CLQ/coloring bookkeeping) taken at the top of the
+   step loop, from which faulted runs can be forked byte-identically. *)
+
+type snapshot = {
+  snap_step : int; (* pilot [st.steps] = fault-free position at capture *)
+  s_regs : (Reg.t, int) Hashtbl.t;
+  s_mem : (int, int) Hashtbl.t;
+  s_pc : Interp.pc;
+  s_clq : Clq.t option;
+  s_col : Coloring.t option;
+  s_verified_loc : (Reg.t, slot_loc) Hashtbl.t;
+  s_open_region : dynamic_region option;
+  s_pending : dynamic_region list;
+  s_next_seq : int;
+  s_fast_released : int;
+  s_colored : int;
+  s_quarantined : int;
+}
+
+let snapshot_step s = s.snap_step
+
+(* The undo/ckpt lists are immutable and safely shared; the record's
+   mutable cells must be fresh. *)
+let copy_region (r : dynamic_region) = { r with end_step = r.end_step }
+
+let capture ex =
+  {
+    snap_step = ex.st.Interp.steps;
+    s_regs = Hashtbl.copy ex.st.Interp.regs;
+    s_mem = Hashtbl.copy ex.st.Interp.mem;
+    s_pc = ex.st.Interp.pc;
+    s_clq = Option.map Clq.copy ex.clq;
+    s_col = Option.map Coloring.copy ex.col;
+    s_verified_loc = Hashtbl.copy ex.verified_loc;
+    s_open_region = Option.map copy_region ex.open_region;
+    s_pending = List.map copy_region ex.pending;
+    s_next_seq = ex.next_seq;
+    s_fast_released = ex.fast_released;
+    s_colored = ex.colored;
+    s_quarantined = ex.quarantined;
+  }
+
+let of_snapshot ?(config = default_config) (compiled : Pass_pipeline.t) (s : snapshot)
+    ~fault =
+  {
+    cfg = config;
+    compiled;
+    st =
+      {
+        Interp.regs = Hashtbl.copy s.s_regs;
+        mem = Hashtbl.copy s.s_mem;
+        pc = s.s_pc;
+        steps = s.snap_step;
+        halted = false;
+      };
+    clq = Option.map Clq.copy s.s_clq;
+    col = Option.map Coloring.copy s.s_col;
+    verified_loc = Hashtbl.copy s.s_verified_loc;
+    claim_bypass =
+      claim_table config.honor_static_claims
+        compiled.Pass_pipeline.claims.Turnpike_compiler.Claims.bypass_stores;
+    claim_direct =
+      claim_table config.honor_static_claims
+        compiled.Pass_pipeline.claims.Turnpike_compiler.Claims.direct_ckpts;
+    open_region = Option.map copy_region s.s_open_region;
+    pending = List.map copy_region s.s_pending;
+    next_seq = s.s_next_seq;
+    tainted = Reg.Set.empty;
+    remaining = [ fault ];
+    detection_step = max_int;
+    (* [budget = fuel - steps] is a loop invariant (the budget is decremented
+       exactly when [Interp.step] increments [steps]), so a fork inherits
+       exactly the budget the from-scratch run would have here. *)
+    budget = config.fuel - s.snap_step;
+    delta = 0;
+    recoveries = 0;
+    detections = [];
+    fast_released = s.s_fast_released;
+    colored = s.s_colored;
+    quarantined = s.s_quarantined;
+  }
+
+(* The pilot run a fork measures convergence against: its snapshots (in
+   ascending [snap_step] order) and its final, drained state. *)
+type oracle = { snaps : snapshot array; final_steps : int; final_state : Interp.state }
+
+(* Equality treating absent bindings as zero, as the interpreter does. *)
+let tables_agree ?(skip = fun _ -> false) a b =
+  let covered a b =
+    Hashtbl.fold
+      (fun k v ok ->
+        ok && (skip k || Option.value (Hashtbl.find_opt b k) ~default:0 = v))
+      a true
   in
-  let st = Interp.init compiled.Pass_pipeline.prog in
-  let ex =
-    {
-      cfg = config;
-      compiled;
-      st;
-      clq = Option.map Clq.create config.clq;
-      col = (if config.coloring then Some (Coloring.create ~nregs:config.nregs) else None);
-      verified_loc = Hashtbl.create 32;
-      claim_bypass =
-        (let tbl = Hashtbl.create 16 in
-         if config.honor_static_claims then
-           List.iter
-             (fun site -> Hashtbl.replace tbl site ())
-             compiled.Pass_pipeline.claims.Turnpike_compiler.Claims.bypass_stores;
-         tbl);
-      claim_direct =
-        (let tbl = Hashtbl.create 16 in
-         if config.honor_static_claims then
-           List.iter
-             (fun site -> Hashtbl.replace tbl site ())
-             compiled.Pass_pipeline.claims.Turnpike_compiler.Claims.direct_ckpts;
-         tbl);
-      open_region = None;
-      pending = [];
-      next_seq = 0;
-      tainted = Reg.Set.empty;
-      recoveries = 0;
-      detections = [];
-      fast_released = 0;
-      colored = 0;
-      quarantined = 0;
-    }
+  covered a b && covered b a
+
+let converged ex (s : snapshot) =
+  ex.st.Interp.pc = s.s_pc
+  && (not ex.st.Interp.halted)
+  && tables_agree ex.st.Interp.regs s.s_regs
+  && tables_agree ~skip:Layout.is_ckpt_addr ex.st.Interp.mem s.s_mem
+
+let drain_at_exit ex =
+  (* Every region is error-free once the program has halted cleanly (no
+     detection outlived the loop), so close the still-open region and
+     verify everything pending: quarantined writes commit and buffered
+     fallback checkpoints reach checkpoint storage. *)
+  close_open_region ex ~now:ex.st.Interp.steps;
+  let rec go () =
+    match ex.pending with
+    | [] -> ()
+    | r :: rest ->
+      ex.pending <- rest;
+      verify_region ex r;
+      go ()
   in
+  go ()
+
+let finish ex =
+  {
+    state = ex.st;
+    recoveries = ex.recoveries;
+    detections = List.rev ex.detections;
+    fast_released_stores = ex.fast_released;
+    colored_ckpts = ex.colored;
+    quarantined_writes = ex.quarantined;
+  }
+
+let drive ?observer ?oracle ex =
+  let st = ex.st in
+  let func = ex.compiled.Pass_pipeline.prog.Prog.func in
+  let fallthrough = Func.fallthrough_table func in
   let hooks =
     {
       Interp.on_ckpt = (fun st reg -> on_ckpt ex st reg);
@@ -439,64 +603,147 @@ let run ?fault ?(faults = []) ?(config = default_config) (compiled : Pass_pipeli
       write_mem = (fun st addr v -> on_store ex st addr v);
     }
   in
-  let func = compiled.Pass_pipeline.prog.Prog.func in
-  let remaining = ref faults in
-  let detection_step = ref max_int in
-  let fallthrough = Func.fallthrough_table func in
-  let budget = ref config.fuel in
-  let detection_pending () = !detection_step < max_int in
+  let detection_pending () = ex.detection_step < max_int in
+  (* Convergence cursor: only pilot snapshots strictly ahead of the fork
+     position are candidates. The cursor never moves backwards — after a
+     recovery the position rewinds and simply catches up to it again. *)
+  let oidx = ref 0 in
+  (match oracle with
+  | Some o ->
+    let pos0 = position ex in
+    while !oidx < Array.length o.snaps && o.snaps.(!oidx).snap_step <= pos0 do
+      incr oidx
+    done
+  | None -> ());
+  let early = ref None in
   (* The loop continues past program exit while a detection is still
      pending: the sensors keep watching through the final WCDL windows, so
      an error near the end is detected (and recovered) after the last
      instruction retires. *)
-  while ((not st.Interp.halted) || detection_pending ()) && !budget > 0 do
-    let now = st.Interp.steps in
-    (* Detection strictly precedes any verification at the same timestamp:
-       a region is verified only when NO error was detected during its
-       window. A halted program jumps straight to the detection time. *)
-    if detection_pending () && (now >= !detection_step || st.Interp.halted) then begin
-      detection_step := max_int;
-      recover ex ~kind:Sensor
-    end
-    else begin
-      process_verifications ex ~now;
-      (* Strikes land at their absolute step; several faults can be in
-         flight, each scheduling its own detection — the earliest pending
-         one triggers recovery. Steps are monotonically increasing, so
-         faults scheduled inside a re-executed window simply fire once. *)
-      (match !remaining with
-      | (f : Fault.t) :: rest when now >= f.Fault.at_step ->
-        remaining := rest;
-        Interp.set_reg st f.Fault.reg
-          (Interp.get_reg st f.Fault.reg lxor f.Fault.xor_mask);
-        ex.tainted <- Reg.Set.add f.Fault.reg ex.tainted;
-        (* Detected within the worst-case latency; deterministic sample. *)
-        let d =
-          1 + (hash_mix f.Fault.at_step f.Fault.xor_mask mod max 1 config.verify_delay)
-        in
-        detection_step := min !detection_step (now + d)
-      | _ :: _ | [] -> ());
-      (* Parity/AGU path: a tainted register about to be used for
-         addressing is caught before the access. *)
-      if detection_pending () && address_uses_taint ex then begin
-        detection_step := max_int;
-        recover ex ~kind:Parity
+  while
+    !early = None
+    && ((not st.Interp.halted) || detection_pending ())
+    && ex.budget > 0
+  do
+    (match observer with Some f -> f ex | None -> ());
+    (* Convergence early exit: once the fault has struck, its detection has
+       been handled and no taint is live, a fork whose architectural state
+       (pc, registers, non-checkpoint memory) matches the pilot's snapshot
+       at the same fault-free position has a fully determined future — the
+       rest of the run is the pilot's suffix. Checkpoint storage is
+       excluded from the comparison: slot contents and coloring history
+       legitimately differ after a recovery, and the program only reads
+       them during recovery itself, which can no longer occur. *)
+    (match oracle with
+    | Some o
+      when ex.remaining = []
+           && (not (detection_pending ()))
+           && Reg.Set.is_empty ex.tainted ->
+      let pos = position ex in
+      let n = Array.length o.snaps in
+      while !oidx < n && o.snaps.(!oidx).snap_step < pos do
+        incr oidx
+      done;
+      if !oidx < n && o.snaps.(!oidx).snap_step = pos then begin
+        if converged ex o.snaps.(!oidx) then begin
+          let left = o.final_steps - pos in
+          if ex.budget >= left then early := Some left
+          else
+            (* The determined suffix is longer than the remaining fuel:
+               report exhaustion exactly where the full replay would. *)
+            raise
+              (Out_of_fuel
+                 { recoveries = ex.recoveries; steps = st.Interp.steps + ex.budget })
+        end
+        else oidx := !oidx + 1
+      end
+    | Some _ | None -> ());
+    if !early = None then begin
+      let now = st.Interp.steps in
+      (* Detection strictly precedes any verification at the same timestamp:
+         a region is verified only when NO error was detected during its
+         window. A halted program jumps straight to the detection time. *)
+      if detection_pending () && (now >= ex.detection_step || st.Interp.halted) then begin
+        ex.detection_step <- max_int;
+        recover ex ~kind:Sensor
       end
       else begin
-        propagate_taint ex;
-        Interp.step ~hooks ~fallthrough func st;
-        decr budget
+        process_verifications ex ~now;
+        (* Strikes land at their absolute step; several faults can be in
+           flight, each scheduling its own detection — the earliest pending
+           one triggers recovery. Steps are monotonically increasing, so
+           faults scheduled inside a re-executed window simply fire once. *)
+        (match ex.remaining with
+        | (f : Fault.t) :: rest when now >= f.Fault.at_step ->
+          ex.remaining <- rest;
+          Interp.set_reg st f.Fault.reg
+            (Interp.get_reg st f.Fault.reg lxor f.Fault.xor_mask);
+          ex.tainted <- Reg.Set.add f.Fault.reg ex.tainted;
+          (* Detected within the worst-case latency; deterministic sample. *)
+          let d =
+            1
+            + (hash_mix f.Fault.at_step f.Fault.xor_mask
+              mod max 1 ex.cfg.verify_delay)
+          in
+          ex.detection_step <- min ex.detection_step (now + d)
+        | _ :: _ | [] -> ());
+        (* Parity/AGU path: a tainted register about to be used for
+           addressing is caught before the access. *)
+        if detection_pending () && address_uses_taint ex then begin
+          ex.detection_step <- max_int;
+          recover ex ~kind:Parity
+        end
+        else begin
+          propagate_taint ex;
+          Interp.step ~hooks ~fallthrough func st;
+          ex.budget <- ex.budget - 1
+        end
       end
     end
   done;
-  if not st.Interp.halted then raise Interp.Out_of_fuel;
-  (* Drain remaining verifications so the final memory is fully committed
-     state plus quarantine-applied writes (all correct by now). *)
-  {
-    state = st;
-    recoveries = ex.recoveries;
-    detections = List.rev ex.detections;
-    fast_released_stores = ex.fast_released;
-    colored_ckpts = ex.colored;
-    quarantined_writes = ex.quarantined;
-  }
+  match !early with
+  | Some left ->
+    let o = Option.get oracle in
+    (* Adopt the pilot's final (drained) architectural state; [steps] keeps
+       counting this fork's own re-executed work plus the skipped suffix,
+       exactly as the full replay would have. *)
+    {
+      (finish ex) with
+      state = { o.final_state with Interp.steps = st.Interp.steps + left };
+    }
+  | None ->
+    if not st.Interp.halted then
+      raise (Out_of_fuel { recoveries = ex.recoveries; steps = st.Interp.steps });
+    (* Drain remaining verifications so the final memory is fully committed
+       state plus quarantine-applied writes (all correct by now). *)
+    drain_at_exit ex;
+    finish ex
+
+let run ?fault ?(faults = []) ?(config = default_config) (compiled : Pass_pipeline.t) =
+  let faults =
+    List.sort
+      (fun (a : Fault.t) b -> compare a.Fault.at_step b.Fault.at_step)
+      (match fault with Some f -> f :: faults | None -> faults)
+  in
+  drive (make_exec ~config ~faults compiled)
+
+let capture_pilot ?(config = default_config) ~every (compiled : Pass_pipeline.t) =
+  if every <= 0 then invalid_arg "Recovery.capture_pilot: every must be positive";
+  let snaps = ref [] in
+  (* A fault-free run never recovers, so [steps] strictly increases across
+     loop iterations and each multiple of [every] is captured once. *)
+  let observer ex =
+    if ex.st.Interp.steps mod every = 0 then snaps := capture ex :: !snaps
+  in
+  let outcome = drive ~observer (make_exec ~config compiled) in
+  (outcome, Array.of_list (List.rev !snaps))
+
+let resume ?(config = default_config) ~snapshots ~pilot_outcome ~from ~fault compiled =
+  let oracle =
+    {
+      snaps = snapshots;
+      final_steps = pilot_outcome.state.Interp.steps;
+      final_state = pilot_outcome.state;
+    }
+  in
+  drive ~oracle (of_snapshot ~config compiled from ~fault)

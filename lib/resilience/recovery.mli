@@ -55,11 +55,57 @@ type outcome = {
 
 exception Recovery_failed of string
 
+exception Out_of_fuel of { recoveries : int; steps : int }
+(** The fuel budget ran out: [recoveries] recoveries had been performed and
+    the interpreter had executed [steps] steps — enough for campaign triage
+    to tell recovery livelock from a genuinely wedged program. *)
+
 val run :
   ?fault:Fault.t -> ?faults:Fault.t list -> ?config:config -> Pass_pipeline.t -> outcome
 (** Execute a compiled program, optionally injecting faults ([fault] and
     [faults] are merged and sorted by strike step; several faults may be
-    in flight, each detected within the verification window).
+    in flight, each detected within the verification window). At exit all
+    remaining verifications are drained: quarantined regions commit and
+    buffered fallback checkpoints reach checkpoint storage, so the final
+    memory is fully committed state.
     @raise Recovery_failed when recovery cannot proceed (by design only
     reachable through [unsafe_ckpt_release] or broken compilation).
-    @raise Interp.Out_of_fuel when the fuel budget is exhausted. *)
+    @raise Out_of_fuel when the fuel budget is exhausted. *)
+
+(** {2 Snapshot / fork support}
+
+    A {e pilot} is a fault-free run that deep-copies the whole executor —
+    interpreter registers/memory/pc plus region, quarantine, CLQ and
+    coloring bookkeeping — every [every] steps. A faulted run forked from
+    the snapshot nearest (at or before) its strike site produces exactly
+    the outcome of a from-scratch {!run} with the same fault: the
+    pre-strike prefix of the faulted run is identical to the pilot, and
+    once the fault's effects have fully healed the fork recognises that its
+    state has re-converged with a later pilot snapshot and adopts the
+    pilot's suffix instead of re-executing it. *)
+
+type snapshot
+
+val snapshot_step : snapshot -> int
+(** The fault-free step index (position) the snapshot was captured at. *)
+
+val capture_pilot :
+  ?config:config -> every:int -> Pass_pipeline.t -> outcome * snapshot array
+(** Fault-free run capturing a snapshot every [every] steps, starting at
+    step 0; snapshots are returned in ascending step order.
+    @raise Invalid_argument when [every <= 0]. *)
+
+val resume :
+  ?config:config ->
+  snapshots:snapshot array ->
+  pilot_outcome:outcome ->
+  from:snapshot ->
+  fault:Fault.t ->
+  Pass_pipeline.t ->
+  outcome
+(** Fork a single-fault run from [from] (which must satisfy
+    [snapshot_step from <= fault.at_step]) recorded by a {!capture_pilot}
+    of the same [config] and compiled program. The outcome's [state],
+    [recoveries] and [detections] are byte-identical to
+    [run ~fault ~config]; on a convergence early exit the release/ckpt
+    counters reflect only the work the fork actually executed. *)

@@ -1,0 +1,45 @@
+(** Snapshot plans for fault campaigns.
+
+    A plan is the result of one fault-free {e pilot} run of a compiled
+    program under a recovery configuration, capturing a deep copy of the
+    whole executor every [every] steps. Each fault of a campaign then
+    {!fork}s from the snapshot nearest its strike site, producing an
+    outcome byte-identical to a from-scratch {!Recovery.run} at O(suffix)
+    cost.
+
+    A plan is immutable once recorded: forks only read it, so one plan is
+    safely shared by every domain of a parallel campaign. *)
+
+module Pass_pipeline = Turnpike_compiler.Pass_pipeline
+
+type plan = private {
+  config : Recovery.config;
+  compiled : Pass_pipeline.t;
+  every : int;
+  snaps : Recovery.snapshot array;
+  pilot : Recovery.outcome;
+}
+
+val default_every : int
+(** Snapshot cadence in steps (512). *)
+
+val record : ?config:Recovery.config -> ?every:int -> Pass_pipeline.t -> plan
+(** Run the fault-free pilot and capture its snapshots.
+    @raise Invalid_argument when [every <= 0].
+    @raise Recovery.Out_of_fuel when the pilot itself exhausts its fuel —
+    no plan exists for a program the configuration cannot run. *)
+
+val pilot_outcome : plan -> Recovery.outcome
+(** The fault-free run's outcome (also the campaign's golden-comparable
+    reference for steps). *)
+
+val snapshot_count : plan -> int
+
+val nearest : plan -> step:int -> Recovery.snapshot
+(** Latest snapshot at or before [step] (the step-0 snapshot exists for
+    every plan, so this is total for [step >= 0]). *)
+
+val fork : plan -> Fault.t -> Recovery.outcome
+(** Replay one fault from the nearest snapshot. Byte-identical to
+    [Recovery.run ~fault ~config:plan.config plan.compiled] in [state],
+    [recoveries] and [detections]; raises the same exceptions. *)

@@ -63,8 +63,13 @@ type campaign_report = {
          the execution-time cost of rollback and re-execution *)
 }
 
-let run_one ?(config = Recovery.default_config) ~golden ~compiled fault =
-  match Recovery.run ~fault ~config compiled with
+let run_one ?(config = Recovery.default_config) ?plan ~golden ~compiled fault =
+  let replay () =
+    match plan with
+    | Some p -> Snapshot.fork p fault
+    | None -> Recovery.run ~fault ~config compiled
+  in
+  match replay () with
   | outcome -> (
     let detections = outcome.Recovery.detections in
     match compare_states ~golden ~actual:outcome.Recovery.state with
@@ -81,7 +86,16 @@ let run_one ?(config = Recovery.default_config) ~golden ~compiled fault =
     | Mismatch _ as mismatch -> Sdc { detections; mismatch })
   | exception Recovery.Recovery_failed reason ->
     Crashed { reason = "recovery failed: " ^ reason }
-  | exception Interp.Out_of_fuel -> Crashed { reason = "out of fuel" }
+  | exception Recovery.Out_of_fuel { recoveries; steps } ->
+    (* Keep the recovery count and exhaustion step: a campaign triaging
+       crashes needs to tell recovery livelock (many recoveries, steps
+       barely past the strike) from a genuinely wedged program. *)
+    Crashed
+      {
+        reason =
+          Printf.sprintf "out of fuel at step %d after %d recoveries" steps
+            recoveries;
+      }
 
 let reduce outcomes =
   let recovered = ref 0
@@ -119,5 +133,145 @@ let reduce outcomes =
       (if !recovered = 0 then 0.0 else !reexec_sum /. float_of_int !recovered);
   }
 
-let run_campaign ?jobs ?config ~golden ~compiled faults =
-  Parallel.map_list ?jobs (run_one ?config ~golden ~compiled) faults |> reduce
+let run_campaign ?jobs ?config ?plan ~golden ~compiled faults =
+  Parallel.map_list ?jobs (run_one ?config ?plan ~golden ~compiled) faults |> reduce
+
+(* ------------------------------------------------------------------ *)
+(* Sequential stopping: stream the seeded fault list in fixed-size batches
+   and stop once a Wilson score interval on the SDC rate is narrow enough.
+   Everything the stopping decision depends on — batch boundaries, fault
+   order, outcome folds — derives from the seeded list, never from
+   wall-clock or completion order, so the stopping point and the report
+   are identical at any job count. *)
+
+type stopping = {
+  half_width : float;
+  confidence : float;
+  batch : int;
+  min_faults : int;
+}
+
+let default_stopping =
+  { half_width = 0.05; confidence = 0.95; batch = 32; min_faults = 64 }
+
+(* Inverse of the standard normal CDF (Acklam's rational approximation,
+   |relative error| < 1.15e-9): deterministic, dependency-free source for
+   the z quantile of the requested confidence level. *)
+let probit p =
+  if not (p > 0.0 && p < 1.0) then invalid_arg "Verifier.probit: p outside (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let poly coeffs x =
+    Array.fold_left (fun acc k -> (acc *. x) +. k) 0.0 coeffs
+  in
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    poly c q /. ((poly d q *. q) +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    poly a r *. q /. ((poly b r *. r) +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.(poly c q) /. ((poly d q *. q) +. 1.0)
+  end
+
+let z_of_confidence confidence =
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Verifier: confidence must be inside (0,1)";
+  probit (1.0 -. ((1.0 -. confidence) /. 2.0))
+
+(* Wilson score interval for a binomial proportion: behaves sensibly at
+   p-hat = 0 (the common case: zero SDCs observed), where the Wald
+   interval would collapse to width zero and stop immediately. *)
+let wilson_interval ~confidence ~positives ~total =
+  if total <= 0 then (0.0, 1.0)
+  else begin
+    let z = z_of_confidence confidence in
+    let n = float_of_int total in
+    let p = float_of_int positives /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z *. sqrt (((p *. (1.0 -. p)) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+    in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+  end
+
+type ci_report = {
+  report : campaign_report;
+  sdc_rate : float;
+  ci_low : float;
+  ci_high : float;
+  achieved_half_width : float;
+  confidence : float;
+  batches : int;
+  exhausted : bool;
+}
+
+let run_campaign_ci ?jobs ?config ?plan ?(stopping = default_stopping) ~golden
+    ~compiled faults =
+  if stopping.batch <= 0 then invalid_arg "Verifier: batch must be positive";
+  if not (stopping.half_width > 0.0) then
+    invalid_arg "Verifier: half_width must be positive";
+  let take n l =
+    let rec go n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: tl -> go (n - 1) (x :: acc) tl
+    in
+    go n [] l
+  in
+  let interval outcomes_rev =
+    let total = List.length outcomes_rev in
+    let positives =
+      List.fold_left
+        (fun acc o -> match o with Sdc _ -> acc + 1 | _ -> acc)
+        0 outcomes_rev
+    in
+    let low, high =
+      wilson_interval ~confidence:stopping.confidence ~positives ~total
+    in
+    (total, positives, low, high, (high -. low) /. 2.0)
+  in
+  let rec go outcomes_rev batches remaining =
+    match remaining with
+    | [] -> (outcomes_rev, batches, true)
+    | _ ->
+      let batch, rest = take stopping.batch remaining in
+      let results = Parallel.map_list ?jobs (run_one ?config ?plan ~golden ~compiled) batch in
+      let outcomes_rev = List.rev_append results outcomes_rev in
+      let total, _, _, _, half = interval outcomes_rev in
+      if total >= stopping.min_faults && half <= stopping.half_width then
+        (outcomes_rev, batches + 1, false)
+      else go outcomes_rev (batches + 1) rest
+  in
+  let outcomes_rev, batches, exhausted = go [] 0 faults in
+  let total, positives, low, high, half = interval outcomes_rev in
+  let report = reduce (List.rev outcomes_rev) in
+  {
+    report;
+    sdc_rate =
+      (if total = 0 then 0.0 else float_of_int positives /. float_of_int total);
+    ci_low = low;
+    ci_high = high;
+    achieved_half_width = half;
+    confidence = stopping.confidence;
+    batches;
+    exhausted;
+  }

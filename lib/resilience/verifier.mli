@@ -30,13 +30,19 @@ type outcome =
 
 val run_one :
   ?config:Recovery.config ->
+  ?plan:Snapshot.plan ->
   golden:Interp.state ->
   compiled:Turnpike_compiler.Pass_pipeline.t ->
   Fault.t ->
   outcome
 (** Inject one fault, replay the program under the recovery executor and
     classify the result. Pure (fresh executor state per call): safe to
-    fan out across domains. *)
+    fan out across domains. With [plan] (recorded from the same compiled
+    program and config) the fault forks from the snapshot nearest its
+    strike site instead of replaying from step 0 — same outcome, O(suffix)
+    cost. Fuel exhaustion reports the recovery count and exhaustion step in
+    the [Crashed] reason, distinguishing recovery livelock from a wedged
+    program. *)
 
 type campaign_report = {
   total : int;
@@ -59,6 +65,7 @@ val reduce : outcome list -> campaign_report
 val run_campaign :
   ?jobs:int ->
   ?config:Recovery.config ->
+  ?plan:Snapshot.plan ->
   golden:Interp.state ->
   compiled:Turnpike_compiler.Pass_pipeline.t ->
   Fault.t list ->
@@ -66,4 +73,57 @@ val run_campaign :
 (** [Parallel.map_list run_one faults |> reduce]: every fault replays the
     interpreter independently on the domain pool ([?jobs] overrides the
     pool width, default the global [--jobs] setting), and the report is
-    identical at any job count. *)
+    identical at any job count. [plan] forwards to {!run_one}. *)
+
+(** {2 Sequential stopping}
+
+    Instead of a fixed fault count, stream the seeded fault list in
+    fixed-size batches and stop as soon as a Wilson score confidence
+    interval on the SDC rate is narrow enough ("SDC rate ± 1% at 95%").
+    Batch boundaries and fault order derive from the seeded list — never
+    from wall-clock or completion order — so the stopping point and the
+    final report are identical at any job count. *)
+
+type stopping = {
+  half_width : float;  (** target CI half-width on the SDC rate *)
+  confidence : float;  (** e.g. [0.95] *)
+  batch : int;  (** faults per sequential batch (also the parallel grain) *)
+  min_faults : int;  (** never stop before this many faults *)
+}
+
+val default_stopping : stopping
+(** ± 0.05 at 95% confidence, 32-fault batches, at least 64 faults. *)
+
+val wilson_interval :
+  confidence:float -> positives:int -> total:int -> float * float
+(** Wilson score interval [(low, high)] for a binomial proportion; well
+    behaved at zero observed positives (the Wald interval would collapse
+    to zero width there and stop immediately). [(0, 1)] when [total <= 0].
+    @raise Invalid_argument when [confidence] is outside (0,1). *)
+
+type ci_report = {
+  report : campaign_report;  (** over exactly the faults consumed *)
+  sdc_rate : float;
+  ci_low : float;
+  ci_high : float;
+  achieved_half_width : float;
+  confidence : float;
+  batches : int;  (** batches consumed before stopping *)
+  exhausted : bool;
+      (** the fault list ran dry before the target width was reached *)
+}
+
+val run_campaign_ci :
+  ?jobs:int ->
+  ?config:Recovery.config ->
+  ?plan:Snapshot.plan ->
+  ?stopping:stopping ->
+  golden:Interp.state ->
+  compiled:Turnpike_compiler.Pass_pipeline.t ->
+  Fault.t list ->
+  ci_report
+(** Run batches of [stopping.batch] faults (each fanned out on the domain
+    pool) until the Wilson interval's half-width reaches
+    [stopping.half_width] with at least [stopping.min_faults] consumed, or
+    the list is exhausted. Deterministic at any [?jobs].
+    @raise Invalid_argument on non-positive [batch] or [half_width]. *)

@@ -8,6 +8,7 @@ module Recovery = Turnpike_resilience.Recovery
 module Fault = Turnpike_resilience.Fault
 module Injector = Turnpike_resilience.Injector
 module Verifier = Turnpike_resilience.Verifier
+module Snapshot = Turnpike_resilience.Snapshot
 module Pass_pipeline = Turnpike_compiler.Pass_pipeline
 module Suite = Turnpike_workloads.Suite
 
@@ -50,6 +51,56 @@ let test_injector_campaign_targets () =
   (* Deterministic in seed. *)
   let again = Injector.campaign ~seed:1 ~count:10 c.Turnpike.Run.trace in
   check "deterministic" true (List.for_all2 Fault.equal faults again)
+
+let test_injector_no_duplicate_faults () =
+  (* Regression: the site and bit draws come from correlated [mix seed _]
+     streams, so the raw stream repeats (step, reg, bit) triples; the
+     campaign must deduplicate while preserving seeded order and still
+     deliver the requested count when the trace is big enough. *)
+  let c = compiled_of "libquan" in
+  List.iter
+    (fun seed ->
+      let faults = Injector.campaign ~seed ~count:200 c.Turnpike.Run.trace in
+      check_int
+        (Printf.sprintf "seed %d full count" seed)
+        200 (List.length faults);
+      let seen = Hashtbl.create 256 in
+      List.iter
+        (fun (f : Fault.t) ->
+          let key = (f.Fault.at_step, f.Fault.reg, f.Fault.xor_mask) in
+          check
+            (Printf.sprintf "seed %d distinct (%d,%d,%d)" seed f.Fault.at_step
+               f.Fault.reg f.Fault.xor_mask)
+            false (Hashtbl.mem seen key);
+          Hashtbl.replace seen key ())
+        faults)
+    [ 1; 7; 42; 1234 ];
+  (* A request beyond the trace's distinct site/bit space tops up to
+     exactly that space, never past it and never with repeats. *)
+  let tiny =
+    let b = Builder.create "tiny" in
+    Builder.label b "entry";
+    let r = Builder.fresh_reg b in
+    Builder.mov b ~dst:r (Imm 3);
+    Builder.add b ~dst:r ~a:r (Imm 1);
+    Builder.ret b;
+    Builder.finish b
+  in
+  let opts = Turnpike.Scheme.compile_opts Turnpike.Scheme.turnpike ~sb_size:4 in
+  let compiled = Pass_pipeline.compile ~opts tiny in
+  let trace, _ = Interp.trace_run compiled.Pass_pipeline.prog in
+  let faults = Injector.campaign ~seed:3 ~count:10_000 trace in
+  let distinct =
+    let t = Hashtbl.create 64 in
+    List.iter
+      (fun (f : Fault.t) ->
+        Hashtbl.replace t (f.Fault.at_step, f.Fault.reg, f.Fault.xor_mask) ())
+      faults;
+    Hashtbl.length t
+  in
+  check_int "tiny trace: all distinct" (List.length faults) distinct;
+  check "tiny trace: site space exhausted, not exceeded" true
+    (List.length faults < 10_000 && List.length faults > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Recovery executor *)
@@ -260,6 +311,144 @@ let test_verifier_reports_lowest_address_mismatch () =
   | Verifier.Match -> Alcotest.fail "expected mismatch"
 
 (* ------------------------------------------------------------------ *)
+(* Exit drain, fuel-exhaustion triage, snapshot forking, CI stopping *)
+
+let test_exit_drain_commits_fallback_ckpts () =
+  (* At exit every closed-but-unverified region must be drained: under the
+     turnstile config every checkpoint is a quarantined fallback whose
+     value only reaches the architected (color-0) slot at verification, so
+     checkpoints executed within the last verify window of the program are
+     observable in memory ONLY if the exit drain runs. The plain
+     interpreter writes the color-0 slot at every Ckpt directly — with no
+     faults the drained executor must agree on the whole memory,
+     checkpoint storage included. *)
+  List.iter
+    (fun name ->
+      let c =
+        Turnpike.Run.compile_with small_params Turnpike.Scheme.turnstile
+          (bench name)
+      in
+      let compiled = c.Turnpike.Run.compiled in
+      let plain = Interp.run compiled.Pass_pipeline.prog in
+      let out = Recovery.run ~config:Recovery.turnstile_config compiled in
+      check (name ^ " drained executor memory = plain interpreter") true
+        (Interp.mem_equal plain out.Recovery.state))
+    [ "libquan"; "radix" ]
+
+let test_fuel_exhaustion_reason_has_triage_fields () =
+  (* Satellite: a bare "out of fuel" cannot distinguish recovery livelock
+     from a wedged program; the reason must carry the recovery count and
+     the exhaustion step. *)
+  let c = compiled_of "libquan" in
+  let config = { Recovery.default_config with Recovery.fuel = 500 } in
+  let fault = Fault.single_bit ~at_step:100 ~reg:3 ~bit:5 in
+  match
+    Verifier.run_one ~config ~golden:c.Turnpike.Run.final
+      ~compiled:c.Turnpike.Run.compiled fault
+  with
+  | Verifier.Crashed { reason } ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    (* budget = fuel - steps is a loop invariant, so exhaustion is at
+       exactly [fuel] steps here. *)
+    check "reason names the exhaustion step" true
+      (contains reason "out of fuel at step 500");
+    check "reason names the recovery count" true (contains reason "recoveries")
+  | Verifier.Recovered _ | Verifier.Sdc _ ->
+    Alcotest.fail "expected fuel exhaustion"
+
+let test_snapshot_fork_byte_identical () =
+  (* Tentpole differential: for every fault of a seeded campaign, the
+     forked-from-snapshot outcome must be byte-identical to the
+     from-scratch [run_one] — and campaign reports must agree at any job
+     count. *)
+  let c = compiled_of "libquan" in
+  let compiled = c.Turnpike.Run.compiled in
+  let golden = c.Turnpike.Run.final in
+  let faults = Injector.campaign ~seed:9 ~count:24 c.Turnpike.Run.trace in
+  let plan = Snapshot.record ~every:256 compiled in
+  check "pilot run is fault-free sound" true
+    (Verifier.compare_states ~golden
+       ~actual:(Snapshot.pilot_outcome plan).Recovery.state
+    = Verifier.Match);
+  List.iteri
+    (fun i fault ->
+      let scratch = Verifier.run_one ~golden ~compiled fault in
+      let forked = Verifier.run_one ~plan ~golden ~compiled fault in
+      check (Printf.sprintf "fault %d fork = scratch" i) true (scratch = forked))
+    faults;
+  let scratch_1 = Verifier.run_campaign ~jobs:1 ~golden ~compiled faults in
+  let forked_1 = Verifier.run_campaign ~jobs:1 ~plan ~golden ~compiled faults in
+  let forked_4 = Verifier.run_campaign ~jobs:4 ~plan ~golden ~compiled faults in
+  check "campaign report fork = scratch (jobs 1)" true (scratch_1 = forked_1);
+  check "campaign report identical at jobs 1 and 4" true (forked_1 = forked_4)
+
+let test_snapshot_fork_byte_identical_unsound_config () =
+  (* The differential must also hold when outcomes are NOT all recoveries:
+     the Fig-16 unsafe-release config yields SDCs and recovery failures,
+     and forks must reproduce those byte-for-byte too. *)
+  let c = compiled_of "libquan" in
+  let compiled = c.Turnpike.Run.compiled in
+  let golden = c.Turnpike.Run.final in
+  let config =
+    {
+      Recovery.default_config with
+      Recovery.coloring = false;
+      unsafe_ckpt_release = true;
+    }
+  in
+  let faults = Injector.campaign ~seed:2 ~count:40 c.Turnpike.Run.trace in
+  let plan = Snapshot.record ~config ~every:256 compiled in
+  let interesting = ref 0 in
+  List.iteri
+    (fun i fault ->
+      let scratch = Verifier.run_one ~config ~golden ~compiled fault in
+      let forked = Verifier.run_one ~config ~plan ~golden ~compiled fault in
+      (match scratch with
+      | Verifier.Sdc _ | Verifier.Crashed _ -> incr interesting
+      | Verifier.Recovered _ -> ());
+      check
+        (Printf.sprintf "unsound fault %d fork = scratch" i)
+        true (scratch = forked))
+    faults;
+  check "campaign exercises non-recovered outcomes" true (!interesting > 0)
+
+let test_ci_stopping_deterministic () =
+  (* Same seed and CI target must give the identical stopping point and
+     report at any job count; a zero-SDC campaign stops once the Wilson
+     interval on 0/n is narrow enough. *)
+  let c = compiled_of "libquan" in
+  let compiled = c.Turnpike.Run.compiled in
+  let golden = c.Turnpike.Run.final in
+  let faults = Injector.campaign ~seed:5 ~count:400 c.Turnpike.Run.trace in
+  let plan = Snapshot.record compiled in
+  let stopping =
+    { Verifier.half_width = 0.05; confidence = 0.95; batch = 16; min_faults = 32 }
+  in
+  let a = Verifier.run_campaign_ci ~jobs:1 ~plan ~stopping ~golden ~compiled faults in
+  let b = Verifier.run_campaign_ci ~jobs:4 ~plan ~stopping ~golden ~compiled faults in
+  check "ci report identical at jobs 1 and 4" true (a = b);
+  check "stopped before exhausting the supply" false a.Verifier.exhausted;
+  check "interval reached the target" true
+    (a.Verifier.achieved_half_width <= stopping.Verifier.half_width);
+  check_int "consumed a whole number of batches"
+    (a.Verifier.batches * stopping.Verifier.batch)
+    a.Verifier.report.Verifier.total;
+  check "zero SDC rate" true (a.Verifier.sdc_rate = 0.0);
+  check "interval covers the rate" true
+    (a.Verifier.ci_low <= a.Verifier.sdc_rate
+    && a.Verifier.sdc_rate <= a.Verifier.ci_high);
+  (* Wilson sanity at zero positives: the lower bound is 0 and the upper
+     bound is strictly positive. *)
+  check "lower bound 0" true (a.Verifier.ci_low = 0.0);
+  check "upper bound positive" true (a.Verifier.ci_high > 0.0)
+
+(* ------------------------------------------------------------------ *)
 (* QCheck: randomized single faults always recover. *)
 
 let prop_random_faults_recover =
@@ -308,6 +497,16 @@ let tests =
   [
     ("fault validation", `Quick, test_fault_validation);
     ("injector campaign targets", `Quick, test_injector_campaign_targets);
+    ("injector emits no duplicate faults", `Quick, test_injector_no_duplicate_faults);
+    ("exit drain commits fallback ckpts", `Quick, test_exit_drain_commits_fallback_ckpts);
+    ( "fuel exhaustion reason has triage fields",
+      `Quick,
+      test_fuel_exhaustion_reason_has_triage_fields );
+    ("snapshot fork byte-identical", `Slow, test_snapshot_fork_byte_identical);
+    ( "snapshot fork byte-identical (unsound config)",
+      `Slow,
+      test_snapshot_fork_byte_identical_unsound_config );
+    ("CI stopping deterministic", `Slow, test_ci_stopping_deterministic);
     ("no-fault matches golden", `Quick, test_no_fault_matches_golden);
     ("no-fault turnstile config", `Quick, test_no_fault_turnstile_config);
     ("single fault recovers", `Quick, test_single_fault_recovers);

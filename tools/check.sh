@@ -7,7 +7,10 @@
 #                             the fault-injection campaign (resilience
 #                             table), and the telemetry timeline export
 #                             (turnpike-cli trace), which must also be
-#                             well-formed JSON. Also asserts that the
+#                             well-formed JSON. Also asserts that
+#                             snapshot-forked campaigns are byte-identical
+#                             to from-scratch replays, that --ci stopping
+#                             is deterministic at any job count, that the
 #                             incremental per-pass lint report is
 #                             byte-identical to the forced full re-check,
 #                             and (advisorily) that the odoc docs build.
@@ -42,6 +45,25 @@ dune exec --no-build bench/main.exe -- resilience --scale 2 --fuel 20000 \
 dune exec --no-build bench/main.exe -- resilience --scale 2 --fuel 20000 \
   --faults 8 --seed 3 --jobs 4 > "$tmp/camp_j4.txt"
 diff "$tmp/camp_j1.txt" "$tmp/camp_j4.txt"
+
+echo "== campaign smoke: snapshot-forked vs from-scratch parity =="
+# The snapshot/fork replay path (default) must produce a report
+# byte-identical to replaying every fault from step 0.
+dune exec --no-build bin/turnpike_cli.exe -- inject -b libquan --scale 2 \
+  -n 16 --seed 3 --jobs 2 > "$tmp/inject_snap.txt"
+dune exec --no-build bin/turnpike_cli.exe -- inject -b libquan --scale 2 \
+  -n 16 --seed 3 --jobs 2 --scratch > "$tmp/inject_scratch.txt"
+diff "$tmp/inject_snap.txt" "$tmp/inject_scratch.txt"
+
+echo "== campaign smoke: --ci stopping deterministic at --jobs 1 vs --jobs 4 =="
+# Same seed and CI target => identical stopping point and report at any
+# job count.
+dune exec --no-build bin/turnpike_cli.exe -- inject -b libquan --scale 2 \
+  -n 200 --seed 3 --ci 0.05 --batch 16 --jobs 1 > "$tmp/inject_ci_j1.txt"
+dune exec --no-build bin/turnpike_cli.exe -- inject -b libquan --scale 2 \
+  -n 200 --seed 3 --ci 0.05 --batch 16 --jobs 4 > "$tmp/inject_ci_j4.txt"
+diff "$tmp/inject_ci_j1.txt" "$tmp/inject_ci_j4.txt"
+grep -q 'confidence' "$tmp/inject_ci_j1.txt"
 
 echo "== telemetry smoke: timeline export at --jobs 1 vs --jobs 4 =="
 dune exec --no-build bin/turnpike_cli.exe -- trace -b libquan --scale 1 \
