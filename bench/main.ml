@@ -27,9 +27,12 @@ module Telemetry = Turnpike_telemetry
 
 let params = ref E.default_params
 let csv_dir : string option ref = ref None
-let campaign_faults = ref 24
-let campaign_seed = ref 7
-let campaign_ci : float option ref = ref None
+
+(* Shared campaign knobs (--seed/--faults/--ci/--confidence/--batch/--jobs):
+   one arg spec with turnpike-cli, see Campaign_args. *)
+let campaign = ref Turnpike.Campaign_args.default
+let explore_grid_name = ref "default"
+let default_campaign_faults = 24
 
 let csv name render rows =
   match !csv_dir with
@@ -407,13 +410,15 @@ let run_table1 () =
         [ r.label; Printf.sprintf "%.3f" r.area_um2; Printf.sprintf "%.5f" r.energy_pj ])
     (E.table1 ())
 
-let run_resilience_ci half_width =
+let campaign_faults () =
+  Option.value ~default:default_campaign_faults (!campaign).Turnpike.Campaign_args.faults
+
+let run_resilience_ci stopping =
   Report.section
     "Fault injection: sequential stopping on the SDC-rate confidence interval";
-  let stopping = { E.Verifier.default_stopping with E.Verifier.half_width } in
   let rows =
-    E.resilience_campaign_ci ~params:!params ~max_faults:!campaign_faults
-      ~seed:!campaign_seed ~stopping ()
+    E.resilience_campaign_ci ~params:!params ~max_faults:(campaign_faults ())
+      ~seed:(!campaign).Turnpike.Campaign_args.seed ~stopping ()
   in
   let cols =
     Report.[ { title = "benchmark"; width = 18 }; { title = "faults"; width = 7 };
@@ -436,17 +441,17 @@ let run_resilience_ci half_width =
   Printf.printf
     "(stop target: half-width %.4f at %g%% confidence; 'supply' = fault list \
      exhausted first)\n"
-    half_width
-    (100.0 *. E.Verifier.default_stopping.E.Verifier.confidence)
+    stopping.E.Verifier.half_width
+    (100.0 *. stopping.E.Verifier.confidence)
 
 let run_resilience () =
-  match !campaign_ci with
-  | Some hw -> run_resilience_ci hw
+  match Turnpike.Campaign_args.stopping !campaign with
+  | Some stopping -> run_resilience_ci stopping
   | None ->
   Report.section "Fault injection: SDC-freedom campaign (beyond the paper's figures)";
   let rows =
-    E.resilience_campaign ~params:!params ~faults:!campaign_faults
-      ~seed:!campaign_seed ()
+    E.resilience_campaign ~params:!params ~faults:(campaign_faults ())
+      ~seed:(!campaign).Turnpike.Campaign_args.seed ()
   in
   let cols =
     Report.[ { title = "benchmark"; width = 18 }; { title = "faults"; width = 7 };
@@ -649,6 +654,76 @@ let run_analysis () =
     "(diagnostics are informational audits; errors must be 0 on shipped workloads)\n"
 
 (* ------------------------------------------------------------------ *)
+(* explore: cross-layer design-space exploration (not part of the default
+   run-all set — a grid sweep is a deliberate choice, like --micro). *)
+
+let explore_budgets () =
+  (* --faults / --ci override the final (full-scale) rung's campaign. *)
+  let ca = !campaign in
+  match List.rev (Turnpike.Explore.budgets_for !params) with
+  | [] -> []
+  | last :: rev ->
+    let last =
+      {
+        last with
+        Turnpike.Explore.max_faults =
+          Option.value ~default:last.Turnpike.Explore.max_faults
+            ca.Turnpike.Campaign_args.faults;
+        ci_half_width =
+          Option.value ~default:last.Turnpike.Explore.ci_half_width
+            ca.Turnpike.Campaign_args.ci;
+      }
+    in
+    List.rev (last :: rev)
+
+let run_explore () =
+  let module X = Turnpike.Explore in
+  let module DP = Turnpike.Design_point in
+  Report.section "Design-space exploration: Pareto frontier by successive halving";
+  let spec =
+    match DP.spec_of_string !explore_grid_name with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "--grid: %s\n" msg;
+      exit 2
+  in
+  let report =
+    X.run ~budgets:(explore_budgets ())
+      ~seed:(!campaign).Turnpike.Campaign_args.seed ~params:!params ~spec ()
+  in
+  Printf.printf "grid %s: %d points over {%s}, seed %d\n" !explore_grid_name
+    report.X.grid_size
+    (String.concat ", " report.X.benches)
+    report.X.seed;
+  Printf.printf "evaluations per budget rung: %s\n"
+    (String.concat ", "
+       (List.map (fun (l, n) -> Printf.sprintf "%s=%d" l n) report.X.evals_per_budget));
+  Printf.printf "full-scale evaluations: %d/%d (%.0f%% of the grid)\n"
+    report.X.full_scale_evals report.X.grid_size
+    (100.0 *. float_of_int report.X.full_scale_evals
+    /. float_of_int (max 1 report.X.grid_size));
+  let cols =
+    Report.[ { title = "design point"; width = 34 }; { title = "overhead"; width = 8 };
+             { title = "area um^2"; width = 10 }; { title = "pJ/kinstr"; width = 9 };
+             { title = "SDC rate"; width = 8 }; { title = "faults"; width = 6 } ]
+  in
+  Report.subsection "Pareto frontier (full-scale survivors)";
+  Report.print_header cols;
+  List.iter
+    (fun (r : X.point_result) ->
+      let o = r.X.objectives in
+      Report.print_row cols
+        [ DP.id r.X.point; Report.fmt_overhead o.X.overhead;
+          Printf.sprintf "%.1f" o.X.area_um2;
+          Printf.sprintf "%.2f" o.X.energy_pj_per_kinstr;
+          Printf.sprintf "%.4f" o.X.sdc_rate; string_of_int o.X.faults ])
+    report.X.frontier;
+  Printf.printf "frontier re-validation at full scale: %s\n"
+    (if report.X.validated then "ok (objectives reproduced exactly)" else "FAILED");
+  csv "explore_grid" Turnpike.Csv_export.explore_grid report;
+  csv "explore_pareto" Turnpike.Csv_export.explore_pareto report
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -659,59 +734,59 @@ let experiments =
     ("table1", run_table1); ("resilience", run_resilience);
     ("energy", run_energy); ("ablation50", run_ablation50);
     ("unroll", run_unroll); ("motivation", run_motivation);
-    ("analysis", run_analysis);
+    ("analysis", run_analysis); ("explore", run_explore);
   ]
+
+(* A grid sweep is opt-in, like --micro: keep it out of the run-all set. *)
+let default_experiments =
+  List.filter (fun (n, _) -> n <> "explore") experiments
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse sel = function
-    | [] -> List.rev sel
-    | "--scale" :: n :: rest ->
-      params := { !params with E.scale = int_of_string n };
+  let rec parse sel args =
+    (* The shared campaign flags (--seed/--faults/--ci/--confidence/
+       --batch/--jobs) are recognized by the one spec in Campaign_args. *)
+    match Turnpike.Campaign_args.consume !campaign args with
+    | Some (updated, rest) ->
+      campaign := updated;
+      Turnpike.Campaign_args.apply_jobs updated;
       parse sel rest
-    | "--fuel" :: n :: rest ->
-      params := { !params with E.fuel = int_of_string n };
-      parse sel rest
-    | "--faults" :: n :: rest ->
-      campaign_faults := int_of_string n;
-      parse sel rest
-    | "--seed" :: n :: rest ->
-      campaign_seed := int_of_string n;
-      parse sel rest
-    | "--ci" :: w :: rest ->
-      campaign_ci := Some (float_of_string w);
-      parse sel rest
-    | "--jobs" :: n :: rest -> (
-      match int_of_string_opt n with
-      | Some j ->
-        Turnpike.Parallel.set_default_jobs j;
+    | None -> (
+      match args with
+      | [] -> List.rev sel
+      | "--scale" :: n :: rest ->
+        params := { !params with E.scale = int_of_string n };
         parse sel rest
-      | None ->
-        Printf.eprintf "--jobs expects an integer (0 = one per CPU), got %s\n" n;
+      | "--fuel" :: n :: rest ->
+        params := { !params with E.fuel = int_of_string n };
+        parse sel rest
+      | "--grid" :: g :: rest ->
+        explore_grid_name := g;
+        parse sel rest
+      | "--csv" :: dir :: rest ->
+        (try Unix.mkdir dir 0o755 with _ -> ());
+        csv_dir := Some dir;
+        parse sel rest
+      | "--micro" :: rest ->
+        micro ();
+        parse sel rest
+      | "--profile" :: rest ->
+        profile ();
+        parse sel rest
+      | x :: rest when List.mem_assoc x experiments -> parse (x :: sel) rest
+      | x :: _ ->
+        Printf.eprintf
+          "unknown argument %s; known: %s --scale N --fuel N --grid G %s \
+           --micro --profile --csv DIR\n"
+          x
+          (String.concat " " (List.map fst experiments))
+          Turnpike.Campaign_args.usage;
         exit 2)
-    | "--csv" :: dir :: rest ->
-      (try Unix.mkdir dir 0o755 with _ -> ());
-      csv_dir := Some dir;
-      parse sel rest
-    | "--micro" :: rest ->
-      micro ();
-      parse sel rest
-    | "--profile" :: rest ->
-      profile ();
-      parse sel rest
-    | x :: rest when List.mem_assoc x experiments -> parse (x :: sel) rest
-    | x :: _ ->
-      Printf.eprintf
-        "unknown argument %s; known: %s --scale N --fuel N --jobs N --faults N \
-         --seed S --ci W --micro --profile --csv DIR\n"
-        x
-        (String.concat " " (List.map fst experiments));
-      exit 2
   in
-  let selected = parse [] args in
+  let selected = try parse [] args with Failure msg -> Printf.eprintf "%s\n" msg; exit 2 in
   let selected =
     if selected = [] && not (List.mem "--micro" args || List.mem "--profile" args)
-    then List.map fst experiments
+    then List.map fst default_experiments
     else selected
   in
   (* fig14 and fig15 share a driver; avoid printing it twice. *)

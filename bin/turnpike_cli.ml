@@ -7,7 +7,8 @@
    turnpike-cli lint -b mcf --per-pass        static resilience soundness check
    turnpike-cli recovery -b libquan           dump generated recovery blocks
    turnpike-cli cost                          hardware cost table
-   turnpike-cli wcdl -n 300 -f 2.5            sensor model query *)
+   turnpike-cli wcdl -n 300 -f 2.5            sensor model query
+   turnpike-cli explore --grid tiny           design-space Pareto frontier *)
 
 open Cmdliner
 module Suite = Turnpike_workloads.Suite
@@ -69,6 +70,10 @@ let scale_arg =
   Arg.(value & opt int Turnpike.Run.default_scale & info [ "scale" ] ~docv:"N"
          ~doc:"Workload scale factor (iteration multiplier).")
 
+(* Shared campaign flags: names, defaults and doc strings come from the
+   one arg spec in Turnpike.Campaign_args (also used by bench). *)
+module CA = Turnpike.Campaign_args
+
 (* Worker domains for experiment grids (see Turnpike.Parallel). 0 = auto
    (CPU count); 1 preserves strictly sequential execution. The term is
    evaluated for its side effect before the command body runs. *)
@@ -76,13 +81,23 @@ let jobs_arg =
   let set n = Turnpike.Parallel.set_default_jobs n in
   Term.(
     const set
-    $ Arg.(
-        value & opt int 0
-        & info [ "j"; "jobs" ] ~docv:"N"
-            ~doc:
-              "Worker domains for experiment sweeps (0, the default, means \
-               one per CPU; 1 is strictly sequential). Results are \
-               identical at any job count."))
+    $ Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc:CA.doc_jobs))
+
+let seed_arg =
+  Arg.(value & opt int CA.default.CA.seed
+       & info [ "seed" ] ~docv:"SEED" ~doc:CA.doc_seed)
+
+let ci_arg =
+  Arg.(value & opt (some float) CA.default.CA.ci
+       & info [ "ci" ] ~docv:"WIDTH" ~doc:CA.doc_ci)
+
+let confidence_arg =
+  Arg.(value & opt float CA.default.CA.confidence
+       & info [ "confidence" ] ~docv:"C" ~doc:CA.doc_confidence)
+
+let batch_arg =
+  Arg.(value & opt int CA.default.CA.batch
+       & info [ "batch" ] ~docv:"B" ~doc:CA.doc_batch)
 
 let find_bench name =
   let qualified = List.find_opt (fun b -> Suite.qualified_name b = name) (Suite.all ()) in
@@ -206,13 +221,7 @@ let inject_cmd =
      narrower than +/- WIDTH."
   in
   let faults_arg =
-    Arg.(value & opt int 30
-         & info [ "n"; "faults" ] ~docv:"N"
-             ~doc:"Campaign size: number of injected faults (with --ci, the \
-                   maximum fault supply).")
-  in
-  let seed_arg =
-    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+    Arg.(value & opt int 30 & info [ "n"; "faults" ] ~docv:"N" ~doc:CA.doc_faults)
   in
   let scratch_arg =
     Arg.(
@@ -226,26 +235,6 @@ let inject_cmd =
       value & opt int 0
       & info [ "snapshot-every" ] ~docv:"K"
           ~doc:"Pilot snapshot cadence in steps (0 = default cadence).")
-  in
-  let ci_arg =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "ci" ] ~docv:"WIDTH"
-          ~doc:"Stop when the confidence interval's half-width on the SDC \
-                rate reaches WIDTH (e.g. 0.01 for +/- 1%).")
-  in
-  let confidence_arg =
-    Arg.(
-      value & opt float 0.95
-      & info [ "confidence" ] ~docv:"C"
-          ~doc:"Confidence level of the stopping interval.")
-  in
-  let batch_arg =
-    Arg.(
-      value & opt int 32
-      & info [ "batch" ] ~docv:"B"
-          ~doc:"Faults per sequential batch of the --ci stopping loop.")
   in
   let run () name faults seed scale scratch every ci confidence batch =
     match find_bench name with
@@ -282,16 +271,14 @@ let inject_cmd =
           rep.V.crashed rep.V.parity_detections rep.V.sensor_detections;
         rep.V.sdc > 0 || rep.V.crashed > 0
       in
+      let ca = { CA.default with CA.seed; ci; confidence; batch } in
       let failed =
-        match ci with
+        match CA.stopping ca with
         | None ->
           print_report
             (V.run_campaign ?plan ~golden:c.Turnpike.Run.final
                ~compiled:c.Turnpike.Run.compiled campaign)
-        | Some half_width ->
-          let stopping =
-            { V.default_stopping with V.half_width; confidence; batch }
-          in
+        | Some stopping ->
           let r =
             V.run_campaign_ci ?plan ~stopping ~golden:c.Turnpike.Run.final
               ~compiled:c.Turnpike.Run.compiled campaign
@@ -452,6 +439,96 @@ let wcdl_cmd =
   in
   Cmd.v (Cmd.info "wcdl" ~doc) Term.(const run $ sensors_arg $ clock_arg)
 
+let explore_cmd =
+  let module X = Turnpike.Explore in
+  let module DP = Turnpike.Design_point in
+  let doc =
+    "Explore the cross-layer design space — core model, store-buffer depth, \
+     CLQ size, color-pool width, sensor deployment and compiler rung — and \
+     report the Pareto frontier over (runtime overhead, area, energy, \
+     campaign SDC rate). Evaluation runs as successive halving: cheap proxy \
+     budgets score the whole grid, and only the Pareto-best half is promoted \
+     toward full-scale simulation with CI-stopped fault campaigns. Output is \
+     identical at any --jobs count; each frontier point is re-validated at \
+     full scale before reporting (non-zero exit if validation fails)."
+  in
+  let grid_arg =
+    Arg.(value & opt string "default"
+         & info [ "grid" ] ~docv:"GRID"
+             ~doc:"Design grid: $(b,tiny) (4 points), $(b,default) (64) or \
+                   $(b,wide) (486).")
+  in
+  let faults_arg =
+    Arg.(value & opt (some int) None
+         & info [ "n"; "faults" ] ~docv:"N"
+             ~doc:"Override the full-scale rung's campaign fault supply.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR"
+             ~doc:"Write explore_grid.csv and explore_pareto.csv under $(docv).")
+  in
+  let run () grid scale seed ci faults csv_dir =
+    match DP.spec_of_string grid with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok spec ->
+      let params = { Turnpike.Run.default_params with Turnpike.Run.scale } in
+      let budgets =
+        (* --faults / --ci override the final (full-scale) rung's campaign. *)
+        match List.rev (X.budgets_for params) with
+        | [] -> []
+        | last :: rev ->
+          let last =
+            {
+              last with
+              X.max_faults = Option.value ~default:last.X.max_faults faults;
+              ci_half_width = Option.value ~default:last.X.ci_half_width ci;
+            }
+          in
+          List.rev (last :: rev)
+      in
+      let report = X.run ~budgets ~seed ~params ~spec () in
+      Printf.printf "grid %s: %d points over {%s}, seed %d\n" grid
+        report.X.grid_size
+        (String.concat ", " report.X.benches)
+        report.X.seed;
+      Printf.printf "evaluations per budget rung: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (l, n) -> Printf.sprintf "%s=%d" l n)
+              report.X.evals_per_budget));
+      Printf.printf "full-scale evaluations: %d/%d\n" report.X.full_scale_evals
+        report.X.grid_size;
+      print_endline "Pareto frontier (full-scale survivors):";
+      List.iter
+        (fun (r : X.point_result) ->
+          let o = r.X.objectives in
+          Printf.printf
+            "  %-36s overhead %.3f  area %.1f um^2  %.2f pJ/kinstr  SDC %.4f \
+             (%d faults)\n"
+            (DP.id r.X.point) o.X.overhead o.X.area_um2 o.X.energy_pj_per_kinstr
+            o.X.sdc_rate o.X.faults)
+        report.X.frontier;
+      Printf.printf "frontier re-validation at full scale: %s\n"
+        (if report.X.validated then "ok" else "FAILED");
+      (match csv_dir with
+      | None -> ()
+      | Some dir ->
+        (try Unix.mkdir dir 0o755 with _ -> ());
+        let grid_path = Filename.concat dir "explore_grid.csv" in
+        let pareto_path = Filename.concat dir "explore_pareto.csv" in
+        Turnpike.Csv_export.explore_grid ~path:grid_path report;
+        Turnpike.Csv_export.explore_pareto ~path:pareto_path report;
+        Printf.printf "[csv written to %s and %s]\n" grid_path pareto_path);
+      if not report.X.validated then exit 1
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ jobs_arg $ grid_arg $ scale_arg $ seed_arg $ ci_arg
+      $ faults_arg $ csv_arg)
+
 let () =
   let doc = "Turnpike: lightweight soft error resilience for in-order cores (MICRO'21 reproduction)" in
   let info = Cmd.info "turnpike-cli" ~version:"1.0.0" ~doc in
@@ -460,5 +537,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; trace_cmd; inject_cmd; lint_cmd; recovery_cmd;
-            cost_cmd; wcdl_cmd;
+            cost_cmd; wcdl_cmd; explore_cmd;
           ]))

@@ -13,11 +13,12 @@ type t = {
   mutable fallbacks : int;
 }
 
-let create ~nregs =
+let create ?(colors = Turnpike_ir.Layout.colors) ~nregs () =
   if nregs <= 0 then invalid_arg "Coloring.create: nregs must be positive";
+  if colors <= 0 then invalid_arg "Coloring.create: colors must be positive";
   {
     nregs;
-    states = Array.init nregs (fun _ -> Array.make Turnpike_ir.Layout.colors Free);
+    states = Array.init nregs (fun _ -> Array.make colors Free);
     fast_assigned = 0;
     fallbacks = 0;
   }

@@ -10,8 +10,13 @@
 
 type t
 
-val create : nregs:int -> t
-(** @raise Invalid_argument on non-positive register count. *)
+val create : ?colors:int -> nregs:int -> unit -> t
+(** Create a pool of [colors] (default {!Turnpike_ir.Layout.colors})
+    alternative storage locations per register. The timing model varies
+    [colors] to explore the color-bits design axis; the functional
+    recovery executor always uses the default, whose slots exist in the
+    checkpoint memory layout.
+    @raise Invalid_argument on a non-positive register or color count. *)
 
 val copy : t -> t
 (** Deep copy: mutating either the original or the copy afterwards leaves

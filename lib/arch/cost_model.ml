@@ -37,13 +37,16 @@ let ram ~bytes =
 
 let store_buffer ~entries = cam ~entries
 
-let color_map_bytes ~nregs =
+let color_map_bytes ?(colors = Turnpike_ir.Layout.colors) ~nregs () =
   (* 3 maps (AC, UC, VC), log2(colors) bits each, per register. *)
-  let bits_per_color = int_of_float (ceil (log (float_of_int Turnpike_ir.Layout.colors) /. log 2.0)) in
+  if colors <= 0 then invalid_arg "Cost_model.color_map_bytes: colors must be positive";
+  let bits_per_color =
+    max 1 (int_of_float (ceil (log (float_of_int colors) /. log 2.0)))
+  in
   let bits = 3 * bits_per_color * nregs in
   (bits + 7) / 8
 
-let color_maps ~nregs = ram ~bytes:(color_map_bytes ~nregs)
+let color_maps ?colors ~nregs () = ram ~bytes:(color_map_bytes ?colors ~nregs ())
 
 let clq_bytes ~entries =
   (* One [min,max] 32-bit address pair per compact-CLQ entry. *)
@@ -53,7 +56,7 @@ let clq ~entries = ram ~bytes:(clq_bytes ~entries)
 
 let add a b = { area_um2 = a.area_um2 +. b.area_um2; energy_pj = a.energy_pj +. b.energy_pj }
 
-let turnpike_total ~nregs ~clq_entries = add (color_maps ~nregs) (clq ~entries:clq_entries)
+let turnpike_total ~nregs ~clq_entries = add (color_maps ~nregs ()) (clq ~entries:clq_entries)
 
 let ratio a b =
   { area_um2 = a.area_um2 /. b.area_um2; energy_pj = a.energy_pj /. b.energy_pj }
@@ -62,7 +65,7 @@ type table1_row = { label : string; area_um2 : float; energy_pj : float }
 
 let table1 () =
   let sb4 = store_buffer ~entries:4 in
-  let cmap = color_maps ~nregs:32 in
+  let cmap = color_maps ~nregs:32 () in
   let clq2 = clq ~entries:2 in
   let total = add cmap clq2 in
   let sb40 = store_buffer ~entries:40 in

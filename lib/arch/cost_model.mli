@@ -15,11 +15,14 @@ val ram : bytes:int -> cost
 
 val store_buffer : entries:int -> cost
 
-val color_map_bytes : nregs:int -> int
+val color_map_bytes : ?colors:int -> nregs:int -> unit -> int
 (** Storage for the AC/UC/VC maps: 3·log2(colors) bits per register
-    (24 bytes for 32 registers and 4 colors, as in the paper). *)
+    (24 bytes for 32 registers and the default 4 colors, as in the
+    paper). [colors] (default {!Turnpike_ir.Layout.colors}) sizes the
+    per-register pool — the explorer's color-bits axis.
+    @raise Invalid_argument on a non-positive color count. *)
 
-val color_maps : nregs:int -> cost
+val color_maps : ?colors:int -> nregs:int -> unit -> cost
 val clq_bytes : entries:int -> int
 val clq : entries:int -> cost
 

@@ -11,6 +11,7 @@ type t = {
   verification : bool;
   clq : Clq.design option;
   coloring : bool;
+  colors : int;
   branch_penalty : int;
   mul_latency : int;
   div_latency : int;
@@ -30,6 +31,7 @@ let base =
     verification = false;
     clq = None;
     coloring = false;
+    colors = Turnpike_ir.Layout.colors;
     branch_penalty = 2;
     mul_latency = 3;
     div_latency = 12;
@@ -71,3 +73,8 @@ let with_wcdl t wcdl = { t with wcdl }
 let with_sb t sb_size = { t with sb_size }
 let with_clq t clq = { t with clq }
 let with_coloring t coloring = { t with coloring }
+
+let with_color_bits t bits =
+  if bits < 0 then invalid_arg "Machine.with_color_bits: bits must be >= 0";
+  if bits = 0 then { t with coloring = false }
+  else { t with coloring = true; colors = 1 lsl bits }

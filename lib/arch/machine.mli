@@ -14,6 +14,9 @@ type t = {
       (** gated-SB verification on (Turnstile/Turnpike) or off (baseline) *)
   clq : Clq.design option;  (** fast release of WAR-free regular stores *)
   coloring : bool;  (** fast release of checkpoint stores *)
+  colors : int;
+      (** checkpoint color-pool size per register (default
+          {!Turnpike_ir.Layout.colors}); only read when [coloring] is on *)
   branch_penalty : int;  (** taken-branch redirect bubble *)
   mul_latency : int;
   div_latency : int;
@@ -43,3 +46,9 @@ val with_wcdl : t -> int -> t
 val with_sb : t -> int -> t
 val with_clq : t -> Clq.design option -> t
 val with_coloring : t -> bool -> t
+
+val with_color_bits : t -> int -> t
+(** Configure coloring from a bit width: [0] disables coloring entirely;
+    [b > 0] enables it with a [2^b]-color pool per register — the
+    color-bits design axis of the explorer.
+    @raise Invalid_argument on a negative width. *)

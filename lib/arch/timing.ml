@@ -57,7 +57,7 @@ let create ?(tel = Telemetry.null) (machine : Machine.t) =
     sb = Store_buffer.create machine.sb_size;
     rbb = Rbb.create machine.rbb_size;
     clq = Option.map Clq.create machine.clq;
-    coloring = (if machine.coloring then Some (Coloring.create ~nregs:machine.nregs) else None);
+    coloring = (if machine.coloring then Some (Coloring.create ~colors:machine.Machine.colors ~nregs:machine.nregs ()) else None);
     predictor = Branch_predictor.create ();
     stats = Sim_stats.create ();
     reg_ready = Hashtbl.create 64;

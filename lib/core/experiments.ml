@@ -69,8 +69,15 @@ type clq_design_row = {
   war_free_compact : float;
 }
 
+let clq_axis =
+  Sweep.axis ~name:"clq"
+    ~show:(function
+      | Clq.Ideal -> "ideal"
+      | Clq.Compact n -> Printf.sprintf "compact%d" n)
+    [ Clq.Ideal; Clq.Compact 2 ]
+
 let fig14_15 ?(params = default_params) () =
-  Parallel.grid ~items:(benchmarks ()) ~configs:[ Clq.Ideal; Clq.Compact 2 ]
+  Sweep.grid ~items:(benchmarks ()) ~axis:clq_axis
     (fun b clq ->
       let scheme = Scheme.with_clq Scheme.fast_release (Some clq) in
       Run.normalized_with { params with wcdl = 10 } scheme b)
@@ -105,9 +112,10 @@ let fig18 () =
 type wcdl_sweep_row = { bench : string; overheads : (int * float) list }
 
 let wcdls = [ 10; 20; 30; 40; 50 ]
+let wcdl_axis = Sweep.ints ~name:"wcdl" wcdls
 
 let wcdl_sweep ?(params = default_params) scheme =
-  Parallel.grid ~items:(benchmarks ()) ~configs:wcdls
+  Sweep.grid ~items:(benchmarks ()) ~axis:wcdl_axis
     (fun b wcdl -> fst (Run.normalized_with { params with wcdl } scheme b))
   |> List.map (fun (b, overheads) ->
          { bench = Suite.qualified_name b; overheads })
@@ -398,7 +406,7 @@ type energy_row = {
 
 let resilience_energy stats ~sb_size =
   let sb = (Cost_model.store_buffer ~entries:sb_size).Cost_model.energy_pj in
-  let cmap = (Cost_model.color_maps ~nregs:32).Cost_model.energy_pj in
+  let cmap = (Cost_model.color_maps ~nregs:32 ()).Cost_model.energy_pj in
   let clq = (Cost_model.clq ~entries:2).Cost_model.energy_pj in
   (2.0 *. float_of_int stats.Sim_stats.quarantined *. sb)
   +. (float_of_int stats.Sim_stats.colored_released *. cmap)

@@ -7,6 +7,7 @@ module Suite = Turnpike_workloads.Suite
 module Sensor = Turnpike_arch.Sensor
 module Cost_model = Turnpike_arch.Cost_model
 module Verifier = Turnpike_resilience.Verifier
+module Clq = Turnpike_arch.Clq
 
 type params = Run.params = {
   scale : int;
@@ -40,6 +41,9 @@ type clq_design_row = {
   war_free_compact : float;
 }
 
+val clq_axis : Clq.design Sweep.axis
+(** The ideal-vs-compact CLQ grid dimension ([ideal], [compact2]). *)
+
 val fig14_15 : ?params:params -> unit -> clq_design_row list
 
 (** {1 Fig 18 — detection latency vs sensor count} *)
@@ -53,6 +57,10 @@ val fig18 : unit -> fig18_row list
 type wcdl_sweep_row = { bench : string; overheads : (int * float) list }
 
 val wcdls : int list
+
+val wcdl_axis : int Sweep.axis
+(** {!wcdls} as a declarative {!Sweep} dimension — the grid both WCDL
+    figures sweep over. *)
 
 val wcdl_sweep : ?params:params -> Scheme.t -> wcdl_sweep_row list
 val fig19 : ?params:params -> unit -> wcdl_sweep_row list

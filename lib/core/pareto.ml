@@ -1,0 +1,52 @@
+(* Pareto dominance (minimization) and non-dominated sorting. Quadratic in
+   the point count, which is fine at design-grid sizes (tens to a few
+   hundred points); input order is preserved everywhere so frontier output
+   is deterministic. *)
+
+let dominates a b =
+  let n = Array.length a in
+  if Array.length b <> n then
+    invalid_arg "Pareto.dominates: objective vectors differ in length";
+  let no_worse = ref true and better = ref false in
+  for i = 0 to n - 1 do
+    (* NaN comparisons are all false: a NaN axis blocks [no_worse], so a
+       point with an unmeasured objective is never claimed dominated. *)
+    if not (a.(i) <= b.(i)) then no_worse := false;
+    if a.(i) < b.(i) then better := true
+  done;
+  !no_worse && !better
+
+let frontier ~objectives points =
+  let objs = Array.of_list (List.map objectives points) in
+  List.filteri
+    (fun i _ -> not (Array.exists (fun oj -> dominates oj objs.(i)) objs))
+    points
+
+let rank ~objectives points =
+  let pts = Array.of_list points in
+  let objs = Array.map objectives pts in
+  let n = Array.length pts in
+  let layer = Array.make n (-1) in
+  let remaining = ref n in
+  let current = ref 0 in
+  while !remaining > 0 do
+    (* Frontier of the not-yet-ranked points becomes layer [!current]. *)
+    let in_layer = Array.make n false in
+    for i = 0 to n - 1 do
+      if layer.(i) < 0 then begin
+        let dominated = ref false in
+        for j = 0 to n - 1 do
+          if layer.(j) < 0 && dominates objs.(j) objs.(i) then dominated := true
+        done;
+        if not !dominated then in_layer.(i) <- true
+      end
+    done;
+    for i = 0 to n - 1 do
+      if in_layer.(i) then begin
+        layer.(i) <- !current;
+        decr remaining
+      end
+    done;
+    incr current
+  done;
+  List.mapi (fun i p -> (p, layer.(i))) points

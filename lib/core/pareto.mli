@@ -1,0 +1,25 @@
+(** Pareto dominance and non-dominated sorting over minimization
+    objectives.
+
+    All objectives minimize (the explorer's runtime overhead, area,
+    energy and SDC rate all do); a point dominates another when it is no
+    worse everywhere and strictly better somewhere. Equal objective
+    vectors never dominate each other, so duplicated points all survive
+    to the frontier — and every function preserves input order, keeping
+    frontier output deterministic at any pool width. *)
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a.(i) <= b.(i)] for every objective and
+    [a.(i) < b.(i)] for at least one. Comparisons involving NaN are
+    false, so a NaN objective can neither dominate nor be dominated on
+    that axis.
+    @raise Invalid_argument when the vectors differ in length. *)
+
+val frontier : objectives:('a -> float array) -> 'a list -> 'a list
+(** The non-dominated subset, in input order. *)
+
+val rank : objectives:('a -> float array) -> 'a list -> ('a * int) list
+(** Non-dominated sorting: layer 0 is the frontier, layer 1 the frontier
+    of the rest, and so on. Input order is preserved; each element is
+    paired with its layer. The successive-halving promoter keeps the
+    best layers (ties broken by input position). *)

@@ -432,7 +432,7 @@ let make_exec ?(config = default_config) ?(faults = []) (compiled : Pass_pipelin
     compiled;
     st = Interp.init compiled.Pass_pipeline.prog;
     clq = Option.map Clq.create config.clq;
-    col = (if config.coloring then Some (Coloring.create ~nregs:config.nregs) else None);
+    col = (if config.coloring then Some (Coloring.create ~nregs:config.nregs ()) else None);
     verified_loc = Hashtbl.create 32;
     claim_bypass =
       claim_table config.honor_static_claims

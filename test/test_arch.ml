@@ -286,7 +286,7 @@ let prop_clq_compact_conservative =
 (* Coloring *)
 
 let test_coloring_assign_and_verify () =
-  let col = Coloring.create ~nregs:4 in
+  let col = Coloring.create ~nregs:4 () in
   Alcotest.(check (option int)) "nothing verified" None (Coloring.verified_color col ~reg:1);
   (match Coloring.try_assign col ~reg:1 ~region:0 with
   | Some 0 -> ()
@@ -306,7 +306,7 @@ let test_coloring_assign_and_verify () =
   | _ -> Alcotest.fail "recycled color expected")
 
 let test_coloring_pool_exhaustion () =
-  let col = Coloring.create ~nregs:2 in
+  let col = Coloring.create ~nregs:2 () in
   (* 4 un-verified checkpoints exhaust the pool; the 5th falls back. *)
   for region = 0 to 3 do
     match Coloring.try_assign col ~reg:1 ~region with
@@ -320,7 +320,7 @@ let test_coloring_pool_exhaustion () =
   check_int "fast assigns counted" 4 (Coloring.fast_assigned col)
 
 let test_coloring_discard () =
-  let col = Coloring.create ~nregs:2 in
+  let col = Coloring.create ~nregs:2 () in
   ignore (Coloring.try_assign col ~reg:1 ~region:0);
   ignore (Coloring.try_assign col ~reg:1 ~region:1);
   Coloring.discard_unverified col ~regions:[ 0; 1 ];
@@ -330,7 +330,7 @@ let test_coloring_discard () =
   | _ -> Alcotest.fail "colors should be free after discard")
 
 let test_coloring_force_verified () =
-  let col = Coloring.create ~nregs:2 in
+  let col = Coloring.create ~nregs:2 () in
   ignore (Coloring.try_assign col ~reg:1 ~region:0);
   Coloring.on_region_verified col ~region:0;
   (* A fallback checkpoint drains into color 1: it becomes Verified and
@@ -347,7 +347,7 @@ let prop_coloring_single_verified =
   QCheck.Test.make ~name:"coloring: at most one verified color" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 2))
     (fun ops ->
-      let col = Coloring.create ~nregs:1 in
+      let col = Coloring.create ~nregs:1 () in
       let region = ref 0 in
       let pending = ref [] in
       List.iter
@@ -623,13 +623,13 @@ let test_cost_model_anchors () =
   check "sb4 energy" true (near sb4.Cost_model.energy_pj 0.43099);
   let sb40 = Cost_model.store_buffer ~entries:40 in
   check "sb40 area" true (near sb40.Cost_model.area_um2 3132.50);
-  let cmap = Cost_model.color_maps ~nregs:32 in
+  let cmap = Cost_model.color_maps ~nregs:32 () in
   check "color maps area" true (near cmap.Cost_model.area_um2 36.651);
   let clq = Cost_model.clq ~entries:2 in
   check "clq area" true (near clq.Cost_model.area_um2 24.434)
 
 let test_cost_model_bytes () =
-  check_int "color map bytes (paper: 24B for 32 regs)" 24 (Cost_model.color_map_bytes ~nregs:32);
+  check_int "color map bytes (paper: 24B for 32 regs)" 24 (Cost_model.color_map_bytes ~nregs:32 ());
   check_int "clq bytes (paper: 16B for 2 entries)" 16 (Cost_model.clq_bytes ~entries:2)
 
 let test_cost_model_ratios () =

@@ -10,6 +10,7 @@ let () =
       ("resilience", Test_resilience.tests);
       ("workloads", Test_workloads.tests);
       ("core", Test_core.tests);
+      ("sweep", Test_sweep.tests);
       ("parallel", Test_parallel.tests);
       ("telemetry", Test_telemetry.tests);
       ("api", Test_api_surface.tests);

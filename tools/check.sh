@@ -115,6 +115,26 @@ for b in mcf radix; do
   diff "$tmp/lint_${b}_inc.json" "$tmp/lint_${b}_full.json"
 done
 
+echo "== explore smoke: tiny design grid at --jobs 1 vs --jobs 4 =="
+# The design-space explorer (successive halving + Pareto frontier) must
+# emit byte-identical CSV artifacts and stdout at any job count, and its
+# frontier must re-validate at full scale (non-zero exit otherwise).
+mkdir -p "$tmp/explore1" "$tmp/explore4"
+dune exec --no-build bench/main.exe -- explore --grid tiny --scale 1 \
+  --fuel 20000 --jobs 1 --csv "$tmp/explore1" > "$tmp/explore_j1.txt"
+dune exec --no-build bench/main.exe -- explore --grid tiny --scale 1 \
+  --fuel 20000 --jobs 4 --csv "$tmp/explore4" > "$tmp/explore_j4.txt"
+diff -r "$tmp/explore1" "$tmp/explore4"
+diff <(grep -v '^\[csv written' "$tmp/explore_j1.txt") \
+     <(grep -v '^\[csv written' "$tmp/explore_j4.txt")
+grep -q 're-validation at full scale: ok' "$tmp/explore_j1.txt"
+test -s "$tmp/explore1/explore_grid.csv"
+test -s "$tmp/explore1/explore_pareto.csv"
+# The CLI front end drives the same engine.
+dune exec --no-build bin/turnpike_cli.exe -- explore --grid tiny --scale 1 \
+  --jobs 2 > "$tmp/explore_cli.txt"
+grep -q 'Pareto frontier' "$tmp/explore_cli.txt"
+
 echo "== docs smoke: odoc build (advisory) =="
 if command -v odoc > /dev/null 2>&1; then
   if ! dune build @doc > "$tmp/odoc.log" 2>&1; then
