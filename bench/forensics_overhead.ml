@@ -1,0 +1,114 @@
+(* Measures what forensic lifecycle tracing costs a fault campaign: runs
+   the same seeded campaign per suite benchmark twice — forensics off
+   (null sinks, the default Verifier path) and forensics on (one bounded
+   sink per fault plus record distillation) — asserts the aggregate
+   reports are identical (sinks never influence outcomes), and reports the
+   faults/sec of both modes as JSON on stdout.
+
+   Usage:
+     dune exec bench/forensics_overhead.exe -- [--scale N] [--faults N] \
+       [--seed S] > BENCH_forensics_overhead.json
+
+   Runs strictly sequentially (jobs=1) so the two timed modes are
+   comparable; parallel fan-out multiplies both sides equally. The off
+   mode is the guard the <2% regression budget of BENCH_campaign_replay
+   is judged against: with telemetry disabled every would-be event is one
+   immutable-field load and branch. *)
+
+module Run = Turnpike.Run
+module Scheme = Turnpike.Scheme
+module Suite = Turnpike_workloads.Suite
+module Injector = Turnpike_resilience.Injector
+module Verifier = Turnpike_resilience.Verifier
+module Forensics = Turnpike_resilience.Forensics
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let () =
+  let scale = ref 8 in
+  let faults = ref 200 in
+  let seed = ref 7 in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+      scale := int_of_string n;
+      parse rest
+    | "--faults" :: n :: rest ->
+      faults := int_of_string n;
+      parse rest
+    | "--seed" :: n :: rest ->
+      seed := int_of_string n;
+      parse rest
+    | x :: _ ->
+      Printf.eprintf "unknown argument %s; known: --scale N --faults N --seed S\n" x;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let params =
+    { Run.default_params with Run.scale = max 1 (!scale / 4); sb_size = 4 }
+  in
+  let rows = ref [] in
+  let total_faults = ref 0 in
+  let off_total = ref 0.0 and on_total = ref 0.0 in
+  let total_events = ref 0 in
+  List.iter
+    (fun b ->
+      let c = Run.compile_with params Scheme.turnpike b in
+      if c.Run.trace.Turnpike_ir.Trace.complete then begin
+        let campaign = Injector.campaign ~seed:!seed ~count:!faults c.Run.trace in
+        let golden = c.Run.final in
+        let compiled = c.Run.compiled in
+        let off_s, off_rep =
+          time (fun () -> Verifier.run_campaign ~jobs:1 ~golden ~compiled campaign)
+        in
+        let on_s, (records, on_rep) =
+          time (fun () -> Forensics.campaign ~jobs:1 ~golden ~compiled campaign)
+        in
+        if off_rep <> on_rep then begin
+          Printf.eprintf "FATAL: %s forensic report diverges from plain campaign\n"
+            (Suite.qualified_name b);
+          exit 1
+        end;
+        let events =
+          List.fold_left
+            (fun acc (r : Forensics.record) ->
+              acc + List.length r.Forensics.events)
+            0 records
+        in
+        let n = List.length campaign in
+        total_faults := !total_faults + n;
+        off_total := !off_total +. off_s;
+        on_total := !on_total +. on_s;
+        total_events := !total_events + events;
+        rows :=
+          Printf.sprintf
+            "    { \"bench\": %S, \"faults\": %d, \"events\": %d,\n\
+            \      \"off_s\": %.3f, \"on_s\": %.3f, \"overhead_pct\": %.2f }"
+            (Suite.qualified_name b) n events off_s on_s
+            (100.0 *. (on_s -. off_s) /. Float.max 1e-9 off_s)
+          :: !rows
+      end)
+    (Suite.all ());
+  let off_fps = float_of_int !total_faults /. Float.max 1e-9 !off_total in
+  let on_fps = float_of_int !total_faults /. Float.max 1e-9 !on_total in
+  Printf.printf
+    "{\n\
+    \  \"benchmark\": \"forensics_overhead\",\n\
+    \  \"scale\": %d,\n\
+    \  \"faults_per_bench\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"total_faults\": %d,\n\
+    \  \"total_events\": %d,\n\
+    \  \"off\": { \"seconds\": %.3f, \"faults_per_sec\": %.1f },\n\
+    \  \"on\": { \"seconds\": %.3f, \"faults_per_sec\": %.1f },\n\
+    \  \"overhead_pct\": %.2f,\n\
+    \  \"reports_identical\": true,\n\
+    \  \"per_bench\": [\n%s\n  ]\n\
+     }\n"
+    !scale !faults !seed !total_faults !total_events !off_total off_fps
+    !on_total on_fps
+    (100.0 *. (!on_total -. !off_total) /. Float.max 1e-9 !off_total)
+    (String.concat ",\n" (List.rev !rows))

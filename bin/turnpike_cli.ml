@@ -4,6 +4,7 @@
    turnpike-cli run -b mcf -s turnpike -w 30  compile + simulate one benchmark
    turnpike-cli trace -b mcf --timeline t.json  cycle-level Perfetto timeline
    turnpike-cli inject -b lbm -n 50           fault-injection campaign
+   turnpike-cli report -b mcf --mutant drop-ckpt  forensic vulnerability ranking
    turnpike-cli lint -b mcf --per-pass        static resilience soundness check
    turnpike-cli recovery -b libquan           dump generated recovery blocks
    turnpike-cli cost                          hardware cost table
@@ -218,7 +219,9 @@ let inject_cmd =
      O(suffix) cost); --scratch disables the snapshots. With --ci the \
      fixed fault count is replaced by sequential stopping: batches are \
      injected until the Wilson confidence interval on the SDC rate is \
-     narrower than +/- WIDTH."
+     narrower than +/- WIDTH. --forensics records every fault's lifecycle \
+     trace; --jsonl/--trace/--csv/--json export it (each implies \
+     --forensics)."
   in
   let faults_arg =
     Arg.(value & opt int 30 & info [ "n"; "faults" ] ~docv:"N" ~doc:CA.doc_faults)
@@ -236,12 +239,58 @@ let inject_cmd =
       & info [ "snapshot-every" ] ~docv:"K"
           ~doc:"Pilot snapshot cadence in steps (0 = default cadence).")
   in
-  let run () name faults seed scale scratch every ci confidence batch =
+  let forensics_arg =
+    Arg.(value & flag & info [ "forensics" ] ~doc:CA.doc_forensics)
+  in
+  let fjsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Write the forensic lifecycle events (plus the Wilson \
+             trajectory under --ci) as self-describing JSONL to $(docv) \
+             ('-' for stdout). Implies --forensics.")
+  in
+  let ftrace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the forensic lifecycle as Chrome trace-event JSON \
+             (one process per fault, loadable in Perfetto) to $(docv) \
+             ('-' for stdout). Implies --forensics.")
+  in
+  let fcsv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:
+            "Write forensics_faults.csv and the by-site / by-register / \
+             by-region attribution tables under $(docv). Implies \
+             --forensics.")
+  in
+  let fjson_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one machine-readable JSON report (summary plus per-fault \
+             records with the fault draw and verdict) instead of text. \
+             Implies --forensics.")
+  in
+  let run () name faults seed scale scratch every ci confidence batch forensics
+      fjsonl ftrace fcsv json =
     match find_bench name with
     | Error e ->
       prerr_endline e;
       exit 1
     | Ok b ->
+      let forensics =
+        forensics || fjsonl <> None || ftrace <> None || fcsv <> None || json
+      in
       let c =
         Turnpike.Run.compile_with
           { Turnpike.Run.default_params with scale }
@@ -252,6 +301,7 @@ let inject_cmd =
         exit 1
       end;
       let module V = Turnpike_resilience.Verifier in
+      let module F = Turnpike_resilience.Forensics in
       let module Snapshot = Turnpike_resilience.Snapshot in
       let plan =
         if scratch then None
@@ -264,40 +314,251 @@ let inject_cmd =
       let campaign =
         Turnpike_resilience.Injector.campaign ~seed ~count:faults c.Turnpike.Run.trace
       in
+      let golden = c.Turnpike.Run.final in
+      let compiled = c.Turnpike.Run.compiled in
       let print_report (rep : V.campaign_report) =
-        Printf.printf
-          "%s: %d faults -> %d recovered, %d SDC, %d crashed (parity %d, sensor %d)\n"
-          (Suite.qualified_name b) rep.V.total rep.V.recovered rep.V.sdc
-          rep.V.crashed rep.V.parity_detections rep.V.sensor_detections;
+        if not json then
+          Printf.printf
+            "%s: %d faults -> %d recovered, %d SDC, %d crashed (parity %d, sensor %d)\n"
+            (Suite.qualified_name b) rep.V.total rep.V.recovered rep.V.sdc
+            rep.V.crashed rep.V.parity_detections rep.V.sensor_detections;
         rep.V.sdc > 0 || rep.V.crashed > 0
       in
-      let ca = { CA.default with CA.seed; ci; confidence; batch } in
-      let failed =
-        match CA.stopping ca with
-        | None ->
-          print_report
-            (V.run_campaign ?plan ~golden:c.Turnpike.Run.final
-               ~compiled:c.Turnpike.Run.compiled campaign)
-        | Some stopping ->
-          let r =
-            V.run_campaign_ci ?plan ~stopping ~golden:c.Turnpike.Run.final
-              ~compiled:c.Turnpike.Run.compiled campaign
-          in
-          let failed = print_report r.V.report in
+      let print_ci (r : V.ci_report) =
+        if not json then
           Printf.printf
             "  SDC rate %.4f in [%.4f, %.4f] at %g%% confidence (+/- %.4f, \
              %d batches%s)\n"
             r.V.sdc_rate r.V.ci_low r.V.ci_high (100.0 *. confidence)
             r.V.achieved_half_width r.V.batches
-            (if r.V.exhausted then "; fault supply exhausted" else "");
+            (if r.V.exhausted then "; fault supply exhausted" else "")
+      in
+      let ca = { CA.default with CA.seed; ci; confidence; batch } in
+      let failed =
+        if not forensics then
+          match CA.stopping ca with
+          | None ->
+            print_report (V.run_campaign ?plan ~golden ~compiled campaign)
+          | Some stopping ->
+            let r =
+              V.run_campaign_ci ?plan ~stopping ~golden ~compiled campaign
+            in
+            let failed = print_report r.V.report in
+            print_ci r;
+            failed
+        else begin
+          (* The Wilson-trajectory sink sorts after every per-fault sink
+             (task = fault supply size), so the merged export order is a
+             total, jobs-independent order. *)
+          let traj = Telemetry.create ~task:(List.length campaign) () in
+          let records, failed =
+            match CA.stopping ca with
+            | None ->
+              let records, rep = F.campaign ?plan ~golden ~compiled campaign in
+              (records, print_report rep)
+            | Some stopping ->
+              let records, r =
+                F.campaign_ci ?plan ~stopping ~tel:traj ~golden ~compiled
+                  campaign
+              in
+              let failed = print_report r.V.report in
+              print_ci r;
+              (records, failed)
+          in
+          let summary = F.summarize ~rung:"turnpike" records in
+          let dropped = F.total_dropped records + Telemetry.dropped traj in
+          if json then
+            Printf.printf "{\"benchmark\":\"%s\",\"summary\":%s,\"faults\":[%s]}\n"
+              (Suite.qualified_name b)
+              (F.summary_to_json summary)
+              (String.concat "," (List.map F.record_to_json records))
+          else begin
+            let cls = summary.F.by_class in
+            Printf.printf
+              "  forensics: %d/%d landed; masked %d, detected %d, sdc %d, \
+               crashed %d\n"
+              summary.F.landed summary.F.total cls.F.masked cls.F.detected
+              cls.F.sdc cls.F.crashed;
+            Printf.printf
+              "  mean detect latency %.1f, mean rewind %.1f, dropped events %d\n"
+              summary.F.mean_detect_latency summary.F.mean_rewind dropped
+          end;
+          let write dest contents =
+            match dest with
+            | "-" -> print_string contents
+            | path -> Telemetry.Export.to_file path contents
+          in
+          let events = F.merged_events records @ Telemetry.events traj in
+          Option.iter
+            (fun dest -> write dest (Telemetry.Export.jsonl ~dropped events))
+            fjsonl;
+          Option.iter
+            (fun dest -> write dest (Telemetry.Export.chrome ~dropped events))
+            ftrace;
+          Option.iter
+            (fun dir ->
+              (try Unix.mkdir dir 0o755 with _ -> ());
+              Turnpike.Csv_export.forensics ~dir records summary;
+              if not json then Printf.printf "[forensic csv written under %s]\n" dir)
+            fcsv;
           failed
+        end
       in
       if failed then exit 1
   in
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(
       const run $ jobs_arg $ bench_arg $ faults_arg $ seed_arg $ scale_arg
-      $ scratch_arg $ every_arg $ ci_arg $ confidence_arg $ batch_arg)
+      $ scratch_arg $ every_arg $ ci_arg $ confidence_arg $ batch_arg
+      $ forensics_arg $ fjsonl_arg $ ftrace_arg $ fcsv_arg $ fjson_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let module F = Turnpike_resilience.Forensics in
+  let module R = Turnpike.Report in
+  let module PP = Turnpike_compiler.Pass_pipeline in
+  let doc =
+    "Forensic vulnerability report over a fault campaign: run every fault \
+     with a lifecycle trace, then rank static instruction sites, struck \
+     registers and static regions by AVF-derated vulnerability (SDCs and \
+     crashes over exposure). --mutant drop-ckpt first plants a known \
+     compiler bug (delete every checkpoint of one recoverable live-in) so \
+     the ranking can be checked against ground truth: the victim register \
+     tops the table. Output is byte-identical at any --jobs count."
+  in
+  let faults_arg =
+    Arg.(value & opt int 60 & info [ "n"; "faults" ] ~docv:"N" ~doc:CA.doc_faults)
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"N" ~doc:"Rows per attribution table.")
+  in
+  let mutant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"KIND"
+          ~doc:
+            "Plant a compiler bug before the campaign; the only $(docv) is \
+             $(b,drop-ckpt) (delete every checkpoint of one recoverable \
+             live-in register and wipe the claims).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Write the per-fault log and attribution tables under $(docv).")
+  in
+  let run () name scheme scale faults seed top mutant csv_dir json =
+    match find_bench name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok b ->
+      (* Compile outside the Run cache: the mutant rewrites block bodies in
+         place, which must never leak into other commands' cached entries. *)
+      let prog = b.Suite.build ~scale in
+      let compiled =
+        PP.compile ~opts:(Turnpike.Scheme.compile_opts scheme ~sb_size:4) prog
+      in
+      let rung = scheme.Turnpike.Scheme.name in
+      let compiled, rung, victim =
+        match mutant with
+        | None -> (compiled, rung, None)
+        | Some "drop-ckpt" -> (
+          match F.drop_checkpoint_mutant compiled with
+          | None ->
+            prerr_endline "no region has a checkpointed recoverable live-in";
+            exit 1
+          | Some (m, v, affected) -> (m, rung ^ "+drop-ckpt", Some (v, affected)))
+        | Some other ->
+          prerr_endline (Printf.sprintf "unknown mutant %s (try drop-ckpt)" other);
+          exit 1
+      in
+      let module Interp = Turnpike_ir.Interp in
+      let trace, golden =
+        Interp.trace_run ~fuel:Turnpike.Run.default_fuel compiled.PP.prog
+      in
+      if not trace.Turnpike_ir.Trace.complete then begin
+        prerr_endline "trace truncated; lower --scale";
+        exit 1
+      end;
+      let campaign =
+        Turnpike_resilience.Injector.campaign ~seed ~count:faults trace
+      in
+      let records, _rep = F.campaign ~golden ~compiled campaign in
+      let summary = F.summarize ~rung records in
+      if json then
+        print_string (F.summary_to_json summary)
+      else begin
+        R.section
+          (Printf.sprintf "forensic report: %s under %s (%d faults, seed %d)"
+             (Suite.qualified_name b) rung summary.F.total seed);
+        let cls = summary.F.by_class in
+        Printf.printf
+          "landed %d/%d   masked %d   detected %d   sdc %d   crashed %d\n"
+          summary.F.landed summary.F.total cls.F.masked cls.F.detected
+          cls.F.sdc cls.F.crashed;
+        Printf.printf
+          "mean detect latency %.1f   mean rewind %.1f   dropped events %d\n"
+          summary.F.mean_detect_latency summary.F.mean_rewind
+          summary.F.dropped_events;
+        let table title key_title rows =
+          R.subsection title;
+          let cols =
+            [ { R.title = key_title; width = 24 };
+              { R.title = "total"; width = 6 }; { R.title = "masked"; width = 7 };
+              { R.title = "detect"; width = 7 }; { R.title = "sdc"; width = 5 };
+              { R.title = "crash"; width = 6 }; { R.title = "vuln"; width = 7 };
+            ]
+          in
+          R.print_header cols;
+          List.iteri
+            (fun i (row : F.row) ->
+              if i < top then
+                let c = row.F.counts in
+                R.print_row cols
+                  [ row.F.key; string_of_int (F.counts_total c);
+                    string_of_int c.F.masked; string_of_int c.F.detected;
+                    string_of_int c.F.sdc; string_of_int c.F.crashed;
+                    Printf.sprintf "%.3f" (F.vulnerability c);
+                  ])
+            rows
+        in
+        table "most vulnerable sites" "site (block:index)" summary.F.by_site;
+        table "most vulnerable registers" "register" summary.F.by_register;
+        table "most vulnerable regions" "region" summary.F.by_region;
+        match victim with
+        | None -> ()
+        | Some (v, affected) ->
+          let convicted =
+            match summary.F.by_region with
+            | top :: _ -> List.mem top.F.key (List.map string_of_int affected)
+            | [] -> false
+          in
+          Printf.printf
+            "\nmutant ground truth: checkpoints of %s dropped (live-in of \
+             region%s %s) -> top-ranked region %s\n"
+            (Turnpike_ir.Reg.to_string v)
+            (if List.length affected = 1 then "" else "s")
+            (String.concat "," (List.map string_of_int affected))
+            (if convicted then "CONVICTED" else "NOT convicted");
+          if not convicted then exit 1
+      end;
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+        (try Unix.mkdir dir 0o755 with _ -> ());
+        Turnpike.Csv_export.forensics ~dir records summary;
+        if not json then Printf.printf "[forensic csv written under %s]\n" dir
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ jobs_arg $ bench_arg $ scheme_arg $ scale_arg $ faults_arg
+      $ seed_arg $ top_arg $ mutant_arg $ csv_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -468,7 +729,10 @@ let explore_cmd =
          & info [ "csv" ] ~docv:"DIR"
              ~doc:"Write explore_grid.csv and explore_pareto.csv under $(docv).")
   in
-  let run () grid scale seed ci faults csv_dir =
+  let forensics_arg =
+    Arg.(value & flag & info [ "forensics" ] ~doc:CA.doc_forensics)
+  in
+  let run () grid scale seed ci faults csv_dir forensics =
     match DP.spec_of_string grid with
     | Error msg ->
       prerr_endline msg;
@@ -489,7 +753,7 @@ let explore_cmd =
           in
           List.rev (last :: rev)
       in
-      let report = X.run ~budgets ~seed ~params ~spec () in
+      let report = X.run ~budgets ~seed ~params ~forensics ~spec () in
       Printf.printf "grid %s: %d points over {%s}, seed %d\n" grid
         report.X.grid_size
         (String.concat ", " report.X.benches)
@@ -509,7 +773,21 @@ let explore_cmd =
             "  %-36s overhead %.3f  area %.1f um^2  %.2f pJ/kinstr  SDC %.4f \
              (%d faults)\n"
             (DP.id r.X.point) o.X.overhead o.X.area_um2 o.X.energy_pj_per_kinstr
-            o.X.sdc_rate o.X.faults)
+            o.X.sdc_rate o.X.faults;
+          match r.X.forensics with
+          | None -> ()
+          | Some s ->
+            let module F = Turnpike_resilience.Forensics in
+            let top =
+              match s.F.by_site with
+              | [] -> "none"
+              | row :: _ ->
+                Printf.sprintf "%s (vuln %.3f)" row.F.key
+                  (F.vulnerability row.F.counts)
+            in
+            Printf.printf
+              "    forensics[%s]: landed %d/%d, top site %s, dropped %d\n"
+              s.F.rung s.F.landed s.F.total top s.F.dropped_events)
         report.X.frontier;
       Printf.printf "frontier re-validation at full scale: %s\n"
         (if report.X.validated then "ok" else "FAILED");
@@ -527,7 +805,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ jobs_arg $ grid_arg $ scale_arg $ seed_arg $ ci_arg
-      $ faults_arg $ csv_arg)
+      $ faults_arg $ csv_arg $ forensics_arg)
 
 let () =
   let doc = "Turnpike: lightweight soft error resilience for in-order cores (MICRO'21 reproduction)" in
@@ -536,6 +814,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; trace_cmd; inject_cmd; lint_cmd; recovery_cmd;
-            cost_cmd; wcdl_cmd; explore_cmd;
+            list_cmd; run_cmd; trace_cmd; inject_cmd; report_cmd; lint_cmd;
+            recovery_cmd; cost_cmd; wcdl_cmd; explore_cmd;
           ]))

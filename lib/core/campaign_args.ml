@@ -12,10 +12,19 @@ type t = {
   confidence : float;
   batch : int;
   jobs : int option;
+  forensics : bool;
 }
 
 let default =
-  { seed = 7; faults = None; ci = None; confidence = 0.95; batch = 32; jobs = None }
+  {
+    seed = 7;
+    faults = None;
+    ci = None;
+    confidence = 0.95;
+    batch = 32;
+    jobs = None;
+    forensics = false;
+  }
 
 let doc_seed = "Campaign seed (fault draws and batch order)."
 
@@ -34,7 +43,14 @@ let doc_jobs =
   "Worker domains (0, the default, means one per CPU; 1 is strictly \
    sequential). Results are identical at any job count."
 
-let usage = "--seed S --faults N --ci W --confidence C --batch B --jobs N"
+let doc_forensics =
+  "Record the per-fault forensic lifecycle (strike, taint use, detection, \
+   rollback, re-execution, reconvergence) and attribute vulnerability to \
+   static sites, registers and regions. Output is byte-identical at any \
+   --jobs count and across snapshot-forked vs --scratch replay."
+
+let usage =
+  "--seed S --faults N --ci W --confidence C --batch B --jobs N --forensics"
 
 let value_of flag convert = function
   | [] -> failwith (Printf.sprintf "%s expects a value" flag)
@@ -62,6 +78,7 @@ let consume t = function
   | "--jobs" :: rest ->
     let n, rest = value_of "--jobs" int_of_string_opt rest in
     Some ({ t with jobs = Some n }, rest)
+  | "--forensics" :: rest -> Some ({ t with forensics = true }, rest)
   | _ -> None
 
 let apply_jobs t =

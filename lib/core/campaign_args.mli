@@ -18,6 +18,7 @@ type t = {
   confidence : float;  (** confidence level of the stopping interval *)
   batch : int;  (** faults per sequential batch of the stopping loop *)
   jobs : int option;  (** worker domains; [None] = leave pool untouched *)
+  forensics : bool;  (** record per-fault lifecycles and attribution *)
 }
 
 val default : t
@@ -27,10 +28,10 @@ val default : t
 val consume : t -> string list -> (t * string list) option
 (** [consume t args] recognizes one leading
     [--seed N | --faults N | --ci W | --confidence C | --batch B |
-    --jobs N] pair and returns the updated record plus the remaining
-    arguments; [None] when the head is not one of these flags (the
-    caller's own parser proceeds). Malformed values raise [Failure] with
-    the flag name. *)
+    --jobs N] pair (or the bare [--forensics] flag) and returns the
+    updated record plus the remaining arguments; [None] when the head is
+    not one of these flags (the caller's own parser proceeds). Malformed
+    values raise [Failure] with the flag name. *)
 
 val usage : string
 (** One-line usage fragment listing the shared flags. *)
@@ -53,3 +54,4 @@ val doc_ci : string
 val doc_confidence : string
 val doc_batch : string
 val doc_jobs : string
+val doc_forensics : string

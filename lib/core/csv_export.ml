@@ -140,3 +140,59 @@ let explore_grid ~path (report : Explore.report) =
 
 let explore_pareto ~path (report : Explore.report) =
   write ~path ~header:explore_header (List.map explore_row report.Explore.frontier)
+
+(* ------------------------------------------------------------------ *)
+(* Forensic campaign artifacts: the per-fault record log and one ranked
+   attribution table per key (site / register / region). Records are in
+   fault order and tables in rank order — both total orders, so files are
+   byte-identical at any job count and across fork vs scratch replay. *)
+
+module Forensics = Turnpike_resilience.Forensics
+
+let opt_str = function Some s -> s | None -> ""
+let opt_int = function Some n -> string_of_int n | None -> ""
+
+let forensics_records ~path records =
+  write ~path
+    ~header:
+      [ "fault"; "reg"; "xor_mask"; "at_step"; "class"; "site"; "region";
+        "detect_kind"; "detect_latency"; "rewind"; "dropped_events";
+      ]
+    (List.map
+       (fun (r : Forensics.record) ->
+         [ string_of_int r.Forensics.index;
+           Turnpike_ir.Reg.to_string r.Forensics.fault.Turnpike_resilience.Fault.reg;
+           string_of_int r.Forensics.fault.Turnpike_resilience.Fault.xor_mask;
+           string_of_int r.Forensics.fault.Turnpike_resilience.Fault.at_step;
+           Forensics.clazz_name r.Forensics.clazz; opt_str r.Forensics.site;
+           opt_int r.Forensics.region; opt_str r.Forensics.detect_kind;
+           opt_int r.Forensics.detect_latency; opt_int r.Forensics.rewind;
+           string_of_int r.Forensics.dropped;
+         ])
+       records)
+
+let forensics_table ~path table =
+  write ~path
+    ~header:
+      [ "key"; "total"; "masked"; "detected"; "sdc"; "crashed";
+        "vulnerability";
+      ]
+    (List.map
+       (fun (r : Forensics.row) ->
+         let c = r.Forensics.counts in
+         [ r.Forensics.key; string_of_int (Forensics.counts_total c);
+           string_of_int c.Forensics.masked; string_of_int c.Forensics.detected;
+           string_of_int c.Forensics.sdc; string_of_int c.Forensics.crashed;
+           f (Forensics.vulnerability c);
+         ])
+       table)
+
+let forensics ~dir records (s : Forensics.summary) =
+  forensics_records ~path:(Filename.concat dir "forensics_faults.csv") records;
+  forensics_table ~path:(Filename.concat dir "forensics_by_site.csv")
+    s.Forensics.by_site;
+  forensics_table
+    ~path:(Filename.concat dir "forensics_by_register.csv")
+    s.Forensics.by_register;
+  forensics_table ~path:(Filename.concat dir "forensics_by_region.csv")
+    s.Forensics.by_region

@@ -16,6 +16,7 @@ module Recovery = Turnpike_resilience.Recovery
 module Injector = Turnpike_resilience.Injector
 module Verifier = Turnpike_resilience.Verifier
 module Snapshot = Turnpike_resilience.Snapshot
+module Forensics = Turnpike_resilience.Forensics
 module Trace = Turnpike_ir.Trace
 
 type objectives = {
@@ -180,12 +181,12 @@ let key_point k : Design_point.t =
    resilience experiments do): each fault forks the recovery executor
    from the nearest snapshot, and the verifier's sequential stopping rule
    keeps the consumed fault count deterministic at any job count. *)
-let run_campaign ~params ~budget ~seed key b =
+let run_campaign ~params ~budget ~seed ~forensics key b =
   let p = key_point key in
   let bp = run_params params budget p in
   let bp = { bp with Run.scale = max 1 (bp.Run.scale / 4) } in
   let c = Run.compile_with bp key.rung b in
-  if not c.Run.trace.Trace.complete then (0, 0)
+  if not c.Run.trace.Trace.complete then (0, 0, [])
   else begin
     let config = Design_point.recovery_config p ~fuel:Recovery.default_config.Recovery.fuel in
     let plan = Snapshot.record ~config c.Run.compiled in
@@ -198,17 +199,28 @@ let run_campaign ~params ~budget ~seed key b =
         min_faults = min budget.max_faults 16;
       }
     in
-    let ci =
-      Verifier.run_campaign_ci ~config ~plan ~stopping ~golden:c.Run.final
-        ~compiled:c.Run.compiled faults
+    (* With forensics, the same CI loop runs with one lifecycle sink per
+       fault: sinks never influence outcomes, so the (sdc, total) pair —
+       and therefore promotion and validation — is identical either way. *)
+    let ci, records =
+      if forensics then
+        let records, ci =
+          Forensics.campaign_ci ~config ~plan ~stopping ~golden:c.Run.final
+            ~compiled:c.Run.compiled faults
+        in
+        (ci, records)
+      else
+        ( Verifier.run_campaign_ci ~config ~plan ~stopping ~golden:c.Run.final
+            ~compiled:c.Run.compiled faults,
+          [] )
     in
-    (ci.Verifier.report.Verifier.sdc, ci.Verifier.report.Verifier.total)
+    (ci.Verifier.report.Verifier.sdc, ci.Verifier.report.Verifier.total, records)
   end
 
 (* Score every live point under one budget. Two passes: timing on the
    domain pool, then one campaign per distinct key (first-appearance
    order). Returns (point, objectives) in the input (grid) order. *)
-let score_batch ~benches ~params ~budget ~seed points =
+let score_batch ?(forensics = false) ~benches ~params ~budget ~seed points =
   let timing =
     Parallel.grid ~items:points ~configs:benches (fun p b ->
         timing_of ~params ~budget p b)
@@ -227,16 +239,27 @@ let score_batch ~benches ~params ~budget ~seed points =
       List.map
         (fun k ->
           let by =
-            if not k.rung.Scheme.resilient then (0, 0)
+            if not k.rung.Scheme.resilient then (0, 0, [])
             else
               List.fold_left
-                (fun (sdc, total) b ->
-                  let s, t = run_campaign ~params ~budget ~seed k b in
-                  (sdc + s, total + t))
-                (0, 0) benches
+                (fun (sdc, total, records) b ->
+                  let s, t, r = run_campaign ~params ~budget ~seed ~forensics k b in
+                  (sdc + s, total + t, records @ r))
+                (0, 0, []) benches
           in
           (k, by))
         keys
+  in
+  (* One attribution rollup per campaign key (shared, like the campaign
+     itself, by every point the campaign cannot distinguish). *)
+  let rollups =
+    List.map
+      (fun (k, (_, _, records)) ->
+        ( k,
+          if forensics && records <> [] then
+            Some (Forensics.summarize ~rung:k.rung.Scheme.name records)
+          else None ))
+      campaigns
   in
   List.map
     (fun (p, by_bench) ->
@@ -245,7 +268,7 @@ let score_batch ~benches ~params ~budget ~seed points =
       let energy = Report.arith_mean (List.map snd measured) in
       let sdc, faults =
         match List.assoc_opt (campaign_key p) campaigns with
-        | Some r -> r
+        | Some (s, t, _) -> (s, t)
         | None -> (0, 0)
       in
       let sdc_rate =
@@ -258,12 +281,13 @@ let score_batch ~benches ~params ~budget ~seed points =
           energy_pj_per_kinstr = energy;
           sdc_rate;
           faults;
-        } ))
+        },
+        Option.join (List.assoc_opt (campaign_key p) rollups) ))
     timing
 
 let score ~benches ~params ~budget ~seed p =
   match score_batch ~benches ~params ~budget ~seed [ p ] with
-  | [ (_, o) ] -> o
+  | [ (_, o, _) ] -> o
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
@@ -274,8 +298,10 @@ let score ~benches ~params ~budget ~seed p =
    deterministic preference that never depends on evaluation order. *)
 let promote scored =
   let k = (List.length scored + 1) / 2 in
-  let ranked = Pareto.rank ~objectives:(fun (_, o) -> objective_vector o) scored in
-  let indexed = List.mapi (fun i ((p, _), layer) -> (i, layer, p)) ranked in
+  let ranked =
+    Pareto.rank ~objectives:(fun (_, o, _) -> objective_vector o) scored
+  in
+  let indexed = List.mapi (fun i ((p, _, _), layer) -> (i, layer, p)) ranked in
   let by_preference =
     List.stable_sort
       (fun (i, la, _) (j, lb, _) -> if la <> lb then compare la lb else compare i j)
@@ -285,7 +311,8 @@ let promote scored =
     List.filteri (fun rank _ -> rank < k) by_preference
     |> List.map (fun (i, _, _) -> i)
   in
-  List.filteri (fun i _ -> List.mem i chosen) scored |> List.map fst
+  List.filteri (fun i _ -> List.mem i chosen) scored
+  |> List.map (fun (p, _, _) -> p)
 
 type point_result = {
   point : Design_point.t;
@@ -294,6 +321,10 @@ type point_result = {
   budget : string;
   full_scale : bool;
   on_frontier : bool;
+  forensics : Forensics.summary option;
+      (* attribution rollup of the point's (shared) campaign at the last
+         budget it was scored under; deliberately OUTSIDE [objectives] so
+         frontier re-validation still compares scalar objectives exactly *)
 }
 
 type report = {
@@ -308,7 +339,7 @@ type report = {
 }
 
 let run ?benches ?budgets ?(seed = 7) ?(params = Run.default_params)
-    ~(spec : Design_point.spec) () =
+    ?(forensics = false) ~(spec : Design_point.spec) () =
   let benches = match benches with Some bs -> bs | None -> default_benches () in
   let budgets = match budgets with Some bs -> bs | None -> budgets_for params in
   if budgets = [] then invalid_arg "Explore.run: empty budget ladder";
@@ -320,21 +351,21 @@ let run ?benches ?budgets ?(seed = 7) ?(params = Run.default_params)
   let alive = ref points in
   List.iteri
     (fun bi budget ->
-      let scored = score_batch ~benches ~params ~budget ~seed !alive in
+      let scored = score_batch ~forensics ~benches ~params ~budget ~seed !alive in
       evals := (budget.label, List.length scored) :: !evals;
       List.iter
-        (fun (p, o) ->
-          Hashtbl.replace state (Design_point.id p) (o, bi + 1, budget.label))
+        (fun (p, o, f) ->
+          Hashtbl.replace state (Design_point.id p) (o, bi + 1, budget.label, f))
         scored;
       alive :=
         if bi < nb - 1 && List.length scored > 1 then promote scored
-        else List.map fst scored)
+        else List.map (fun (p, _, _) -> p) scored)
     budgets;
   let last_budget = List.nth budgets (nb - 1) in
   let survivors =
     List.map
       (fun p ->
-        let o, _, _ = Hashtbl.find state (Design_point.id p) in
+        let o, _, _, _ = Hashtbl.find state (Design_point.id p) in
         (p, o))
       !alive
   in
@@ -346,7 +377,7 @@ let run ?benches ?budgets ?(seed = 7) ?(params = Run.default_params)
     List.exists (fun q -> Design_point.id q = Design_point.id p) frontier_pts
   in
   let result_of p =
-    let o, survived, label = Hashtbl.find state (Design_point.id p) in
+    let o, survived, label, forens = Hashtbl.find state (Design_point.id p) in
     {
       point = p;
       objectives = o;
@@ -354,6 +385,7 @@ let run ?benches ?budgets ?(seed = 7) ?(params = Run.default_params)
       budget = label;
       full_scale = survived = nb;
       on_frontier = on_frontier p;
+      forensics = forens;
     }
   in
   let results = List.map result_of points in

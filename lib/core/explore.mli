@@ -92,6 +92,11 @@ type point_result = {
   budget : string;  (** label of the last budget this point reached *)
   full_scale : bool;  (** reached the final budget rung *)
   on_frontier : bool;  (** member of the full-scale Pareto frontier *)
+  forensics : Turnpike_resilience.Forensics.summary option;
+      (** attribution rollup of the point's (shared) campaign at the last
+          budget it was scored under — populated only when {!run} was
+          given [~forensics:true]; kept outside {!objectives} so frontier
+          re-validation still compares scalar objectives exactly *)
 }
 
 type report = {
@@ -113,6 +118,7 @@ val run :
   ?budgets:budget list ->
   ?seed:int ->
   ?params:Run.params ->
+  ?forensics:bool ->
   spec:Design_point.spec ->
   unit ->
   report
@@ -122,5 +128,8 @@ val run :
     within a layer — and promote them to the next rung. Campaign work is
     shared across points that differ only in axes a campaign cannot
     observe (the core model), and the whole run is deterministic at any
-    job count.
+    job count. With [forensics] (default false) every campaign records
+    per-fault lifecycles and each {!point_result} carries the attribution
+    rollup; sinks never influence outcomes, so scores, promotion and
+    validation are unchanged.
     @raise Invalid_argument when [budgets] is empty. *)

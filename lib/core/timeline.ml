@@ -19,6 +19,7 @@ type t = {
   schemes : string list;
   events : Telemetry.event list;
   per_task : int list; (* events per ladder rung, ladder order *)
+  dropped : int; (* capacity-overflow events across all rungs *)
 }
 
 (* Track names mirror the tid layout of [Turnpike_arch.Timing]. *)
@@ -41,6 +42,7 @@ let capture ?jobs ?(params = Run.default_params) (bench : Suite.entry) =
     schemes = List.map (fun (s : Scheme.t) -> s.Scheme.name) schemes;
     events = Telemetry.merge sinks;
     per_task = List.map Telemetry.length sinks;
+    dropped = Telemetry.total_dropped sinks;
   }
 
 let process_names t =
@@ -54,9 +56,9 @@ let thread_names t =
 
 let chrome t =
   Telemetry.Export.chrome ~process_names:(process_names t)
-    ~thread_names:(thread_names t) t.events
+    ~thread_names:(thread_names t) ~dropped:t.dropped t.events
 
-let jsonl t = Telemetry.Export.jsonl t.events
+let jsonl t = Telemetry.Export.jsonl ~dropped:t.dropped t.events
 
 let sensor_metadata t =
   Sensor.to_json (Sensor.for_wcdl ~wcdl:t.params.Run.wcdl ~clock_ghz:2.5 ())

@@ -16,6 +16,7 @@ type t = {
   schemes : string list;  (** ladder rung names, in order *)
   events : Turnpike_telemetry.event list;  (** merged, (task, seq) order *)
   per_task : int list;  (** events captured per rung *)
+  dropped : int;  (** capacity-overflow events across all rungs *)
 }
 
 val track_names : string list

@@ -23,3 +23,9 @@ let create ~at_step ~reg ~xor_mask =
 let single_bit ~at_step ~reg ~bit =
   if bit < 0 || bit > 62 then invalid_arg "Fault.single_bit: bit out of range";
   create ~at_step ~reg ~xor_mask:(1 lsl bit)
+
+(* Register names are identifier-like and masks are ints: no escaping
+   needed for a fixed-shape, machine-readable record. *)
+let to_json t =
+  Printf.sprintf "{\"at_step\":%d,\"reg\":\"%s\",\"xor_mask\":%d}" t.at_step
+    (Reg.to_string t.reg) t.xor_mask

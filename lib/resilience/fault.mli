@@ -20,3 +20,7 @@ val create : at_step:int -> reg:Reg.t -> xor_mask:int -> t
     register. *)
 
 val single_bit : at_step:int -> reg:Reg.t -> bit:int -> t
+
+val to_json : t -> string
+(** One fixed-shape JSON object:
+    [{"at_step":N,"reg":"rK","xor_mask":M}]. *)

@@ -27,6 +27,7 @@ module Clq = Turnpike_arch.Clq
 module Coloring = Turnpike_arch.Coloring
 module Pass_pipeline = Turnpike_compiler.Pass_pipeline
 module Recovery_expr = Turnpike_compiler.Recovery_expr
+module Telemetry = Turnpike_telemetry
 
 type config = {
   verify_delay : int; (* steps from region end to verification *)
@@ -126,9 +127,44 @@ type exec = {
   mutable fast_released : int;
   mutable colored : int;
   mutable quarantined : int;
+  tel : Telemetry.sink;
+      (* forensic lifecycle sink (default [Telemetry.null]); every
+         timestamp below is a deterministic function of executor state,
+         so the stream is byte-identical across --jobs counts and across
+         snapshot-forked vs from-scratch replays *)
+  mutable f_strike_pos : int; (* position of the latest strike, -1 if none *)
+  mutable f_taint_use_done : bool; (* first tainted use already emitted *)
+  mutable f_reconverged : bool; (* reconverge already emitted *)
 }
 
 let position ex = ex.st.Interp.steps - ex.delta
+
+(* ------------------------------------------------------------------ *)
+(* Forensic lifecycle events (category "forensics"). Each fault's life is
+   strike → (taint_use) → detect → rollback/reexec → reconverge, every
+   event stamped with the dynamic step ([ts]), the fault-free position
+   and the static (func, block, index) site the pc points at. Reading
+   the open region's static id must not materialize the implicit
+   pre-boundary region, hence the side-effect-free probe. *)
+
+let forensic_region ex =
+  match ex.open_region with Some r -> r.static_id | None -> -1
+
+let forensic_site ex =
+  let pc = ex.st.Interp.pc in
+  [
+    ("func", Telemetry.Str ex.compiled.Pass_pipeline.prog.Prog.func.Func.name);
+    ("block", Telemetry.Str pc.Interp.block);
+    ("index", Telemetry.Int pc.Interp.index);
+  ]
+
+let forensic_instant ex name args =
+  Telemetry.instant ex.tel ~ts:ex.st.Interp.steps ~cat:"forensics" name
+    ~args:
+      (args
+      @ (("pos", Telemetry.Int (position ex))
+         :: ("region", Telemetry.Int (forensic_region ex))
+         :: forensic_site ex))
 
 let slot_addr reg = function
   | Base -> Layout.ckpt_slot ~reg ~color:0
@@ -321,6 +357,14 @@ let restore_register ex reg =
 let recover ex ~kind =
   if ex.recoveries >= ex.cfg.max_recoveries then
     raise (Recovery_failed "recovery limit exceeded");
+  if Telemetry.enabled ex.tel then
+    forensic_instant ex "detect"
+      [
+        ("kind", Telemetry.Str (match kind with Sensor -> "sensor" | Parity -> "parity"));
+        ( "latency",
+          Telemetry.Int
+            (if ex.f_strike_pos >= 0 then position ex - ex.f_strike_pos else -1) );
+      ];
   ex.recoveries <- ex.recoveries + 1;
   ex.detections <- kind :: ex.detections;
   let now = ex.st.Interp.steps in
@@ -367,6 +411,26 @@ let recover ex ~kind =
                 Printf.sprintf "%d:s%d@%s" r.seq r.static_id
                   (match r.end_step with Some e -> string_of_int e | None -> "?"))
               discarded));
+    if Telemetry.enabled ex.tel then begin
+      (* [delta] is still the pre-recovery rebase here, so [now - delta]
+         is the position the fault-free run had reached; the reexec span
+         covers the positions about to be replayed. *)
+      let pos = now - ex.delta in
+      let undone =
+        List.fold_left (fun acc r -> acc + List.length r.undo) 0 discarded
+      in
+      forensic_instant ex "rollback"
+        [
+          ("restart_region", Telemetry.Int restart.static_id);
+          ("restart_block", Telemetry.Str info.Pass_pipeline.head);
+          ("discarded_regions", Telemetry.Int (List.length discarded));
+          ("undone_writes", Telemetry.Int undone);
+          ("rewind", Telemetry.Int (pos - restart.start_pos));
+        ];
+      Telemetry.complete ex.tel ~ts:restart.start_pos
+        ~dur:(pos - restart.start_pos) ~cat:"forensics" "reexec"
+        ~args:[ ("restart_region", Telemetry.Int restart.static_id) ]
+    end;
     List.iter
       (fun reg -> Interp.set_reg ex.st reg (restore_register ex reg))
       info.Pass_pipeline.live_in;
@@ -404,6 +468,20 @@ let propagate_taint ex =
     let input_tainted =
       List.exists (fun r -> Reg.Set.mem r ex.tainted) (Instr.uses i)
     in
+    if input_tainted && Telemetry.enabled ex.tel && not ex.f_taint_use_done then begin
+      ex.f_taint_use_done <- true;
+      forensic_instant ex "taint_use"
+        [
+          ( "tainted_inputs",
+            Telemetry.Str
+              (String.concat ","
+                 (List.filter_map
+                    (fun r ->
+                      if Reg.Set.mem r ex.tainted then Some (Reg.to_string r)
+                      else None)
+                    (Instr.uses i))) );
+        ]
+    end;
     let defs = Instr.defs i in
     if input_tainted then
       ex.tainted <- List.fold_left (fun s d -> Reg.Set.add d s) ex.tainted defs
@@ -426,7 +504,8 @@ let claim_table enabled sites =
   if enabled then List.iter (fun site -> Hashtbl.replace tbl site ()) sites;
   tbl
 
-let make_exec ?(config = default_config) ?(faults = []) (compiled : Pass_pipeline.t) =
+let make_exec ?(config = default_config) ?(faults = []) ?(tel = Telemetry.null)
+    (compiled : Pass_pipeline.t) =
   {
     cfg = config;
     compiled;
@@ -453,6 +532,10 @@ let make_exec ?(config = default_config) ?(faults = []) (compiled : Pass_pipelin
     fast_released = 0;
     colored = 0;
     quarantined = 0;
+    tel;
+    f_strike_pos = -1;
+    f_taint_use_done = false;
+    f_reconverged = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -499,8 +582,8 @@ let capture ex =
     s_quarantined = ex.quarantined;
   }
 
-let of_snapshot ?(config = default_config) (compiled : Pass_pipeline.t) (s : snapshot)
-    ~fault =
+let of_snapshot ?(config = default_config) ?(tel = Telemetry.null)
+    (compiled : Pass_pipeline.t) (s : snapshot) ~fault =
   {
     cfg = config;
     compiled;
@@ -537,6 +620,10 @@ let of_snapshot ?(config = default_config) (compiled : Pass_pipeline.t) (s : sna
     fast_released = s.s_fast_released;
     colored = s.s_colored;
     quarantined = s.s_quarantined;
+    tel;
+    f_strike_pos = -1;
+    f_taint_use_done = false;
+    f_reconverged = false;
   }
 
 (* The pilot run a fork measures convergence against: its snapshots (in
@@ -626,6 +713,26 @@ let drive ?observer ?oracle ex =
     && ex.budget > 0
   do
     (match observer with Some f -> f ex | None -> ());
+    (* Reconvergence instant: the first loop top after a recovery at which
+       no fault remains in flight, no detection is pending and no taint is
+       live — from here the remaining run is fully determined, i.e. it
+       deterministically rejoins the fault-free pilot. This is a pure
+       state predicate (never a comparison against an oracle snapshot), so
+       forked and from-scratch replays emit it at the same step; it is
+       evaluated BEFORE the oracle early-exit below so a fork that adopts
+       the pilot suffix in this very iteration still emits it. *)
+    if
+      Telemetry.enabled ex.tel
+      && (not ex.f_reconverged)
+      && ex.detections <> []
+      && ex.remaining = []
+      && (not (detection_pending ()))
+      && Reg.Set.is_empty ex.tainted
+    then begin
+      ex.f_reconverged <- true;
+      forensic_instant ex "reconverge"
+        [ ("recoveries", Telemetry.Int ex.recoveries) ]
+    end;
     (* Convergence early exit: once the fault has struck, its detection has
        been handled and no taint is live, a fork whose architectural state
        (pc, registers, non-checkpoint memory) matches the pilot's snapshot
@@ -679,6 +786,17 @@ let drive ?observer ?oracle ex =
           Interp.set_reg st f.Fault.reg
             (Interp.get_reg st f.Fault.reg lxor f.Fault.xor_mask);
           ex.tainted <- Reg.Set.add f.Fault.reg ex.tainted;
+          if Telemetry.enabled ex.tel then begin
+            ex.f_strike_pos <- position ex;
+            ex.f_taint_use_done <- false;
+            ex.f_reconverged <- false;
+            forensic_instant ex "strike"
+              [
+                ("reg", Telemetry.Str (Reg.to_string f.Fault.reg));
+                ("xor_mask", Telemetry.Int f.Fault.xor_mask);
+                ("at_step", Telemetry.Int f.Fault.at_step);
+              ]
+          end;
           (* Detected within the worst-case latency; deterministic sample. *)
           let d =
             1
@@ -719,13 +837,14 @@ let drive ?observer ?oracle ex =
     drain_at_exit ex;
     finish ex
 
-let run ?fault ?(faults = []) ?(config = default_config) (compiled : Pass_pipeline.t) =
+let run ?fault ?(faults = []) ?(config = default_config) ?tel
+    (compiled : Pass_pipeline.t) =
   let faults =
     List.sort
       (fun (a : Fault.t) b -> compare a.Fault.at_step b.Fault.at_step)
       (match fault with Some f -> f :: faults | None -> faults)
   in
-  drive (make_exec ~config ~faults compiled)
+  drive (make_exec ~config ~faults ?tel compiled)
 
 let capture_pilot ?(config = default_config) ~every (compiled : Pass_pipeline.t) =
   if every <= 0 then invalid_arg "Recovery.capture_pilot: every must be positive";
@@ -738,7 +857,8 @@ let capture_pilot ?(config = default_config) ~every (compiled : Pass_pipeline.t)
   let outcome = drive ~observer (make_exec ~config compiled) in
   (outcome, Array.of_list (List.rev !snaps))
 
-let resume ?(config = default_config) ~snapshots ~pilot_outcome ~from ~fault compiled =
+let resume ?(config = default_config) ?tel ~snapshots ~pilot_outcome ~from ~fault
+    compiled =
   let oracle =
     {
       snaps = snapshots;
@@ -746,4 +866,4 @@ let resume ?(config = default_config) ~snapshots ~pilot_outcome ~from ~fault com
       final_state = pilot_outcome.state;
     }
   in
-  drive ~oracle (of_snapshot ~config compiled from ~fault)
+  drive ~oracle (of_snapshot ~config ?tel compiled from ~fault)

@@ -61,13 +61,35 @@ exception Out_of_fuel of { recoveries : int; steps : int }
     to tell recovery livelock from a genuinely wedged program. *)
 
 val run :
-  ?fault:Fault.t -> ?faults:Fault.t list -> ?config:config -> Pass_pipeline.t -> outcome
+  ?fault:Fault.t ->
+  ?faults:Fault.t list ->
+  ?config:config ->
+  ?tel:Turnpike_telemetry.sink ->
+  Pass_pipeline.t ->
+  outcome
 (** Execute a compiled program, optionally injecting faults ([fault] and
     [faults] are merged and sorted by strike step; several faults may be
     in flight, each detected within the verification window). At exit all
     remaining verifications are drained: quarantined regions commit and
     buffered fallback checkpoints reach checkpoint storage, so the final
     memory is fully committed state.
+
+    [tel] (default {!Turnpike_telemetry.null}) receives the forensic
+    lifecycle of every injected fault, category ["forensics"]: a
+    [strike] instant when the flip lands (args: [reg], [xor_mask],
+    [at_step]), a [taint_use] instant at the first instruction consuming
+    a tainted register, a [detect] instant when the sensor or parity path
+    fires (args: [kind], [latency] in fault-free positions), a [rollback]
+    instant plus a [reexec] complete-span when recovery restarts a region
+    (args: [restart_region], [restart_block], [discarded_regions],
+    [undone_writes], [rewind]), and a [reconverge] instant at the first
+    step after recovery with no fault in flight, no pending detection and
+    no live taint — from which the run's remainder is fully determined.
+    Every event carries [ts] = dynamic step plus [pos] (fault-free
+    position), [region] (open static region id, -1 when none) and the
+    static ([func], [block], [index]) site. All stamps are deterministic
+    functions of executor state: the stream is byte-identical across
+    [--jobs] counts and across snapshot-forked vs from-scratch replays.
     @raise Recovery_failed when recovery cannot proceed (by design only
     reachable through [unsafe_ckpt_release] or broken compilation).
     @raise Out_of_fuel when the fuel budget is exhausted. *)
@@ -97,6 +119,7 @@ val capture_pilot :
 
 val resume :
   ?config:config ->
+  ?tel:Turnpike_telemetry.sink ->
   snapshots:snapshot array ->
   pilot_outcome:outcome ->
   from:snapshot ->
@@ -108,4 +131,8 @@ val resume :
     of the same [config] and compiled program. The outcome's [state],
     [recoveries] and [detections] are byte-identical to
     [run ~fault ~config]; on a convergence early exit the release/ckpt
-    counters reflect only the work the fork actually executed. *)
+    counters reflect only the work the fork actually executed. [tel]
+    receives the same forensic lifecycle events, byte-identical to the
+    from-scratch run's (see {!run}): no event precedes the strike, and
+    the reconvergence instant is a pure state predicate, so adopting the
+    pilot suffix early loses nothing. *)

@@ -36,8 +36,8 @@ let nearest plan ~step =
   done;
   snaps.(!lo)
 
-let fork plan (fault : Fault.t) =
-  Recovery.resume ~config:plan.config ~snapshots:plan.snaps
+let fork ?tel plan (fault : Fault.t) =
+  Recovery.resume ~config:plan.config ?tel ~snapshots:plan.snaps
     ~pilot_outcome:plan.pilot
     ~from:(nearest plan ~step:fault.Fault.at_step)
     ~fault plan.compiled

@@ -39,7 +39,8 @@ val nearest : plan -> step:int -> Recovery.snapshot
 (** Latest snapshot at or before [step] (the step-0 snapshot exists for
     every plan, so this is total for [step >= 0]). *)
 
-val fork : plan -> Fault.t -> Recovery.outcome
+val fork : ?tel:Turnpike_telemetry.sink -> plan -> Fault.t -> Recovery.outcome
 (** Replay one fault from the nearest snapshot. Byte-identical to
     [Recovery.run ~fault ~config:plan.config plan.compiled] in [state],
-    [recoveries] and [detections]; raises the same exceptions. *)
+    [recoveries] and [detections] — and in the forensic events [tel]
+    receives (see {!Recovery.run}); raises the same exceptions. *)

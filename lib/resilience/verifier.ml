@@ -14,6 +14,7 @@
 
 open Turnpike_ir
 module Parallel = Turnpike_parallel
+module Telemetry = Turnpike_telemetry
 
 type verdict = Match | Mismatch of { addr : int; golden : int; actual : int }
 
@@ -63,39 +64,109 @@ type campaign_report = {
          the execution-time cost of rollback and re-execution *)
 }
 
-let run_one ?(config = Recovery.default_config) ?plan ~golden ~compiled fault =
+let detection_name = function
+  | Recovery.Sensor -> "sensor"
+  | Recovery.Parity -> "parity"
+
+(* The campaign-visible classification of one outcome. A [Recovered] run
+   with no detection at all means the strike never landed (the fault was
+   scheduled past program exit): architecturally masked. Every landed
+   strike is detected — by the sensors at the latest — so masked-by-
+   derating cannot occur inside the trace. *)
+let class_name = function
+  | Recovered { detections = []; _ } -> "masked"
+  | Recovered _ -> "detected"
+  | Sdc _ -> "sdc"
+  | Crashed _ -> "crashed"
+
+let run_one ?(config = Recovery.default_config) ?plan ?(tel = Telemetry.null)
+    ~golden ~compiled fault =
   let replay () =
     match plan with
-    | Some p -> Snapshot.fork p fault
-    | None -> Recovery.run ~fault ~config compiled
+    | Some p -> Snapshot.fork ~tel p fault
+    | None -> Recovery.run ~fault ~config ~tel compiled
   in
-  match replay () with
-  | outcome -> (
-    let detections = outcome.Recovery.detections in
-    match compare_states ~golden ~actual:outcome.Recovery.state with
-    | Match ->
-      let golden_steps = max 1 golden.Interp.steps in
-      Recovered
+  let classified =
+    match replay () with
+    | outcome -> (
+      let detections = outcome.Recovery.detections in
+      match compare_states ~golden ~actual:outcome.Recovery.state with
+      | Match ->
+        let golden_steps = max 1 golden.Interp.steps in
+        Recovered
+          {
+            detections;
+            reexec_overhead =
+              (float_of_int outcome.Recovery.state.Interp.steps
+              /. float_of_int golden_steps)
+              -. 1.0;
+          }
+      | Mismatch _ as mismatch -> Sdc { detections; mismatch })
+    | exception Recovery.Recovery_failed reason ->
+      Crashed { reason = "recovery failed: " ^ reason }
+    | exception Recovery.Out_of_fuel { recoveries; steps } ->
+      (* Keep the recovery count and exhaustion step: a campaign triaging
+         crashes needs to tell recovery livelock (many recoveries, steps
+         barely past the strike) from a genuinely wedged program. *)
+      Crashed
         {
-          detections;
-          reexec_overhead =
-            (float_of_int outcome.Recovery.state.Interp.steps
-            /. float_of_int golden_steps)
-            -. 1.0;
+          reason =
+            Printf.sprintf "out of fuel at step %d after %d recoveries" steps
+              recoveries;
         }
-    | Mismatch _ as mismatch -> Sdc { detections; mismatch })
-  | exception Recovery.Recovery_failed reason ->
-    Crashed { reason = "recovery failed: " ^ reason }
-  | exception Recovery.Out_of_fuel { recoveries; steps } ->
-    (* Keep the recovery count and exhaustion step: a campaign triaging
-       crashes needs to tell recovery livelock (many recoveries, steps
-       barely past the strike) from a genuinely wedged program. *)
-    Crashed
-      {
-        reason =
-          Printf.sprintf "out of fuel at step %d after %d recoveries" steps
-            recoveries;
-      }
+  in
+  (* Close the fault's forensic lifecycle with its verdict; [ts] is the
+     golden step count, a pure function of the benchmark, so the stream
+     stays deterministic. *)
+  if Telemetry.enabled tel then
+    Telemetry.instant tel ~ts:golden.Interp.steps ~cat:"forensics" "outcome"
+      ~args:
+        (("class", Telemetry.Str (class_name classified))
+        ::
+        (match classified with
+        | Recovered { detections; reexec_overhead } ->
+          [
+            ("detections", Telemetry.Int (List.length detections));
+            ("reexec_overhead", Telemetry.Float reexec_overhead);
+          ]
+        | Sdc { detections; mismatch } ->
+          ("detections", Telemetry.Int (List.length detections))
+          ::
+          (match mismatch with
+          | Mismatch { addr; golden; actual } ->
+            [
+              ("addr", Telemetry.Int addr);
+              ("golden", Telemetry.Int golden);
+              ("actual", Telemetry.Int actual);
+            ]
+          | Match -> [])
+        | Crashed { reason } -> [ ("reason", Telemetry.Str reason) ]));
+  classified
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable per-fault outcomes (satellite of [inject --json]). *)
+
+let verdict_to_json = function
+  | Match -> "null"
+  | Mismatch { addr; golden; actual } ->
+    Printf.sprintf "{\"addr\":%d,\"golden\":%d,\"actual\":%d}" addr golden actual
+
+let outcome_to_json o =
+  let detections_json ds =
+    "[" ^ String.concat "," (List.map (fun d -> "\"" ^ detection_name d ^ "\"") ds)
+    ^ "]"
+  in
+  match o with
+  | Recovered { detections; reexec_overhead } ->
+    Printf.sprintf
+      "{\"class\":\"%s\",\"detections\":%s,\"reexec_overhead\":%.6f}"
+      (class_name o) (detections_json detections) reexec_overhead
+  | Sdc { detections; mismatch } ->
+    Printf.sprintf "{\"class\":\"sdc\",\"detections\":%s,\"mismatch\":%s}"
+      (detections_json detections) (verdict_to_json mismatch)
+  | Crashed { reason } ->
+    Printf.sprintf "{\"class\":\"crashed\",\"reason\":\"%s\"}"
+      (Telemetry.Export.escape reason)
 
 let reduce outcomes =
   let recovered = ref 0
@@ -222,10 +293,11 @@ type ci_report = {
   confidence : float;
   batches : int;
   exhausted : bool;
+  outcomes : outcome list;
 }
 
-let run_campaign_ci ?jobs ?config ?plan ?(stopping = default_stopping) ~golden
-    ~compiled faults =
+let run_campaign_ci ?jobs ?config ?plan ?(stopping = default_stopping)
+    ?(tel = Telemetry.null) ?sink_for ~golden ~compiled faults =
   if stopping.batch <= 0 then invalid_arg "Verifier: batch must be positive";
   if not (stopping.half_width > 0.0) then
     invalid_arg "Verifier: half_width must be positive";
@@ -236,6 +308,10 @@ let run_campaign_ci ?jobs ?config ?plan ?(stopping = default_stopping) ~golden
       | x :: tl -> go (n - 1) (x :: acc) tl
     in
     go n [] l
+  in
+  let run_indexed (i, fault) =
+    let tel = match sink_for with Some f -> f i | None -> Telemetry.null in
+    run_one ?config ?plan ~tel ~golden ~compiled fault
   in
   let interval outcomes_rev =
     let total = List.length outcomes_rev in
@@ -249,21 +325,47 @@ let run_campaign_ci ?jobs ?config ?plan ?(stopping = default_stopping) ~golden
     in
     (total, positives, low, high, (high -. low) /. 2.0)
   in
-  let rec go outcomes_rev batches remaining =
+  (* Wilson-CI trajectory: one counter sample per consumed batch, emitted
+     by this (sequential) driver after the deterministic fold — observable
+     in flight, byte-identical at any job count. *)
+  let emit_trajectory ~batches outcomes_rev =
+    if Telemetry.enabled tel then begin
+      let total, positives, low, high, half = interval outcomes_rev in
+      let recovered =
+        List.fold_left
+          (fun acc o -> match o with Recovered _ -> acc + 1 | _ -> acc)
+          0 outcomes_rev
+      in
+      Telemetry.counter tel ~ts:batches "wilson_trajectory"
+        [
+          ("batch", Telemetry.Int batches);
+          ("consumed", Telemetry.Int total);
+          ("sdc", Telemetry.Int positives);
+          ("recovered", Telemetry.Int recovered);
+          ("ci_low", Telemetry.Float low);
+          ("ci_high", Telemetry.Float high);
+          ("half_width", Telemetry.Float half);
+        ]
+    end
+  in
+  let rec go outcomes_rev consumed batches remaining =
     match remaining with
     | [] -> (outcomes_rev, batches, true)
     | _ ->
       let batch, rest = take stopping.batch remaining in
-      let results = Parallel.map_list ?jobs (run_one ?config ?plan ~golden ~compiled) batch in
+      let indexed = List.mapi (fun i f -> (consumed + i, f)) batch in
+      let results = Parallel.map_list ?jobs run_indexed indexed in
       let outcomes_rev = List.rev_append results outcomes_rev in
       let total, _, _, _, half = interval outcomes_rev in
+      emit_trajectory ~batches:(batches + 1) outcomes_rev;
       if total >= stopping.min_faults && half <= stopping.half_width then
         (outcomes_rev, batches + 1, false)
-      else go outcomes_rev (batches + 1) rest
+      else go outcomes_rev total (batches + 1) rest
   in
-  let outcomes_rev, batches, exhausted = go [] 0 faults in
+  let outcomes_rev, batches, exhausted = go [] 0 0 faults in
   let total, positives, low, high, half = interval outcomes_rev in
-  let report = reduce (List.rev outcomes_rev) in
+  let outcomes = List.rev outcomes_rev in
+  let report = reduce outcomes in
   {
     report;
     sdc_rate =
@@ -274,4 +376,5 @@ let run_campaign_ci ?jobs ?config ?plan ?(stopping = default_stopping) ~golden
     confidence = stopping.confidence;
     batches;
     exhausted;
+    outcomes;
   }

@@ -28,9 +28,19 @@ type outcome =
   | Crashed of { reason : string }
       (** Recovery failure or fuel exhaustion. *)
 
+val detection_name : Recovery.detection -> string
+(** ["sensor"] / ["parity"]. *)
+
+val class_name : outcome -> string
+(** The forensic class of an outcome: ["masked"] (recovered with no
+    detection — the strike was scheduled past program exit and never
+    landed), ["detected"] (recovered after at least one detection),
+    ["sdc"], or ["crashed"]. *)
+
 val run_one :
   ?config:Recovery.config ->
   ?plan:Snapshot.plan ->
+  ?tel:Turnpike_telemetry.sink ->
   golden:Interp.state ->
   compiled:Turnpike_compiler.Pass_pipeline.t ->
   Fault.t ->
@@ -42,7 +52,21 @@ val run_one :
     strike site instead of replaying from step 0 — same outcome, O(suffix)
     cost. Fuel exhaustion reports the recovery count and exhaustion step in
     the [Crashed] reason, distinguishing recovery livelock from a wedged
-    program. *)
+    program.
+
+    [tel] receives the fault's forensic lifecycle (see {!Recovery.run})
+    closed by one ["outcome"] instant carrying the {!class_name} and the
+    classification detail; forked and from-scratch replays emit
+    byte-identical streams. *)
+
+val verdict_to_json : verdict -> string
+(** [Match] is ["null"]; a mismatch is
+    [{"addr":A,"golden":G,"actual":V}]. *)
+
+val outcome_to_json : outcome -> string
+(** One machine-readable JSON object per outcome, keyed by
+    [{"class":...}] with per-class detail (detections, reexec overhead,
+    lowest-address mismatch, crash reason). *)
 
 type campaign_report = {
   total : int;
@@ -111,6 +135,9 @@ type ci_report = {
   batches : int;  (** batches consumed before stopping *)
   exhausted : bool;
       (** the fault list ran dry before the target width was reached *)
+  outcomes : outcome list;
+      (** per-fault outcomes for exactly the consumed prefix, in fault
+          order — the forensics layer attributes from these *)
 }
 
 val run_campaign_ci :
@@ -118,6 +145,8 @@ val run_campaign_ci :
   ?config:Recovery.config ->
   ?plan:Snapshot.plan ->
   ?stopping:stopping ->
+  ?tel:Turnpike_telemetry.sink ->
+  ?sink_for:(int -> Turnpike_telemetry.sink) ->
   golden:Interp.state ->
   compiled:Turnpike_compiler.Pass_pipeline.t ->
   Fault.t list ->
@@ -126,4 +155,12 @@ val run_campaign_ci :
     pool) until the Wilson interval's half-width reaches
     [stopping.half_width] with at least [stopping.min_faults] consumed, or
     the list is exhausted. Deterministic at any [?jobs].
+
+    [tel] receives one ["wilson_trajectory"] counter per consumed batch
+    (args: batch index, consumed faults, running SDC / recovered counts,
+    CI bounds and half-width), emitted by the sequential driver after the
+    deterministic fold — so long campaigns are observable in flight and
+    the trajectory is byte-identical at any job count. [sink_for i]
+    supplies the forensic sink for the fault at absolute index [i] in
+    [faults] (see {!run_one}).
     @raise Invalid_argument on non-positive [batch] or [half_width]. *)

@@ -112,6 +112,33 @@ let merge sinks =
     (fun (a : event) (b : event) -> compare (a.task, a.seq) (b.task, b.seq))
     all
 
+let total_dropped sinks = List.fold_left (fun acc s -> acc + dropped s) 0 sinks
+
+let merge_with_drops sinks = (merge sinks, total_dropped sinks)
+
+(* ------------------------------------------------------------------ *)
+(* String-keyed counting histogram with deterministic (sorted) readout;
+   the attribution layers above bin events into these. *)
+
+module Histogram = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let add t ?(by = 1) key =
+    Hashtbl.replace t key (by + Option.value (Hashtbl.find_opt t key) ~default:0)
+
+  let count t key = Option.value (Hashtbl.find_opt t key) ~default:0
+
+  let total t = Hashtbl.fold (fun _ n acc -> n + acc) t 0
+
+  (* Sorted by key, so readout never depends on hash order. *)
+  let to_list t =
+    List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) t [])
+
+  let merge_into ~into t = Hashtbl.iter (fun k n -> add into ~by:n k) t
+end
+
 (* ------------------------------------------------------------------ *)
 (* Wall-clock. The stdlib has no sub-second wall clock, so the source is
    pluggable: executables install [Unix.gettimeofday] at startup and the
@@ -213,8 +240,15 @@ module Export = struct
     Buffer.add_char b '}';
     Buffer.contents b
 
-  let jsonl events =
+  (* Overflowed sinks are never silent: a positive [dropped] total appends
+     a self-describing meta line so consumers can see the stream is
+     incomplete. [dropped = 0] leaves output byte-identical to before. *)
+  let jsonl ?(dropped = 0) events =
     String.concat "" (List.map (fun e -> event_to_json e ^ "\n") events)
+    ^
+    if dropped > 0 then
+      Printf.sprintf "{\"meta\":\"telemetry\",\"dropped\":%d}\n" dropped
+    else ""
 
   (* Chrome trace-event format (the JSON-object flavour with a
      "traceEvents" array), loadable in Perfetto / chrome://tracing. Each
@@ -244,7 +278,7 @@ module Export = struct
       (Option.value tid ~default:0)
       (escape name)
 
-  let chrome ?(process_names = []) ?(thread_names = []) events =
+  let chrome ?(process_names = []) ?(thread_names = []) ?(dropped = 0) events =
     let meta =
       List.map
         (fun (pid, name) -> metadata ~pid ~meta_name:"process_name" name)
@@ -255,7 +289,12 @@ module Export = struct
           thread_names
     in
     let body = meta @ List.map chrome_event events in
-    "{\"traceEvents\":[\n" ^ String.concat ",\n" body ^ "\n]}\n"
+    let other =
+      if dropped > 0 then
+        Printf.sprintf ",\"otherData\":{\"droppedEvents\":%d}" dropped
+      else ""
+    in
+    "{\"traceEvents\":[\n" ^ String.concat ",\n" body ^ "\n]" ^ other ^ "}\n"
 
   let to_file path contents =
     let oc = open_out path in

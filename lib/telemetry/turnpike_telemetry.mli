@@ -102,6 +102,37 @@ val merge : sink list -> event list
 (** All events of all sinks, sorted by (task, seq): the deterministic
     export order. *)
 
+val total_dropped : sink list -> int
+(** Sum of {!dropped} across [sinks] — carried alongside {!merge} so
+    bounded-capacity overflow is never silent. *)
+
+val merge_with_drops : sink list -> event list * int
+(** {!merge} paired with {!total_dropped} over the same sinks. *)
+
+(** String-keyed counting histogram with deterministic (key-sorted)
+    readout; attribution layers bin events into these. Not thread-safe —
+    fill from one domain or merge per-task histograms afterwards. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> ?by:int -> string -> unit
+  (** Add [by] (default 1) to the bin for [key]. *)
+
+  val count : t -> string -> int
+  (** Current count for [key] (0 when absent). *)
+
+  val total : t -> int
+  (** Sum over all bins. *)
+
+  val to_list : t -> (string * int) list
+  (** All (key, count) bins sorted by key — never hash order. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Fold every bin of the second histogram into [into]. *)
+end
+
 (** Wall-clock source for {!span_start}/{!with_span}. The stdlib has no
     sub-second wall clock, so executables install [Unix.gettimeofday] at
     startup; the default is [Sys.time] (CPU seconds), which keeps this
@@ -130,22 +161,32 @@ val with_span : sink -> ?tid:int -> ?cat:string -> string -> (unit -> 'a) -> 'a
     the span (with an ["error"] arg) and is re-raised. *)
 
 module Export : sig
+  val escape : string -> string
+  (** JSON string-body escaping (quotes, backslashes, control chars), as
+      used by every exporter here — shared so layers above emit JSON with
+      identical byte-level conventions. *)
+
   val event_to_json : event -> string
   (** One self-describing JSON object (includes task/seq). *)
 
-  val jsonl : event list -> string
-  (** One event per line, {!event_to_json} format. *)
+  val jsonl : ?dropped:int -> event list -> string
+  (** One event per line, {!event_to_json} format. A positive [dropped]
+      total (from {!total_dropped}) appends a final
+      [{"meta":"telemetry","dropped":N}] line so capacity overflow is
+      never silent; [dropped = 0] (the default) adds nothing. *)
 
   val chrome :
     ?process_names:(int * string) list ->
     ?thread_names:((int * int) * string) list ->
+    ?dropped:int ->
     event list ->
     string
   (** Chrome trace-event JSON ({"traceEvents":[…]}), loadable in
       Perfetto / chrome://tracing. Each task renders as a process
       (pid = task, labelled via [process_names]); [tid] separates tracks,
-      labelled via [thread_names] keyed by (task, tid). Equal event lists
-      serialize to equal bytes. *)
+      labelled via [thread_names] keyed by (task, tid). A positive
+      [dropped] total surfaces as ["otherData":{"droppedEvents":N}].
+      Equal event lists serialize to equal bytes. *)
 
   val to_file : string -> string -> unit
   (** [to_file path contents]. *)

@@ -8,6 +8,7 @@ let () =
       ("analysis", Test_analysis.tests);
       ("recovery-codegen", Test_recovery_codegen.tests);
       ("resilience", Test_resilience.tests);
+      ("forensics", Test_forensics.tests);
       ("workloads", Test_workloads.tests);
       ("core", Test_core.tests);
       ("sweep", Test_sweep.tests);

@@ -388,6 +388,39 @@ let test_snapshot_fork_byte_identical () =
   check "campaign report fork = scratch (jobs 1)" true (scratch_1 = forked_1);
   check "campaign report identical at jobs 1 and 4" true (forked_1 = forked_4)
 
+let test_snapshot_fork_forensic_parity () =
+  (* The forensic lifecycle must not observe the replay strategy: a fault
+     forked from a pilot snapshot emits exactly the same event bytes as
+     the same fault replayed from step 0. (No forensic event fires before
+     the strike, and the fork point always precedes it, so the streams
+     are identical in full, not merely as suffixes.) *)
+  let module Telemetry = Turnpike_telemetry in
+  let c = compiled_of "libquan" in
+  let compiled = c.Turnpike.Run.compiled in
+  let golden = c.Turnpike.Run.final in
+  let faults = Injector.campaign ~seed:9 ~count:24 c.Turnpike.Run.trace in
+  let plan = Snapshot.record ~every:256 compiled in
+  let landed = ref 0 in
+  List.iteri
+    (fun i fault ->
+      let s_sink = Telemetry.create ~task:i () in
+      let f_sink = Telemetry.create ~task:i () in
+      let scratch = Verifier.run_one ~tel:s_sink ~golden ~compiled fault in
+      let forked = Verifier.run_one ~tel:f_sink ~plan ~golden ~compiled fault in
+      check (Printf.sprintf "fault %d outcome fork = scratch" i) true
+        (scratch = forked);
+      Alcotest.(check string)
+        (Printf.sprintf "fault %d forensic bytes fork = scratch" i)
+        (Telemetry.Export.jsonl (Telemetry.events s_sink))
+        (Telemetry.Export.jsonl (Telemetry.events f_sink));
+      if
+        List.exists
+          (fun (e : Telemetry.event) -> e.Telemetry.name = "strike")
+          (Telemetry.events s_sink)
+      then incr landed)
+    faults;
+  check "campaign exercises landed strikes" true (!landed > 0)
+
 let test_snapshot_fork_byte_identical_unsound_config () =
   (* The differential must also hold when outcomes are NOT all recoveries:
      the Fig-16 unsafe-release config yields SDCs and recovery failures,
@@ -503,6 +536,7 @@ let tests =
       `Quick,
       test_fuel_exhaustion_reason_has_triage_fields );
     ("snapshot fork byte-identical", `Slow, test_snapshot_fork_byte_identical);
+    ("snapshot fork forensic parity", `Slow, test_snapshot_fork_forensic_parity);
     ( "snapshot fork byte-identical (unsound config)",
       `Slow,
       test_snapshot_fork_byte_identical_unsound_config );

@@ -214,6 +214,54 @@ let test_with_span_exception_safe () =
   check "span carries an error arg" true
     (List.mem_assoc "error" e.Telemetry.args)
 
+let test_dropped_surfaced_in_exports () =
+  let s = Telemetry.create ~task:0 ~capacity:2 () in
+  for i = 0 to 4 do
+    Telemetry.instant s ~ts:i "e"
+  done;
+  let events, dropped = Telemetry.merge_with_drops [ s ] in
+  check_int "merge_with_drops counts overflow" 3 dropped;
+  check_int "total_dropped agrees" 3 (Telemetry.total_dropped [ s ]);
+  let lines =
+    String.split_on_char '\n' (Telemetry.Export.jsonl ~dropped events)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "meta line appended" (List.length events + 1) (List.length lines);
+  let meta = Json.parse (List.nth lines (List.length lines - 1)) in
+  check "jsonl meta line names telemetry" true
+    (Json.str_member "meta" meta = Some "telemetry");
+  check "jsonl meta line carries the count" true
+    (Json.num_member "dropped" meta = Some 3.);
+  let chrome = Json.parse (Telemetry.Export.chrome ~dropped events) in
+  check "chrome otherData carries droppedEvents" true
+    (match Json.member "otherData" chrome with
+    | Some o -> Json.num_member "droppedEvents" o = Some 3.
+    | None -> false);
+  (* Zero drops must leave both exports byte-identical to the default. *)
+  check_str "zero drops leave jsonl unchanged"
+    (Telemetry.Export.jsonl events)
+    (Telemetry.Export.jsonl ~dropped:0 events);
+  check_str "zero drops leave chrome unchanged"
+    (Telemetry.Export.chrome events)
+    (Telemetry.Export.chrome ~dropped:0 events)
+
+let test_histogram () =
+  let h = Telemetry.Histogram.create () in
+  Telemetry.Histogram.add h "b";
+  Telemetry.Histogram.add h ~by:2 "a";
+  Telemetry.Histogram.add h "b";
+  check_int "accumulated count" 2 (Telemetry.Histogram.count h "b");
+  check_int "absent key counts zero" 0 (Telemetry.Histogram.count h "zz");
+  check_int "total over bins" 4 (Telemetry.Histogram.total h);
+  check "readout is key-sorted" true
+    (Telemetry.Histogram.to_list h = [ ("a", 2); ("b", 2) ]);
+  let h2 = Telemetry.Histogram.create () in
+  Telemetry.Histogram.add h2 ~by:3 "c";
+  Telemetry.Histogram.add h2 "a";
+  Telemetry.Histogram.merge_into ~into:h h2;
+  check "merge folds every bin" true
+    (Telemetry.Histogram.to_list h = [ ("a", 3); ("b", 2); ("c", 3) ])
+
 (* ------------------------------------------------------------------ *)
 (* Timeline capture: determinism and content. *)
 
@@ -372,6 +420,8 @@ let tests =
     ("sink capacity and seq", `Quick, test_sink_capacity_and_seq);
     ("merge orders by (task, seq)", `Quick, test_merge_orders_by_task_seq);
     ("with_span is exception-safe", `Quick, test_with_span_exception_safe);
+    ("dropped counts surface in exports", `Quick, test_dropped_surfaced_in_exports);
+    ("histogram semantics", `Quick, test_histogram);
     ("timeline byte-identical across --jobs", `Quick, test_timeline_jobs_invariant);
     ("timeline contains the paper's events", `Quick, test_timeline_contains_paper_events);
     ("chrome export round-trips", `Quick, test_chrome_roundtrip);

@@ -13,6 +13,10 @@
 #                             is deterministic at any job count, that the
 #                             incremental per-pass lint report is
 #                             byte-identical to the forced full re-check,
+#                             that forensic lifecycle exports are
+#                             byte-identical at any job count and across
+#                             fork vs scratch replay (and that the report
+#                             subcommand convicts a planted compiler bug),
 #                             and (advisorily) that the odoc docs build.
 #
 # Exits non-zero on the first failure.
@@ -64,6 +68,35 @@ dune exec --no-build bin/turnpike_cli.exe -- inject -b libquan --scale 2 \
   -n 200 --seed 3 --ci 0.05 --batch 16 --jobs 4 > "$tmp/inject_ci_j4.txt"
 diff "$tmp/inject_ci_j1.txt" "$tmp/inject_ci_j4.txt"
 grep -q 'confidence' "$tmp/inject_ci_j1.txt"
+
+echo "== forensics smoke: lifecycle export at --jobs 1 vs --jobs 4 =="
+# Per-fault lifecycle traces (strike, detect, rollback, reexec,
+# reconverge, outcome) must export byte-identically at any job count.
+dune exec --no-build bin/turnpike_cli.exe -- inject -b libquan --scale 2 \
+  -n 16 --seed 3 --jobs 1 --forensics --jsonl "$tmp/forensics_j1.jsonl" \
+  > "$tmp/forensics_j1.txt"
+dune exec --no-build bin/turnpike_cli.exe -- inject -b libquan --scale 2 \
+  -n 16 --seed 3 --jobs 4 --forensics --jsonl "$tmp/forensics_j4.jsonl" \
+  > "$tmp/forensics_j4.txt"
+diff "$tmp/forensics_j1.jsonl" "$tmp/forensics_j4.jsonl"
+diff "$tmp/forensics_j1.txt" "$tmp/forensics_j4.txt"
+grep -q '"name":"strike"' "$tmp/forensics_j1.jsonl"
+
+echo "== forensics smoke: fork vs scratch lifecycle parity =="
+# Snapshot-forked and from-scratch replays must trace identical
+# lifecycles, byte for byte.
+dune exec --no-build bin/turnpike_cli.exe -- inject -b libquan --scale 2 \
+  -n 16 --seed 3 --jobs 2 --scratch --jsonl "$tmp/forensics_scratch.jsonl" \
+  > /dev/null
+diff "$tmp/forensics_j1.jsonl" "$tmp/forensics_scratch.jsonl"
+
+echo "== forensics smoke: report convicts the drop-ckpt mutant =="
+# The vulnerability ranking must localize a planted compiler bug: the
+# top-ranked region is one that lost its live-in checkpoint (the command
+# exits non-zero otherwise).
+dune exec --no-build bin/turnpike_cli.exe -- report -b mcf --scale 2 -n 40 \
+  --seed 11 --jobs 2 --mutant drop-ckpt > "$tmp/report_mutant.txt"
+grep -q 'CONVICTED' "$tmp/report_mutant.txt"
 
 echo "== telemetry smoke: timeline export at --jobs 1 vs --jobs 4 =="
 dune exec --no-build bin/turnpike_cli.exe -- trace -b libquan --scale 1 \
