@@ -452,7 +452,18 @@ let report_cmd =
       & info [ "csv" ] ~docv:"DIR"
           ~doc:"Write the per-fault log and attribution tables under $(docv).")
   in
-  let run () name scheme scale faults seed top mutant csv_dir json =
+  let compare_static_arg =
+    Arg.(
+      value & flag
+      & info [ "compare-static" ]
+          ~doc:
+            "Also run the static ACE/AVF vulnerability analysis on the same \
+             binary (the mutant, when one is planted) and score how well its \
+             ranked tables predict the campaign's: Spearman rank correlation \
+             and top-K overlap per axis. No extra faults are injected.")
+  in
+  let run () name scheme scale faults seed top mutant csv_dir compare_static
+      json =
     match find_bench name with
     | Error e ->
       prerr_endline e;
@@ -491,8 +502,44 @@ let report_cmd =
       in
       let records, _rep = F.campaign ~golden ~compiled campaign in
       let summary = F.summarize ~rung records in
-      if json then
-        print_string (F.summary_to_json summary)
+      (* The static estimate reads the same (possibly mutated) binary: the
+         mutant wiped the claims and dropped the checkpoints in place, so
+         the analysis sees exactly what the campaign executed. *)
+      let module An = Turnpike_analysis in
+      let static_v =
+        if not compare_static then None
+        else
+          Some
+            (An.Vuln.compute
+               (An.Context.with_machine ~wcdl:10 (PP.analysis_context compiled)))
+      in
+      let keys_of rows = List.map (fun (r : F.row) -> r.F.key) rows in
+      let skeys_of rows = List.map (fun (r : An.Vuln.row) -> r.An.Vuln.key) rows in
+      let agreements (v : An.Vuln.t) =
+        [
+          ( "sites", An.Rank.agreement ~k:top (skeys_of v.An.Vuln.by_site)
+              (keys_of summary.F.by_site) );
+          ( "registers", An.Rank.agreement ~k:top
+              (skeys_of v.An.Vuln.by_register)
+              (keys_of summary.F.by_register) );
+          ( "regions", An.Rank.agreement ~k:5 (skeys_of v.An.Vuln.by_region)
+              (keys_of summary.F.by_region) );
+        ]
+      in
+      if json then begin
+        match static_v with
+        | None -> print_string (F.summary_to_json summary)
+        | Some v ->
+          Printf.printf "{\"dynamic\":%s,\"static\":%s,\"agreement\":{%s}}"
+            (F.summary_to_json summary) (An.Vuln.to_json v)
+            (String.concat ","
+               (List.map
+                  (fun (axis, (rho, (hits, denom))) ->
+                    Printf.sprintf
+                      "\"%s\":{\"spearman\":%.6f,\"top_k_hits\":%d,\"top_k\":%d}"
+                      axis rho hits denom)
+                  (agreements v)))
+      end
       else begin
         R.section
           (Printf.sprintf "forensic report: %s under %s (%d faults, seed %d)"
@@ -531,6 +578,45 @@ let report_cmd =
         table "most vulnerable sites" "site (block:index)" summary.F.by_site;
         table "most vulnerable registers" "register" summary.F.by_register;
         table "most vulnerable regions" "region" summary.F.by_region;
+        (match static_v with
+        | None -> ()
+        | Some v ->
+          let stable title key_title rows =
+            R.subsection title;
+            let cols =
+              [ { R.title = key_title; width = 24 };
+                { R.title = "exposure"; width = 10 };
+                { R.title = "score"; width = 10 };
+              ]
+            in
+            R.print_header cols;
+            List.iteri
+              (fun i (row : An.Vuln.row) ->
+                if i < top then
+                  R.print_row cols
+                    [ row.An.Vuln.key;
+                      Printf.sprintf "%.2f" row.An.Vuln.exposure;
+                      Printf.sprintf "%.4f" row.An.Vuln.score;
+                    ])
+              rows
+          in
+          Printf.printf
+            "\nstatic estimate (no faults): predicted AVF %.6f, %d coverage \
+             gap(s), wcdl %d\n"
+            v.An.Vuln.predicted_avf
+            (List.length v.An.Vuln.gaps)
+            v.An.Vuln.wcdl;
+          stable "most vulnerable sites (static)" "site (block:index)"
+            v.An.Vuln.by_site;
+          stable "most vulnerable registers (static)" "register"
+            v.An.Vuln.by_register;
+          stable "most vulnerable regions (static)" "region" v.An.Vuln.by_region;
+          R.subsection "static-vs-dynamic rank agreement";
+          List.iter
+            (fun (axis, (rho, (hits, denom))) ->
+              Printf.printf "  %-10s spearman %+.3f   top-%d overlap %d/%d\n"
+                axis rho denom hits denom)
+            (agreements v));
         match victim with
         | None -> ()
         | Some (v, affected) ->
@@ -558,7 +644,8 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ jobs_arg $ bench_arg $ scheme_arg $ scale_arg $ faults_arg
-      $ seed_arg $ top_arg $ mutant_arg $ csv_arg $ json_arg)
+      $ seed_arg $ top_arg $ mutant_arg $ csv_arg $ compare_static_arg
+      $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -613,7 +700,28 @@ let lint_cmd =
              to the incremental one; this is the oracle it is diffed \
              against.")
   in
-  let run () bench scheme per_pass explain full_recheck sb scale json =
+  let vuln_arg =
+    Arg.(
+      value & flag
+      & info [ "vuln" ]
+          ~doc:
+            "Instead of diagnostics, report the static ACE/AVF vulnerability \
+             estimate per cell: ranked region/register/site tables and the \
+             predicted AVF, computed purely from the IR (no faults \
+             injected). --per-pass/--explain/--full-recheck do not apply.")
+  in
+  let vcsv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:
+            "With --vuln: write vuln_by_site.csv, vuln_by_register.csv and \
+             vuln_by_region.csv under $(docv) (one score column per scheme; \
+             keys a scheme never ranks render as nan).")
+  in
+  let run () bench scheme per_pass explain full_recheck vuln vcsv sb scale
+      json =
     let benches =
       match bench with
       | None -> Ok (Suite.all ())
@@ -632,18 +740,35 @@ let lint_cmd =
       prerr_endline e;
       exit 1
     | Ok benches, Ok scheme_list ->
-      let report =
-        Turnpike.Lint.run ~per_pass ~full_recheck ~sb_size:sb ~scale
-          ~schemes:scheme_list benches
-      in
-      if json then print_string (Turnpike.Lint.to_json report)
-      else print_string (Turnpike.Lint.to_text ~explain report);
-      if report.Turnpike.Lint.errors > 0 then exit 1
+      if vuln then begin
+        let report =
+          Turnpike.Lint.run_vuln ~sb_size:sb ~scale ~schemes:scheme_list
+            benches
+        in
+        if json then print_string (Turnpike.Lint.vuln_to_json report)
+        else print_string (Turnpike.Lint.vuln_to_text report);
+        match vcsv with
+        | None -> ()
+        | Some dir ->
+          (try Unix.mkdir dir 0o755 with _ -> ());
+          Turnpike.Csv_export.vuln ~dir report;
+          if not json then Printf.printf "[vuln csv written under %s]\n" dir
+      end
+      else begin
+        let report =
+          Turnpike.Lint.run ~per_pass ~full_recheck ~sb_size:sb ~scale
+            ~schemes:scheme_list benches
+        in
+        if json then print_string (Turnpike.Lint.to_json report)
+        else print_string (Turnpike.Lint.to_text ~explain report);
+        if report.Turnpike.Lint.errors > 0 then exit 1
+      end
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const run $ jobs_arg $ bench_opt_arg $ scheme_opt_arg $ per_pass_arg
-      $ explain_arg $ full_recheck_arg $ sb_arg $ scale_arg $ json_arg)
+      $ explain_arg $ full_recheck_arg $ vuln_arg $ vcsv_arg $ sb_arg
+      $ scale_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -732,7 +857,17 @@ let explore_cmd =
   let forensics_arg =
     Arg.(value & flag & info [ "forensics" ] ~doc:CA.doc_forensics)
   in
-  let run () grid scale seed ci faults csv_dir forensics =
+  let static_proxy_arg =
+    Arg.(
+      value & flag
+      & info [ "static-proxy" ]
+          ~doc:
+            "Prepend a zero-cost rung that halves the grid on the static \
+             ACE/AVF estimate (predicted AVF + weighted code growth) before \
+             any simulation or campaign. The frontier is still re-validated \
+             at full scale.")
+  in
+  let run () grid scale seed ci faults csv_dir forensics static_proxy =
     match DP.spec_of_string grid with
     | Error msg ->
       prerr_endline msg;
@@ -753,7 +888,7 @@ let explore_cmd =
           in
           List.rev (last :: rev)
       in
-      let report = X.run ~budgets ~seed ~params ~forensics ~spec () in
+      let report = X.run ~budgets ~seed ~params ~forensics ~static_proxy ~spec () in
       Printf.printf "grid %s: %d points over {%s}, seed %d\n" grid
         report.X.grid_size
         (String.concat ", " report.X.benches)
@@ -805,7 +940,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ jobs_arg $ grid_arg $ scale_arg $ seed_arg $ ci_arg
-      $ faults_arg $ csv_arg $ forensics_arg)
+      $ faults_arg $ csv_arg $ forensics_arg $ static_proxy_arg)
 
 let () =
   let doc = "Turnpike: lightweight soft error resilience for in-order cores (MICRO'21 reproduction)" in

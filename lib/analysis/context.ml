@@ -32,6 +32,7 @@ type t = {
   colors : int;
   rbb_size : int option;
   clq_entries : int option;
+  wcdl : int option;
   recovery_exprs : (Reg.t * Recovery_expr.t) list;
   claims : claims option;
   iv_merges : iv_merge list;
@@ -43,7 +44,8 @@ let fresh_cache () = { cfg = None; liveness = None; dominance = None; regions = 
 
 let make ?(entry_defined = Reg.Set.empty) ?(nregs = 32) ?(allow_virtual = false)
     ?(resilient = false) ?(sb_size = 0) ?(colors = Layout.colors) ?rbb_size
-    ?clq_entries ?(recovery_exprs = []) ?claims ?(iv_merges = []) ?pass func =
+    ?clq_entries ?wcdl ?(recovery_exprs = []) ?claims ?(iv_merges = []) ?pass
+    func =
   {
     func;
     entry_defined;
@@ -54,6 +56,7 @@ let make ?(entry_defined = Reg.Set.empty) ?(nregs = 32) ?(allow_virtual = false)
     colors;
     rbb_size;
     clq_entries;
+    wcdl;
     recovery_exprs;
     claims;
     iv_merges;
@@ -92,11 +95,12 @@ let advance ~dirty ?entry_defined ?allow_virtual ?recovery_exprs ?claims
 
 let with_pass t pass = { t with pass }
 
-let with_machine ?rbb_size ?clq_entries t =
+let with_machine ?rbb_size ?clq_entries ?wcdl t =
   {
     t with
     rbb_size = (match rbb_size with Some _ -> rbb_size | None -> t.rbb_size);
     clq_entries = (match clq_entries with Some _ -> clq_entries | None -> t.clq_entries);
+    wcdl = (match wcdl with Some _ -> wcdl | None -> t.wcdl);
   }
 
 let cfg t =

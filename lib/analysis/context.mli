@@ -47,6 +47,10 @@ type t = {
   colors : int;  (** checkpoint colors per register *)
   rbb_size : int option;  (** machine RBB entries, when known *)
   clq_entries : int option;  (** compact-CLQ entries; [None] = ideal/unknown *)
+  wcdl : int option;
+      (** worst-case detection latency in cycles (parity ≈ pipeline
+          depth, sensors = propagation time); consumed by the static
+          vulnerability estimate ({!Vuln}) *)
   recovery_exprs : (Reg.t * Recovery_expr.t) list;
       (** reconstruction expressions for pruned checkpoints, sorted by
           register *)
@@ -67,6 +71,7 @@ val make :
   ?colors:int ->
   ?rbb_size:int ->
   ?clq_entries:int ->
+  ?wcdl:int ->
   ?recovery_exprs:(Reg.t * Recovery_expr.t) list ->
   ?claims:claims ->
   ?iv_merges:iv_merge list ->
@@ -98,7 +103,7 @@ val advance :
 val with_pass : t -> string option -> t
 (** Same context (cache shared) with different pass provenance. *)
 
-val with_machine : ?rbb_size:int -> ?clq_entries:int -> t -> t
+val with_machine : ?rbb_size:int -> ?clq_entries:int -> ?wcdl:int -> t -> t
 (** Enrich a context with machine parameters (keeps the analysis cache). *)
 
 (** {1 Derived analyses}

@@ -1,0 +1,44 @@
+(** Shared ranking order and rank-correlation statistics.
+
+    The static vulnerability tables ({!Vuln}) and the dynamic forensics
+    tables ([Turnpike_resilience.Forensics]) must break score ties the
+    same way, or [report --compare-static] diffs would depend on
+    incidental sort stability. {!key_compare} is that single shared
+    tie-break; the correlation helpers score how well one ranking
+    predicts another. *)
+
+val key_compare : string -> string -> int
+(** Natural order on table keys: alternating runs of digits and
+    non-digits, with digit runs compared numerically (so ["b2:9"] sorts
+    before ["b2:10"], ["r2"] before ["r10"], ["3"] before ["21"]) and
+    everything else byte-wise. Total order: keys that differ only in
+    leading zeros fall back to plain string comparison. This is the one
+    tie-break shared by the static and dynamic vulnerability tables
+    (site order, then register id). *)
+
+val ranks : float array -> float array
+(** Fractional ranks (1-based) of the values, averaging ties: the rank
+    of each member of a tied run is the mean of the positions the run
+    occupies. [ranks [|10.;20.;20.;30.|] = [|1.;2.5;2.5;4.|]]. *)
+
+val spearman : float array -> float array -> float
+(** Spearman's rank-correlation coefficient: the Pearson correlation of
+    the tie-averaged {!ranks} of the two vectors. Conventions for
+    degenerate inputs: both vectors constant (or empty) → [1.0]; exactly
+    one constant → [0.0].
+    @raise Invalid_argument when the lengths differ. *)
+
+val top_k_overlap : k:int -> string list -> string list -> int * int
+(** [top_k_overlap ~k a b] is [(hits, denom)] where [denom] is [k]
+    clamped to the shorter list and [hits] counts keys present in the
+    first [denom] elements of both rankings. Empty input (or [k <= 0])
+    yields [(0, 0)]. *)
+
+val agreement : k:int -> string list -> string list -> float * (int * int)
+(** Score how well one ranked key list predicts another. Both rankings
+    are first restricted to their common keys (preserving each list's
+    order); the result pairs the {!spearman} correlation of the
+    positions with the {!top_k_overlap} of the restricted rankings.
+    Keys ranked by only one side (e.g. a region the campaign never
+    sampled, or the dynamic out-of-region bin ["-1"]) therefore do not
+    count against the correlation. *)

@@ -310,6 +310,34 @@ let compute_notcov ctx =
   Array.iteri (fun i l -> Hashtbl.replace in_sets l in_arr.(i)) rpo_arr;
   (max_id, in_sets)
 
+(* The coverage gaps alone (no expression validation): region live-ins
+   that are stale on some incoming path and carry no recovery
+   expression. This is the subset of [run]'s errors the static
+   vulnerability estimate ({!Vuln}) charges as unbounded exposure. *)
+let uncovered_live_ins (ctx : Context.t) =
+  let rv = Context.regions ctx in
+  if not rv.Regions_view.has_regions then []
+  else begin
+    let live = Context.liveness ctx in
+    let notcov_max, notcov_in = compute_notcov ctx in
+    let notcov_empty = Bitset.create ~max_id:notcov_max in
+    let expr_of r = List.assoc_opt r ctx.Context.recovery_exprs in
+    List.concat_map
+      (fun { Regions_view.id; head; _ } ->
+        let notcov =
+          Option.value (Hashtbl.find_opt notcov_in head) ~default:notcov_empty
+        in
+        let needed = Reg.Set.remove Reg.zero (Liveness.live_in live head) in
+        List.rev
+          (Reg.Set.fold
+             (fun r acc ->
+               if Bitset.mem notcov r && expr_of r = None then
+                 (id, head, r) :: acc
+               else acc)
+             needed []))
+      rv.Regions_view.regions
+  end
+
 let run (ctx : Context.t) =
   let func = ctx.Context.func in
   let fname = func.Func.name in

@@ -5,6 +5,17 @@
 val name : string
 (** ["recoverability"]. *)
 
+val uncovered_live_ins :
+  Context.t -> (int * string * Turnpike_ir.Reg.t) list
+(** Coverage gaps, as data: [(region id, head label, register)] for
+    every register live into a region head whose checkpoint slot is
+    stale on some incoming path and that carries no recovery
+    expression. Exactly the sites [run] reports as
+    ["no checkpoint covers it…"] errors; the static vulnerability
+    estimate ({!Vuln}) charges each gap as unbounded exposure.
+    Region order, then register order; empty when the function has no
+    regions. *)
+
 val run : Context.t -> Diag.t list
 (** Prove, per region head, that every live-in register is either covered
     (its checkpoint slot holds the current value on all incoming paths —

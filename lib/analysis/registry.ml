@@ -87,6 +87,23 @@ let whole_checks =
       applies = (fun ctx -> ctx.Context.resilient && has_regions ctx);
       run = Capacity.run;
     };
+    {
+      name = Vuln.name;
+      doc = "static ACE/AVF vulnerability windows (def-to-last-use exposure)";
+      reads =
+        facets
+          [
+            Facet.Cfg_shape;
+            Facet.Instrs;
+            Facet.Instr_order;
+            Facet.Boundaries;
+            Facet.Claims;
+            Facet.Recovery_exprs;
+            Facet.Machine_params;
+          ];
+      applies = (fun ctx -> ctx.Context.resilient && has_regions ctx);
+      run = Vuln.check;
+    };
   ]
 
 let pair_checks =

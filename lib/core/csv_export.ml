@@ -187,6 +187,41 @@ let forensics_table ~path table =
          ])
        table)
 
+(* ------------------------------------------------------------------ *)
+(* Static vulnerability tables (lint --vuln --csv): one file per axis,
+   one column per scheme. Schemes region programs differently, so a key
+   present under one scheme may be absent under another; [columns_of]'s
+   missing-cell tolerance renders those "nan" exactly as in the
+   ladder/wcdl sweeps. *)
+
+let vuln_table ~path (rows : Lint.vuln_csv_row list) =
+  if rows = [] then ()
+  else
+    let schemes = columns_of rows (fun r -> List.map fst r.Lint.vr_by_scheme) in
+    write ~path
+      ~header:([ "benchmark"; "key" ] @ schemes)
+      (List.map
+         (fun (r : Lint.vuln_csv_row) ->
+           r.Lint.vr_benchmark :: r.Lint.vr_key
+           :: List.map
+                (fun s ->
+                  match List.assoc_opt s r.Lint.vr_by_scheme with
+                  | Some score -> f score
+                  | None -> "nan")
+                schemes)
+         rows)
+
+let vuln ~dir (report : Lint.vuln_report) =
+  vuln_table
+    ~path:(Filename.concat dir "vuln_by_site.csv")
+    (Lint.vuln_csv_rows ~axis:`Site report);
+  vuln_table
+    ~path:(Filename.concat dir "vuln_by_register.csv")
+    (Lint.vuln_csv_rows ~axis:`Register report);
+  vuln_table
+    ~path:(Filename.concat dir "vuln_by_region.csv")
+    (Lint.vuln_csv_rows ~axis:`Region report)
+
 let forensics ~dir records (s : Forensics.summary) =
   forensics_records ~path:(Filename.concat dir "forensics_faults.csv") records;
   forensics_table ~path:(Filename.concat dir "forensics_by_site.csv")

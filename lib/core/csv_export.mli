@@ -44,3 +44,15 @@ val forensics :
 (** The full forensic artifact set under [dir]: [forensics_faults.csv]
     plus the three attribution tables. Byte-identical at any [--jobs]
     count and across fork vs scratch replay. *)
+
+val vuln_table : path:string -> Lint.vuln_csv_row list -> unit
+(** One static vulnerability table axis: a [benchmark,key] row per
+    ranked key with one score column per scheme. Reuses the sweep
+    writers' missing-column tolerance ([columns_of]): a key a scheme
+    never ranks (regions differ across rungs) renders as "nan" rather
+    than losing the file. No-op on empty input. *)
+
+val vuln : dir:string -> Lint.vuln_report -> unit
+(** The full static artifact set under [dir]: [vuln_by_site.csv],
+    [vuln_by_register.csv], [vuln_by_region.csv]. Deterministic at any
+    [--jobs] count. *)

@@ -18,6 +18,8 @@ module Verifier = Turnpike_resilience.Verifier
 module Snapshot = Turnpike_resilience.Snapshot
 module Forensics = Turnpike_resilience.Forensics
 module Trace = Turnpike_ir.Trace
+module Pass_pipeline = Turnpike_compiler.Pass_pipeline
+module Analysis = Turnpike_analysis
 
 type objectives = {
   overhead : float;
@@ -291,6 +293,90 @@ let score ~benches ~params ~budget ~seed p =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* Static rung 0: the zero-campaign proxy. Points are scored by the
+   static ACE/AVF analysis alone — compile the rung, no trace, no
+   machine simulation, no fault — so a grid can be halved before the
+   first simulated cycle. The static analysis observes only the binary
+   and the detection latency, so points sharing (rung, SB depth, WCDL)
+   share one evaluation, exactly as campaigns share keys. Like the
+   campaign, the proxy is blind to the core's timing model; the
+   simulated rungs that follow re-separate those points. *)
+
+type static_key = { sk_rung : Scheme.t; sk_sb : int; sk_wcdl : int }
+
+let static_key (p : Design_point.t) =
+  {
+    sk_rung = p.Design_point.rung;
+    sk_sb = p.Design_point.sb_entries;
+    sk_wcdl = Design_point.wcdl p;
+  }
+
+(* (static overhead proxy, predicted AVF) of one key: loop-weighted code
+   growth against the unprotected baseline (geomean over benches) and
+   the mean predicted AVF of the static vulnerability tables. *)
+let static_score_key ~benches ~scale k =
+  let per_bench =
+    List.map
+      (fun (b : Suite.entry) ->
+        let compiled =
+          Pass_pipeline.compile
+            ~opts:(Scheme.compile_opts k.sk_rung ~sb_size:k.sk_sb)
+            (b.Suite.build ~scale)
+        in
+        let base =
+          Pass_pipeline.compile
+            ~opts:(Scheme.compile_opts Scheme.baseline ~sb_size:k.sk_sb)
+            (b.Suite.build ~scale)
+        in
+        let ctx =
+          Analysis.Context.with_machine ~wcdl:k.sk_wcdl
+            (Pass_pipeline.analysis_context compiled)
+        in
+        let v = Analysis.Vuln.compute ctx in
+        let ws = Analysis.Vuln.weighted_size ctx in
+        let wsb =
+          Analysis.Vuln.weighted_size (Pass_pipeline.analysis_context base)
+        in
+        ( (if wsb > 0.0 then ws /. wsb else 1.0),
+          v.Analysis.Vuln.predicted_avf ))
+      benches
+  in
+  ( Report.geomean (List.map fst per_bench),
+    Report.arith_mean (List.map snd per_bench) )
+
+(* Score every point statically (one evaluation per distinct key, fanned
+   over the pool in key order). Objectives mirror the simulated ones
+   axis-for-axis so [promote] applies unchanged: overhead <- weighted
+   code growth, sdc_rate <- predicted AVF, area is exact (it never
+   needed simulation), energy is unknowable statically and scored 0 for
+   every point (a tie contributes nothing to dominance). *)
+let static_score_batch ~benches ~scale points =
+  let keys =
+    List.fold_left
+      (fun acc p ->
+        let k = static_key p in
+        if List.mem k acc then acc else k :: acc)
+      [] points
+    |> List.rev
+  in
+  let scores =
+    Parallel.map_list (fun k -> (k, static_score_key ~benches ~scale k)) keys
+  in
+  List.map
+    (fun p ->
+      let overhead, avf = List.assoc (static_key p) scores in
+      ( p,
+        {
+          overhead;
+          area_um2 = area_um2 p;
+          energy_pj_per_kinstr = 0.0;
+          sdc_rate = avf;
+          faults = 0;
+        },
+        None ))
+    points
+
+(* ------------------------------------------------------------------ *)
 (* Successive halving. *)
 
 (* Keep the Pareto-best ceil(n/2) of the scored points: whole
@@ -339,7 +425,8 @@ type report = {
 }
 
 let run ?benches ?budgets ?(seed = 7) ?(params = Run.default_params)
-    ?(forensics = false) ~(spec : Design_point.spec) () =
+    ?(forensics = false) ?(static_proxy = false) ~(spec : Design_point.spec)
+    () =
   let benches = match benches with Some bs -> bs | None -> default_benches () in
   let budgets = match budgets with Some bs -> bs | None -> budgets_for params in
   if budgets = [] then invalid_arg "Explore.run: empty budget ladder";
@@ -349,6 +436,19 @@ let run ?benches ?budgets ?(seed = 7) ?(params = Run.default_params)
   let state = Hashtbl.create (List.length points) in
   let evals = ref [] in
   let alive = ref points in
+  (* Rung 0: halve the grid on the static estimate alone, before any
+     simulation. Survivors enter the simulated ladder; pruned points
+     keep their static objectives (budgets_survived = 0). *)
+  if static_proxy && List.length points > 1 then begin
+    let scale = (List.hd budgets).scale in
+    let scored = static_score_batch ~benches ~scale points in
+    evals := ("static", List.length scored) :: !evals;
+    List.iter
+      (fun (p, o, f) ->
+        Hashtbl.replace state (Design_point.id p) (o, 0, "static", f))
+      scored;
+    alive := promote scored
+  end;
   List.iteri
     (fun bi budget ->
       let scored = score_batch ~forensics ~benches ~params ~budget ~seed !alive in

@@ -119,6 +119,7 @@ val run :
   ?seed:int ->
   ?params:Run.params ->
   ?forensics:bool ->
+  ?static_proxy:bool ->
   spec:Design_point.spec ->
   unit ->
   report
@@ -132,4 +133,16 @@ val run :
     per-fault lifecycles and each {!point_result} carries the attribution
     rollup; sinks never influence outcomes, so scores, promotion and
     validation are unchanged.
+
+    With [static_proxy] (default false) a zero-cost rung labelled
+    ["static"] runs first: every point is scored by the static ACE/AVF
+    analysis ({!Turnpike_analysis.Vuln}) — compile only, no trace,
+    simulation or fault — with predicted AVF standing in for the SDC
+    rate and loop-weighted code growth for the overhead, and the grid is
+    halved before the first simulated cycle. One evaluation is shared
+    per (rung, SB depth, WCDL), mirroring campaign-key sharing; pruned
+    points report [budgets_survived = 0] and budget ["static"].
+    Frontier re-validation is unchanged — it re-runs the full-scale
+    simulated evaluation, so the proxy can only affect which points
+    reach it, never the recorded objectives.
     @raise Invalid_argument when [budgets] is empty. *)

@@ -74,3 +74,59 @@ val to_text : ?explain:bool -> report -> string
 val to_json : report -> string
 (** Machine rendering, deterministic bytes (keys in fixed order, entries
     in input order). *)
+
+(** {1 Static vulnerability report ([lint --vuln])}
+
+    The same grid fan-out, but instead of diagnostics each cell carries
+    the full static ACE/AVF estimate ({!Turnpike_analysis.Vuln}) — no
+    faults are injected; the ranked tables predict what a campaign would
+    find. *)
+
+type vuln_entry = {
+  v_benchmark : string;
+  v_scheme : string;
+  vuln : Turnpike_analysis.Vuln.t;
+}
+
+type vuln_report = { ventries : vuln_entry list }
+
+val vuln_cell :
+  ?sb_size:int ->
+  ?scale:int ->
+  ?wcdl:int ->
+  Scheme.t ->
+  Suite.entry ->
+  Turnpike_analysis.Vuln.t
+(** Compile one cell fresh (checking off) and run the static estimate
+    under the scheme's machine parameters; [wcdl] defaults to 10, the
+    value {!run} feeds the capacity checks. *)
+
+val run_vuln :
+  ?sb_size:int ->
+  ?scale:int ->
+  ?wcdl:int ->
+  ?jobs:int ->
+  schemes:Scheme.t list ->
+  Suite.entry list ->
+  vuln_report
+(** Fan {!vuln_cell} over the grid; deterministic at any job count. *)
+
+val vuln_to_text : ?top:int -> vuln_report -> string
+(** Ranked region/register/site tables per cell ([top] rows each,
+    default 8) plus the predicted AVF headline. *)
+
+val vuln_to_json : vuln_report -> string
+(** Deterministic JSON (tables in rank order). *)
+
+(** One CSV row: a table key of one benchmark with its static score
+    under every scheme that ranks it (schemes region programs
+    differently, so absent cells are expected). *)
+type vuln_csv_row = {
+  vr_benchmark : string;
+  vr_key : string;
+  vr_by_scheme : (string * float) list;
+}
+
+val vuln_csv_rows :
+  axis:[ `Site | `Register | `Region ] -> vuln_report -> vuln_csv_row list
+(** Flatten one table axis of the report for {!Csv_export.vuln}. *)

@@ -135,14 +135,20 @@ let bins_add b clazz key =
     key
 
 (* Most dangerous first: failure count, then vulnerability, then sheer
-   exposure, then the key itself — a total, deterministic order. *)
+   exposure, then the key under the natural order the static tables use
+   too (site order, then register id) — a total, deterministic order
+   shared with [Turnpike_analysis.Vuln] so report --compare-static
+   diffs cannot depend on sort incidentals. *)
 let rank rows =
   List.sort
     (fun a b ->
       let va = vulnerability a.counts and vb = vulnerability b.counts in
-      compare
-        (-failures a.counts, -.va, -counts_total a.counts, a.key)
-        (-failures b.counts, -.vb, -counts_total b.counts, b.key))
+      let c =
+        compare
+          (-failures a.counts, -.va, -counts_total a.counts)
+          (-failures b.counts, -.vb, -counts_total b.counts)
+      in
+      if c <> 0 then c else Turnpike_analysis.Rank.key_compare a.key b.key)
     rows
 
 let bins_table b =

@@ -66,6 +66,11 @@ type table = row list
 (** Ranked most-dangerous-first: failure count, then vulnerability, then
     total exposure, then key — a total, deterministic order. *)
 
+val rank : row list -> table
+(** The table sorter. Ties break on {!Turnpike_analysis.Rank.key_compare}
+    — the same natural key order {!Turnpike_analysis.Vuln.rank} uses, so
+    the dynamic and static tables are comparable row-for-row. *)
+
 type summary = {
   rung : string;  (** compiler rung / scheme label the campaign ran under *)
   total : int;

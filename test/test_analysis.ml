@@ -93,7 +93,7 @@ let test_registry_fresh_attribution () =
   check_int "only the new finding survives" 1 (List.length newer);
   check "new finding keeps its pass" true
     ((List.hd newer).Diag.pass = Some "scheduling");
-  check_int "registry covers all seven checks" 7 (List.length Registry.names)
+  check_int "registry covers all eight checks" 8 (List.length Registry.names)
 
 (* ------------------------------------------------------------------ *)
 (* Hand-built negative programs, one per check *)

@@ -9,6 +9,7 @@ let () =
       ("recovery-codegen", Test_recovery_codegen.tests);
       ("resilience", Test_resilience.tests);
       ("forensics", Test_forensics.tests);
+      ("vuln", Test_vuln.tests);
       ("workloads", Test_workloads.tests);
       ("core", Test_core.tests);
       ("sweep", Test_sweep.tests);

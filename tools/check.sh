@@ -168,6 +168,42 @@ dune exec --no-build bin/turnpike_cli.exe -- explore --grid tiny --scale 1 \
   --jobs 2 > "$tmp/explore_cli.txt"
 grep -q 'Pareto frontier' "$tmp/explore_cli.txt"
 
+echo "== vuln smoke: static ACE/AVF tables at --jobs 1 vs --jobs 4 =="
+# The static vulnerability report must be byte-identical at any job
+# count, rank at least one region, and never inject a fault.
+dune exec --no-build bin/turnpike_cli.exe -- lint --vuln -b mcf --scale 2 \
+  --jobs 1 --json > "$tmp/vuln_j1.json"
+dune exec --no-build bin/turnpike_cli.exe -- lint --vuln -b mcf --scale 2 \
+  --jobs 4 --json > "$tmp/vuln_j4.json"
+diff "$tmp/vuln_j1.json" "$tmp/vuln_j4.json"
+grep -q '"predicted_avf"' "$tmp/vuln_j1.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$tmp/vuln_j1.json" > /dev/null
+fi
+dune exec --no-build bin/turnpike_cli.exe -- lint --vuln -b mcf --scale 2 \
+  --jobs 1 --csv "$tmp/vulncsv" > /dev/null
+test -s "$tmp/vulncsv/vuln_by_region.csv"
+test -s "$tmp/vulncsv/vuln_by_register.csv"
+test -s "$tmp/vulncsv/vuln_by_site.csv"
+# The static ranking must be comparable against a real campaign's
+# forensics tables from the report CLI.
+dune exec --no-build bin/turnpike_cli.exe -- report -b mcf --scale 2 -n 40 \
+  --seed 11 --compare-static > "$tmp/vuln_compare.txt"
+grep -q 'static-vs-dynamic rank agreement' "$tmp/vuln_compare.txt"
+
+echo "== explore smoke: static rung prunes before any simulation =="
+# With --static-proxy the zero-campaign static rung must score the whole
+# grid, halve it before the first simulated cycle, and leave the final
+# frontier re-validating bit-exact at full scale — all byte-identical at
+# any job count.
+dune exec --no-build bin/turnpike_cli.exe -- explore --grid tiny --scale 1 \
+  --static-proxy --jobs 1 > "$tmp/explore_static_j1.txt"
+dune exec --no-build bin/turnpike_cli.exe -- explore --grid tiny --scale 1 \
+  --static-proxy --jobs 4 > "$tmp/explore_static_j4.txt"
+diff "$tmp/explore_static_j1.txt" "$tmp/explore_static_j4.txt"
+grep -q 'static=4' "$tmp/explore_static_j1.txt"
+grep -q 're-validation at full scale: ok' "$tmp/explore_static_j1.txt"
+
 echo "== docs smoke: odoc build (advisory) =="
 if command -v odoc > /dev/null 2>&1; then
   if ! dune build @doc > "$tmp/odoc.log" 2>&1; then
