@@ -1,0 +1,132 @@
+(* Measures what the .tk frontend costs: for each examples/ port, times
+   the full text path (lex + parse + typecheck + lower via Tk.compile_string)
+   against constructing the same kernel through the OCaml template API —
+   the two producers of the identical IR asserted trace-equivalent by
+   test/test_frontend.ml — and reports both wall-clock totals as JSON on
+   stdout. Parsing alone is timed separately so the lowering share is
+   visible.
+
+   Usage:
+     dune exec bench/frontend_overhead.exe -- [--scale N] [--repeat N] \
+       [--examples DIR] > BENCH_frontend_overhead.json
+
+   Runs strictly sequentially so the passes are comparable; see the
+   "note" field in the output for the single-core caveat. *)
+
+module Tk = Turnpike_frontend.Tk
+module Templates = Turnpike_workloads.Templates
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let read_file path =
+  In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+
+let () =
+  let scale = ref 1 and repeat = ref 200 and dir = ref "examples" in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+      scale := int_of_string n;
+      parse rest
+    | "--repeat" :: n :: rest ->
+      repeat := int_of_string n;
+      parse rest
+    | "--examples" :: d :: rest ->
+      dir := d;
+      parse rest
+    | x :: _ ->
+      Printf.eprintf
+        "unknown argument %s; known: --scale N --repeat N --examples DIR\n" x;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let scale = !scale and repeat = !repeat in
+  (* Each port next to the template call producing the same IR. *)
+  let kernels =
+    [
+      ("triad", "triad.tk", fun s -> Templates.triad ~iters:(8 * s) ());
+      ("stencil", "stencil.tk", fun s -> Templates.stencil ~iters:(8 * s) ());
+      ( "histogram",
+        "histogram.tk",
+        fun s -> Templates.histogram ~iters:(16 * s) ~buckets:8 () );
+      ( "gather",
+        "gather.tk",
+        fun s -> Templates.gather ~iters:(12 * s) ~span:16 () );
+      ("mixed", "mixed.tk", fun s -> Templates.mixed ~iters:(10 * s) ());
+      ("matmul", "matmul.tk", fun s -> Templates.matmul ~n:(4 * s) ());
+      ( "pointer_chase",
+        "pointer_chase.tk",
+        fun s -> Templates.pointer_chase ~nodes:16 ~iters:(8 * s) () );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, file, template) ->
+        let path = Filename.concat !dir file in
+        let src = read_file path in
+        let parse_s, () =
+          time (fun () ->
+              for _ = 1 to repeat do
+                match Tk.parse_string ~file:path src with
+                | Ok _ -> ()
+                | Error e ->
+                  Printf.eprintf "%s\n" (Turnpike_frontend.Srcloc.error_to_string e);
+                  exit 1
+              done)
+        in
+        let compile_s, () =
+          time (fun () ->
+              for _ = 1 to repeat do
+                match Tk.compile_string ~file:path ~scale src with
+                | Ok _ -> ()
+                | Error e ->
+                  Printf.eprintf "%s\n" e;
+                  exit 1
+              done)
+        in
+        let template_s, () =
+          time (fun () ->
+              for _ = 1 to repeat do
+                ignore (template scale)
+              done)
+        in
+        (name, parse_s, compile_s, template_s))
+      kernels
+  in
+  let total f = List.fold_left (fun a r -> a +. f r) 0. rows in
+  let parse_total = total (fun (_, p, _, _) -> p) in
+  let compile_total = total (fun (_, _, c, _) -> c) in
+  let template_total = total (fun (_, _, _, t) -> t) in
+  let ratio b v = if b > 0. then v /. b else 0. in
+  let row_json (name, p, c, t) =
+    Printf.sprintf
+      "    { \"kernel\": %S, \"parse_s\": %.4f, \"frontend_s\": %.4f, \
+       \"template_s\": %.4f, \"frontend_vs_template\": %.2f }" name p c t
+      (ratio t c)
+  in
+  Printf.printf
+    "{\n\
+    \  \"scale\": %d,\n\
+    \  \"repeat\": %d,\n\
+    \  \"jobs\": 1,\n\
+    \  \"kernels\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"parse_total_s\": %.4f,\n\
+    \  \"frontend_total_s\": %.4f,\n\
+    \  \"template_total_s\": %.4f,\n\
+    \  \"frontend_vs_template\": %.2f,\n\
+    \  \"note\": \"wall-clock on a single core (--jobs 1 equivalent); \
+     frontend_s is the full text path (lex+parse+typecheck+lower), \
+     template_s the OCaml Builder path producing the same IR. Absolute \
+     times are host-dependent; the ratios are the portable signal. The \
+     frontend cost is per-compile, amortized over every downstream \
+     simulation of the program.\"\n\
+     }\n"
+    scale repeat
+    (String.concat ",\n" (List.map row_json rows))
+    parse_total compile_total template_total
+    (ratio template_total compile_total)

@@ -6,6 +6,7 @@
    turnpike-cli inject -b lbm -n 50           fault-injection campaign
    turnpike-cli report -b mcf --mutant drop-ckpt  forensic vulnerability ranking
    turnpike-cli lint -b mcf --per-pass        static resilience soundness check
+   turnpike-cli compile k.tk --pipeline SPEC  compile a user .tk kernel
    turnpike-cli recovery -b libquan           dump generated recovery blocks
    turnpike-cli cost                          hardware cost table
    turnpike-cli wcdl -n 300 -f 2.5            sensor model query
@@ -44,7 +45,10 @@ let list_cmd =
 (* ------------------------------------------------------------------ *)
 
 let bench_arg =
-  let doc = "Benchmark name (e.g. mcf, lbm); suite-qualified names like mcf@2017 also work." in
+  let doc =
+    "Benchmark name (e.g. mcf, lbm); suite-qualified names like mcf@2017 \
+     also work, as does a path to a .tk kernel file (see docs/LANGUAGE.md)."
+  in
   Arg.(required & opt (some string) None & info [ "b"; "benchmark" ] ~doc ~docv:"NAME")
 
 let scheme_arg =
@@ -100,14 +104,21 @@ let batch_arg =
   Arg.(value & opt int CA.default.CA.batch
        & info [ "batch" ] ~docv:"B" ~doc:CA.doc_batch)
 
+(* A workload is either a built-in proxy (by plain or suite-qualified
+   name) or a user kernel: any argument ending in .tk is loaded through
+   the frontend and wrapped as a Suite entry, so every subcommand works
+   on user workloads unchanged. *)
 let find_bench name =
-  let qualified = List.find_opt (fun b -> Suite.qualified_name b = name) (Suite.all ()) in
-  match qualified with
-  | Some b -> Ok b
-  | None -> (
-    match Suite.find_by_name name with
-    | b :: _ -> Ok b
-    | [] -> Error (Printf.sprintf "unknown benchmark %s" name))
+  if Turnpike_frontend.Tk.is_tk_file name then
+    Turnpike_frontend.Tk.entry_of_file name
+  else
+    let qualified = List.find_opt (fun b -> Suite.qualified_name b = name) (Suite.all ()) in
+    match qualified with
+    | Some b -> Ok b
+    | None -> (
+      match Suite.find_by_name name with
+      | b :: _ -> Ok b
+      | [] -> Error (Printf.sprintf "unknown benchmark %s" name))
 
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON counters.")
@@ -772,6 +783,86 @@ let lint_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let compile_cmd =
+  let module PP = Turnpike_compiler.Pass_pipeline in
+  let module Tk = Turnpike_frontend.Tk in
+  let doc =
+    "Compile a .tk kernel file (docs/LANGUAGE.md) through the pass pipeline \
+     and print the executed passes, the static statistics and the resulting \
+     IR listing. The output is fully deterministic: byte-identical at any \
+     --jobs count."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE.tk" ~doc:"Kernel source file.")
+  in
+  let pipeline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pipeline" ] ~docv:"SPEC"
+          ~doc:
+            "Pass pipeline to run: $(b,default); removals like \
+             $(b,-licm_sink,-scheduling) (the default sequence minus those \
+             passes); or an explicit ordered pass list like \
+             $(b,regalloc,partition_and_checkpoint,region_metadata). The \
+             spec is validated against each pass's dirtied/read facet \
+             contracts — dropping a mandatory pass or ordering passes \
+             unsoundly is rejected with a diagnostic.")
+  in
+  let run () file scheme sb scale pipeline json =
+    if not (Tk.is_tk_file file) then begin
+      Printf.eprintf "%s: error: expected a .tk kernel file\n" file;
+      exit 1
+    end;
+    match Tk.compile_file ~scale file with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok prog ->
+      let opts = Turnpike.Scheme.compile_opts scheme ~sb_size:sb in
+      let pipeline =
+        match pipeline with
+        | None -> None
+        | Some spec -> (
+          match PP.resolve_pipeline ~opts spec with
+          | Ok names -> Some names
+          | Error msg ->
+            Printf.eprintf "invalid --pipeline spec: %s\n" msg;
+            exit 1)
+      in
+      let c = PP.compile ~opts ?pipeline prog in
+      let passes =
+        match pipeline with Some names -> names | None -> PP.pass_names opts
+      in
+      if json then
+        Printf.printf
+          "{\"kernel\":\"%s\",\"scheme\":\"%s\",\"scale\":%d,\"sb\":%d,\"passes\":[%s],\"regions\":%d,\"static_stats\":%s}\n"
+          prog.Turnpike_ir.Prog.func.Turnpike_ir.Func.name
+          scheme.Turnpike.Scheme.name scale sb
+          (String.concat "," (List.map (Printf.sprintf "\"%s\"") passes))
+          (Array.length c.PP.regions)
+          (Turnpike_compiler.Static_stats.to_json c.PP.stats)
+      else begin
+        Printf.printf "kernel %s from %s (scheme %s, scale %d, sb %d)\n"
+          prog.Turnpike_ir.Prog.func.Turnpike_ir.Func.name file
+          scheme.Turnpike.Scheme.name scale sb;
+        Printf.printf "passes: %s\n" (String.concat " -> " passes);
+        Printf.printf "static: %s\n"
+          (Turnpike_compiler.Static_stats.to_string c.PP.stats);
+        Printf.printf "regions: %d\n\n" (Array.length c.PP.regions);
+        print_string (Turnpike_ir.Func.to_string c.PP.prog.Turnpike_ir.Prog.func)
+      end
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(
+      const run $ jobs_arg $ file_arg $ scheme_arg $ sb_arg $ scale_arg
+      $ pipeline_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let recovery_cmd =
   let doc = "Dump the generated per-region recovery blocks (paper Fig 1b)." in
   let run name scale =
@@ -950,5 +1041,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; trace_cmd; inject_cmd; report_cmd; lint_cmd;
-            recovery_cmd; cost_cmd; wcdl_cmd; explore_cmd;
+            compile_cmd; recovery_cmd; cost_cmd; wcdl_cmd; explore_cmd;
           ]))

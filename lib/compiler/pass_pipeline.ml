@@ -137,12 +137,20 @@ type env = {
 type pass = {
   pname : string;
   enabled : opts -> bool;
+  enable_hint : string;
+      (* what the options must provide for this pass to be available;
+         quoted by the pipeline-spec validator's diagnostics *)
   dirties : Analysis.Facet.Set.t;
       (* facets the pass may touch — the incremental registry re-runs
          exactly the checks whose read sets intersect these. Declare
          conservatively: a spurious facet only costs a redundant
          re-check, a missing one would silently drop diagnostics
          (tools/check.sh pins incremental ≡ full re-check output). *)
+  reads : Analysis.Facet.Set.t;
+      (* facets the pass's own transformation depends on. User-composed
+         pipelines are validated against these: for passes P, Q in
+         canonical order, if P may dirty a facet Q reads, then no user
+         pipeline may run Q before P. *)
   action : env -> bool;
       (* returns whether the pass changed anything. A pass that reports
          [false] charges no dirty facets at all — its round of checks is
@@ -162,9 +170,11 @@ let passes : pass list =
     {
       pname = "unroll";
       enabled = (fun o -> o.unroll > 1);
+      enable_hint = "an unroll factor > 1";
       (* replicates loop bodies in place; the block set and terminators
          are untouched *)
       dirties = facets [ Analysis.Facet.Instrs ];
+      reads = facets [ Analysis.Facet.Cfg_shape; Analysis.Facet.Instrs ];
       action =
         (fun env ->
           let r = Unroll.run ~factor:env.e_opts.unroll env.prog.Prog.func in
@@ -173,7 +183,9 @@ let passes : pass list =
     {
       pname = "livm";
       enabled = (fun o -> o.livm);
+      enable_hint = "the LIVM optimization (on under the turnpike scheme)";
       dirties = facets [ Analysis.Facet.Instrs ];
+      reads = facets [ Analysis.Facet.Cfg_shape; Analysis.Facet.Instrs ];
       action =
         (fun env ->
           let r = Livm.run env.prog.Prog.func in
@@ -184,7 +196,9 @@ let passes : pass list =
     {
       pname = "regalloc";
       enabled = (fun _ -> true);
+      enable_hint = "(always available)";
       dirties = facets [ Analysis.Facet.Instrs; Analysis.Facet.Reg_classes ];
+      reads = facets [ Analysis.Facet.Cfg_shape; Analysis.Facet.Instrs ];
       action =
         (fun env ->
           let ra_config =
@@ -213,12 +227,20 @@ let passes : pass list =
     {
       pname = "partition_and_checkpoint";
       enabled = (fun o -> o.resilient);
+      enable_hint = "a resilient scheme (turnstile or turnpike)";
       dirties =
         facets
           [
             Analysis.Facet.Cfg_shape;
             Analysis.Facet.Instrs;
             Analysis.Facet.Boundaries;
+          ];
+      reads =
+        facets
+          [
+            Analysis.Facet.Cfg_shape;
+            Analysis.Facet.Instrs;
+            Analysis.Facet.Reg_classes;
           ];
       action =
         (fun env ->
@@ -231,8 +253,16 @@ let passes : pass list =
     {
       pname = "pruning";
       enabled = (fun o -> o.resilient && o.pruning);
+      enable_hint = "a resilient scheme with pruning on (turnpike)";
       dirties =
         facets [ Analysis.Facet.Instrs; Analysis.Facet.Recovery_exprs ];
+      reads =
+        facets
+          [
+            Analysis.Facet.Instrs;
+            Analysis.Facet.Boundaries;
+            Analysis.Facet.Reg_classes;
+          ];
       action =
         (fun env ->
           let r = Pruning.run env.prog.Prog.func in
@@ -243,7 +273,16 @@ let passes : pass list =
     {
       pname = "licm_sink";
       enabled = (fun o -> o.resilient && o.licm);
+      enable_hint = "a resilient scheme with LICM sinking on (turnpike)";
       dirties = facets [ Analysis.Facet.Instrs ];
+      reads =
+        facets
+          [
+            Analysis.Facet.Cfg_shape;
+            Analysis.Facet.Instrs;
+            Analysis.Facet.Boundaries;
+            Analysis.Facet.Reg_classes;
+          ];
       action =
         (fun env ->
           let r = Licm_sink.run env.prog.Prog.func in
@@ -254,10 +293,18 @@ let passes : pass list =
     {
       pname = "scheduling";
       enabled = (fun o -> o.resilient && o.sched);
+      enable_hint = "a resilient scheme with scheduling on (turnpike)";
       (* the scheduler only permutes within blocks, preserving every
          dependence (sched-deps audits this), so block-level dataflow —
          the liveness cache in particular — survives the pass *)
       dirties = facets [ Analysis.Facet.Instr_order ];
+      reads =
+        facets
+          [
+            Analysis.Facet.Instrs;
+            Analysis.Facet.Boundaries;
+            Analysis.Facet.Reg_classes;
+          ];
       action =
         (fun env ->
           let r =
@@ -270,7 +317,18 @@ let passes : pass list =
     {
       pname = "region_metadata";
       enabled = (fun o -> o.resilient);
+      enable_hint = "a resilient scheme (turnstile or turnpike)";
       dirties = facets [ Analysis.Facet.Claims ];
+      reads =
+        facets
+          [
+            Analysis.Facet.Cfg_shape;
+            Analysis.Facet.Instrs;
+            Analysis.Facet.Instr_order;
+            Analysis.Facet.Boundaries;
+            Analysis.Facet.Recovery_exprs;
+            Analysis.Facet.Reg_classes;
+          ];
       action =
         (fun env ->
           let func = env.prog.Prog.func in
@@ -294,6 +352,143 @@ let pass_dirties (opts : opts) =
   List.filter_map
     (fun p -> if p.enabled opts then Some (p.pname, p.dirties) else None)
     passes
+
+let pass_reads (opts : opts) =
+  List.filter_map
+    (fun p -> if p.enabled opts then Some (p.pname, p.reads) else None)
+    passes
+
+(* --- user-composable pipelines ------------------------------------ *)
+
+let all_pass_names = List.map (fun p -> p.pname) passes
+
+let find_pass name = List.find_opt (fun p -> String.equal p.pname name) passes
+
+let canonical_index name =
+  let rec go i = function
+    | [] -> -1
+    | p :: rest -> if String.equal p.pname name then i else go (i + 1) rest
+  in
+  go 0 passes
+
+(* Passes the rest of the system cannot do without: the interpreter
+   needs physical registers, and every resilient consumer (regions
+   array, claims, recovery metadata) needs partitioning + metadata. *)
+let mandatory (opts : opts) =
+  "regalloc"
+  :: (if opts.resilient then [ "partition_and_checkpoint"; "region_metadata" ]
+      else [])
+
+(* Check an ordered pass-name list against the options and the
+   dirties/reads contracts. Soundness rule: for passes P, Q where P
+   precedes Q canonically and P may dirty a facet Q reads, every user
+   pipeline containing both must also run P before Q. *)
+let validate_pipeline ~(opts : opts) names =
+  let rec first_error = function
+    | [] -> None
+    | x :: _ when find_pass x = None ->
+      Some
+        (Printf.sprintf "unknown pass `%s' (passes: %s)" x
+           (String.concat ", " all_pass_names))
+    | x :: rest when List.exists (String.equal x) rest ->
+      Some (Printf.sprintf "pass `%s' listed twice" x)
+    | x :: rest -> (
+      match find_pass x with
+      | Some p when not (p.enabled opts) ->
+        Some
+          (Printf.sprintf
+             "pass `%s' is disabled by the current options (it requires %s)" x
+             p.enable_hint)
+      | _ -> first_error rest)
+  in
+  match first_error names with
+  | Some msg -> Error msg
+  | None -> (
+    match
+      List.find_opt (fun m -> not (List.exists (String.equal m) names)) (mandatory opts)
+    with
+    | Some m ->
+      Error
+        (Printf.sprintf
+           "pass `%s' is mandatory under the current options and cannot be dropped"
+           m)
+    | None ->
+      (* ordering: look for a canonically-later pass placed before a
+         canonically-earlier one it depends on *)
+      let rec check_order = function
+        | [] -> Ok names
+        | q :: rest -> (
+          let qi = canonical_index q in
+          let violation =
+            List.find_opt
+              (fun p ->
+                canonical_index p < qi
+                &&
+                let pp = Option.get (find_pass p) in
+                let qq = Option.get (find_pass q) in
+                not
+                  (Analysis.Facet.Set.is_empty
+                     (Analysis.Facet.Set.inter pp.dirties qq.reads)))
+              rest
+          in
+          match violation with
+          | Some p ->
+            let pp = Option.get (find_pass p) in
+            let qq = Option.get (find_pass q) in
+            Error
+              (Printf.sprintf
+                 "pass `%s' must run before `%s': `%s' may dirty %s, which \
+                  `%s' reads"
+                 p q p
+                 (Analysis.Facet.set_to_string
+                    (Analysis.Facet.Set.inter pp.dirties qq.reads))
+                 q)
+          | None -> check_order rest)
+      in
+      check_order names)
+
+let resolve_pipeline ~(opts : opts) spec =
+  let items =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match items with
+  | [] ->
+    Error
+      "empty --pipeline spec; use \"default\", \"-pass,...\" removals, or an \
+       explicit comma-separated pass list"
+  | [ "default" ] -> Ok (pass_names opts)
+  | _ ->
+    let removals, keeps =
+      List.partition (fun s -> String.length s > 0 && s.[0] = '-') items
+    in
+    if removals <> [] && keeps <> [] then
+      Error
+        "cannot mix `-pass' removals with an explicit pass list; use one \
+         form or the other"
+    else if List.exists (String.equal "default") keeps then
+      Error "`default' cannot be combined with other passes"
+    else
+      let names =
+        if removals <> [] then begin
+          let removed =
+            List.map (fun s -> String.sub s 1 (String.length s - 1)) removals
+          in
+          match List.find_opt (fun r -> find_pass r = None) removed with
+          | Some r ->
+            Error
+              (Printf.sprintf "unknown pass `-%s' (passes: %s)" r
+                 (String.concat ", " all_pass_names))
+          | None ->
+            Ok
+              (List.filter
+                 (fun n -> not (List.exists (String.equal n) removed))
+                 (pass_names opts))
+        end
+        else Ok keeps
+      in
+      Result.bind names (validate_pipeline ~opts)
 
 (* Run one pass under a wall-clock profiling span whose args carry the
    [Static_stats] delta the pass contributed (category ["compiler"]). With
@@ -354,7 +549,16 @@ let analysis_context ?pass (t : t) =
     ~claims:(Some t.claims) ~regalloc_done:true ()
 
 let compile ?(opts = turnstile_opts) ?(tel = Telemetry.null) ?(check = Off)
-    (prog : Prog.t) =
+    ?pipeline (prog : Prog.t) =
+  let pass_seq =
+    match pipeline with
+    | None -> List.filter (fun p -> p.enabled opts) passes
+    | Some names -> (
+      match validate_pipeline ~opts names with
+      | Ok names ->
+        List.map (fun n -> Option.get (find_pass n)) names
+      | Error msg -> invalid_arg ("Pass_pipeline.compile: " ^ msg))
+  in
   let stats = Static_stats.create () in
   let prog = Prog.with_func prog (Func.copy prog.Prog.func) in
   let env =
@@ -429,36 +633,34 @@ let compile ?(opts = turnstile_opts) ?(tel = Telemetry.null) ?(check = Off)
   end;
   List.iter
     (fun p ->
-      if p.enabled opts then begin
-        let snapshot =
-          if per_pass && List.mem p.pname Analysis.Registry.pair_passes then
-            Some (Func.copy env.prog.Prog.func)
-          else None
+      let snapshot =
+        if per_pass && List.mem p.pname Analysis.Registry.pair_passes then
+          Some (Func.copy env.prog.Prog.func)
+        else None
+      in
+      let changed = run_pass tel stats p.pname (fun () -> p.action env) in
+      if per_pass then begin
+        (* A pass that reports no change charges nothing: its checks
+           (pair and whole alike) would see the exact state the previous
+           round already checked. The [PerPassFull] oracle still re-runs
+           every whole check, so tools/check.sh's byte-diff verifies the
+           skip is output-preserving. *)
+        let dirty =
+          if changed then p.dirties else Analysis.Facet.Set.empty
         in
-        let changed = run_pass tel stats p.pname (fun () -> p.action env) in
-        if per_pass then begin
-          (* A pass that reports no change charges nothing: its checks
-             (pair and whole alike) would see the exact state the previous
-             round already checked. The [PerPassFull] oracle still re-runs
-             every whole check, so tools/check.sh's byte-diff verifies the
-             skip is output-preserving. *)
-          let dirty =
-            if changed then p.dirties else Analysis.Facet.Set.empty
-          in
-          let ctx = step_context ~pass:p.pname ~dirty env in
-          let pair_ran =
-            match snapshot with
-            | Some before when changed ->
-              let ds = Analysis.Registry.run_pair ~pass:p.pname ~before ctx in
-              diags := !diags @ Analysis.Registry.fresh ~seen ds;
-              Analysis.Registry.pair_names_for p.pname
-            | Some _ | None -> []
-          in
-          let whole_ran = run_whole_on ~dirty ctx in
-          check_log := (p.pname, pair_ran @ whole_ran) :: !check_log
-        end
+        let ctx = step_context ~pass:p.pname ~dirty env in
+        let pair_ran =
+          match snapshot with
+          | Some before when changed ->
+            let ds = Analysis.Registry.run_pair ~pass:p.pname ~before ctx in
+            diags := !diags @ Analysis.Registry.fresh ~seen ds;
+            Analysis.Registry.pair_names_for p.pname
+          | Some _ | None -> []
+        in
+        let whole_ran = run_whole_on ~dirty ctx in
+        check_log := (p.pname, pair_ran @ whole_ran) :: !check_log
       end)
-    passes;
+    pass_seq;
   if check = Final then begin
     let ran = run_whole_on ~dirty:Analysis.Facet.all (env_context env) in
     check_log := ("<final>", ran) :: !check_log

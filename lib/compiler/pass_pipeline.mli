@@ -80,10 +80,35 @@ val pass_dirties : opts -> (string * Turnpike_analysis.Facet.Set.t) list
 (** The enabled passes paired with the facet sets they declare they may
     dirty — the contract the incremental registry schedules by. *)
 
+val pass_reads : opts -> (string * Turnpike_analysis.Facet.Set.t) list
+(** The enabled passes paired with the facet sets their own
+    transformations depend on — the contract {!resolve_pipeline}
+    validates user-composed pipelines against. *)
+
+val resolve_pipeline : opts:opts -> string -> (string list, string) result
+(** Parse and validate a user [--pipeline] spec against [opts],
+    returning the ordered pass list to hand to {!compile}'s [pipeline]
+    argument. Three spec forms:
+
+    - ["default"] — the canonical sequence {!pass_names} runs;
+    - removals, e.g. ["-licm_sink,-scheduling"] — the canonical
+      sequence minus the named passes;
+    - an explicit ordered list, e.g. ["regalloc,partition_and_checkpoint,
+      region_metadata"] — exactly those passes, in that order.
+
+    The two last forms cannot be mixed. A spec is rejected (with a
+    diagnostic naming the offending pass) when it names an unknown or
+    duplicated pass, a pass disabled by [opts], drops a mandatory pass
+    ([regalloc]; plus [partition_and_checkpoint] and [region_metadata]
+    under a resilient scheme), or orders passes unsoundly: for passes
+    [P] canonically before [Q], if [P] may dirty a facet [Q] reads
+    (per {!pass_dirties}/{!pass_reads}), [Q] cannot run before [P]. *)
+
 val compile :
   ?opts:opts ->
   ?tel:Turnpike_telemetry.sink ->
   ?check:check_level ->
+  ?pipeline:string list ->
   Prog.t ->
   t
 (** Compile a virtual-register program. The input program is not mutated.
@@ -94,7 +119,12 @@ val compile :
     pass contributed as args.
 
     [check] (default [Off]) runs the static-analysis registry on the
-    pipeline state; results land in {!field-diags}. *)
+    pipeline state; results land in {!field-diags}.
+
+    [pipeline] (default: the canonical enabled sequence) runs exactly
+    the named passes in the given order. Pass a list vetted by
+    {!resolve_pipeline}; an invalid list raises [Invalid_argument]
+    with the same diagnostic [resolve_pipeline] would return. *)
 
 val analysis_context : ?pass:string -> t -> Turnpike_analysis.Context.t
 (** Analysis context over the compiled result (claims and recovery

@@ -1,0 +1,56 @@
+(* Abstract syntax of the .tk kernel language. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land
+  | Lor
+
+type expr = { desc : expr_desc; eloc : Srcloc.t }
+
+and expr_desc =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Neg of expr
+  | Not of expr
+  | Binop of binop * expr * expr
+
+type array_init =
+  | Init_fill of expr
+  | Init_small of expr
+  | Init_rand of expr * expr
+  | Init_perm of expr
+
+type lvalue =
+  | Lv_var of string
+  | Lv_index of string * expr
+
+type stmt = { sdesc : stmt_desc; sloc : Srcloc.t }
+
+and stmt_desc =
+  | Decl_const of string * expr
+  | Decl_var of string * expr option
+  | Decl_array of string * expr * array_init option
+  | Decl_input of string * expr
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt * expr * stmt * stmt list
+  | Block of stmt list
+
+type kernel = { kname : string; kname_loc : Srcloc.t; body : stmt list }

@@ -1,0 +1,79 @@
+(** Abstract syntax of the [.tk] kernel language.
+
+    Every node carries the {!Srcloc.t} of the source text it came from,
+    so later phases ({!Typecheck}, {!Lower}) can point diagnostics at
+    the offending construct.
+
+    The language is deliberately small: 64-bit integer scalars,
+    fixed-size integer arrays, structured control flow ([if]/[else],
+    [while], C-style [for]) and C-precedence integer expressions. See
+    [docs/LANGUAGE.md] for the full reference. *)
+
+(** Binary operators, in source syntax order. [Land]/[Lor] are the
+    logical forms ([&&]/[||]); both operands are evaluated (no
+    short-circuiting) and the result is 0 or 1. *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land
+  | Lor
+
+(** Expressions. [Index (a, e)] reads [a[e]]. *)
+type expr = { desc : expr_desc; eloc : Srcloc.t }
+
+and expr_desc =
+  | Int of int
+  | Var of string  (** scalar variable, [const], [input], or [scale] *)
+  | Index of string * expr
+  | Neg of expr
+  | Not of expr  (** [!e]: 1 if [e] is 0, else 0 *)
+  | Binop of binop * expr * expr
+
+(** Array initialisers. The data-generating forms mirror the template
+    suite's [Data_gen] so ported kernels see identical memory images:
+    seeds and bounds must be compile-time constants. *)
+type array_init =
+  | Init_fill of expr  (** every element = const expr *)
+  | Init_small of expr  (** [Data_gen.small] stream from const seed *)
+  | Init_rand of expr * expr  (** [Data_gen.int ~bound] from const seed *)
+  | Init_perm of expr  (** [Data_gen.permutation] of the array length *)
+
+(** Assignment targets. *)
+type lvalue =
+  | Lv_var of string
+  | Lv_index of string * expr
+
+(** Statements. Declarations are statements so arrays can be declared
+    at any point in a block (allocation order = textual order). *)
+type stmt = { sdesc : stmt_desc; sloc : Srcloc.t }
+
+and stmt_desc =
+  | Decl_const of string * expr  (** [const N = cexpr;] *)
+  | Decl_var of string * expr option  (** [var x;] / [var x = e;] *)
+  | Decl_array of string * expr * array_init option
+      (** [array A[cexpr];] with optional [= init] *)
+  | Decl_input of string * expr
+      (** [input x = cexpr;] — a runtime-opaque initial value *)
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt * expr * stmt * stmt list
+      (** [for (init; cond; step) { body }] *)
+  | Block of stmt list
+
+(** A compilation unit: [kernel name { body }]. *)
+type kernel = { kname : string; kname_loc : Srcloc.t; body : stmt list }

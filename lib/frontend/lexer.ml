@@ -1,0 +1,178 @@
+(* Hand-written lexer for the .tk kernel language. One pass over the
+   source string, tracking (line, col) as it goes; every failure is a
+   located [Error], never an exception. *)
+
+let keyword = function
+  | "kernel" -> Some Token.KW_KERNEL
+  | "const" -> Some Token.KW_CONST
+  | "var" -> Some Token.KW_VAR
+  | "array" -> Some Token.KW_ARRAY
+  | "input" -> Some Token.KW_INPUT
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "for" -> Some Token.KW_FOR
+  | "while" -> Some Token.KW_WHILE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_char c = is_ident_start c || is_digit c
+
+type cursor = { src : string; mutable i : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.i < String.length cur.src then Some cur.src.[cur.i] else None
+
+let peek2 cur =
+  if cur.i + 1 < String.length cur.src then Some cur.src.[cur.i + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+    cur.line <- cur.line + 1;
+    cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.i <- cur.i + 1
+
+let pos cur = { Srcloc.line = cur.line; col = cur.col }
+
+let tokenize ~file src =
+  let cur = { src; i = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let err start_p msg =
+    Error { Srcloc.loc = Srcloc.make ~file ~start_p ~end_p:(pos cur); msg }
+  in
+  let emit start_p kind =
+    (* end position: the column of the last consumed character *)
+    let end_p =
+      let p = pos cur in
+      if p.Srcloc.col > 1 && p.Srcloc.line = start_p.Srcloc.line then
+        { p with Srcloc.col = p.Srcloc.col - 1 }
+      else p
+    in
+    toks := { Token.kind; loc = Srcloc.make ~file ~start_p ~end_p } :: !toks
+  in
+  let rec skip_block_comment start_p =
+    match peek cur with
+    | None -> err start_p "unterminated block comment"
+    | Some '*' when peek2 cur = Some '/' ->
+      advance cur;
+      advance cur;
+      Ok ()
+    | Some _ ->
+      advance cur;
+      skip_block_comment start_p
+  in
+  let rec loop () =
+    match peek cur with
+    | None ->
+      emit (pos cur) Token.EOF;
+      Ok (List.rev !toks)
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance cur;
+      loop ()
+    | Some '/' when peek2 cur = Some '/' ->
+      while peek cur <> None && peek cur <> Some '\n' do
+        advance cur
+      done;
+      loop ()
+    | Some '/' when peek2 cur = Some '*' ->
+      let start_p = pos cur in
+      advance cur;
+      advance cur;
+      (match skip_block_comment start_p with
+      | Ok () -> loop ()
+      | Error e -> Error e)
+    | Some c when is_ident_start c ->
+      let start_p = pos cur in
+      let b = Buffer.create 8 in
+      while match peek cur with Some c -> is_ident_char c | None -> false do
+        Buffer.add_char b (Option.get (peek cur));
+        advance cur
+      done;
+      let s = Buffer.contents b in
+      emit start_p
+        (match keyword s with Some k -> k | None -> Token.IDENT s);
+      loop ()
+    | Some c when is_digit c ->
+      let start_p = pos cur in
+      let hex =
+        c = '0' && (peek2 cur = Some 'x' || peek2 cur = Some 'X')
+      in
+      let b = Buffer.create 8 in
+      if hex then begin
+        advance cur;
+        advance cur;
+        while match peek cur with Some c -> is_hex_digit c | None -> false do
+          Buffer.add_char b (Option.get (peek cur));
+          advance cur
+        done
+      end
+      else
+        while match peek cur with Some c -> is_digit c | None -> false do
+          Buffer.add_char b (Option.get (peek cur));
+          advance cur
+        done;
+      (* A literal immediately followed by an identifier character is a
+         malformed token, not two tokens ("123abc"). *)
+      (match peek cur with
+      | Some c when is_ident_char c -> err start_p "malformed integer literal"
+      | _ ->
+        let digits = Buffer.contents b in
+        if hex && digits = "" then err start_p "malformed hexadecimal literal"
+        else
+          match
+            int_of_string_opt (if hex then "0x" ^ digits else digits)
+          with
+          | Some n ->
+            emit start_p (Token.INT n);
+            loop ()
+          | None -> err start_p "integer literal out of range")
+    | Some c ->
+      let start_p = pos cur in
+      let two k =
+        advance cur;
+        advance cur;
+        emit start_p k;
+        loop ()
+      in
+      let one k =
+        advance cur;
+        emit start_p k;
+        loop ()
+      in
+      (match (c, peek2 cur) with
+      | '<', Some '<' -> two Token.SHL
+      | '>', Some '>' -> two Token.SHR
+      | '<', Some '=' -> two Token.LE
+      | '>', Some '=' -> two Token.GE
+      | '=', Some '=' -> two Token.EQ
+      | '!', Some '=' -> two Token.NE
+      | '&', Some '&' -> two Token.ANDAND
+      | '|', Some '|' -> two Token.OROR
+      | '<', _ -> one Token.LT
+      | '>', _ -> one Token.GT
+      | '=', _ -> one Token.ASSIGN
+      | '!', _ -> one Token.BANG
+      | '&', _ -> one Token.AMP
+      | '|', _ -> one Token.PIPE
+      | '^', _ -> one Token.CARET
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | '*', _ -> one Token.STAR
+      | '/', _ -> one Token.SLASH
+      | '%', _ -> one Token.PERCENT
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | ';', _ -> one Token.SEMI
+      | ',', _ -> one Token.COMMA
+      | _ ->
+        advance cur;
+        err start_p (Printf.sprintf "unexpected character %C" c))
+  in
+  loop ()

@@ -1,0 +1,16 @@
+(** Hand-written lexer for the [.tk] kernel language.
+
+    Input is a whole source string; output is the complete token list
+    (terminated by {!Token.EOF}) or the first lexical error, located.
+    The lexer never raises on malformed input — unknown characters,
+    overlong integer literals and unterminated block comments all come
+    back as [Error].
+
+    Lexical structure: ASCII identifiers ([[A-Za-z_][A-Za-z0-9_]*]),
+    decimal and [0x] hexadecimal integer literals, [//] line comments,
+    [/* ... */] (non-nesting) block comments, and the operator set of
+    {!Token.kind}. *)
+
+val tokenize : file:string -> string -> (Token.t list, Srcloc.error) result
+(** [tokenize ~file src] lexes [src]; [file] is used for locations
+    only. *)

@@ -1,0 +1,309 @@
+(* Lowering from the .tk AST to the shared IR via the Builder DSL. The
+   input is typechecked first, so lookups cannot fail; the defensive
+   [Lower_error] exception is still caught at the boundary so no
+   exception ever escapes. *)
+
+open Turnpike_ir
+module Data_gen = Turnpike_workloads.Data_gen
+
+exception Lower_error of Srcloc.error
+
+let fail loc msg = raise (Lower_error { Srcloc.loc; msg })
+
+type binding =
+  | Bconst of int
+  | Breg of Reg.t  (* [var] or [input] *)
+  | Barray of { base : int; len : int }
+
+type env = {
+  b : Builder.t;
+  frames : (string, binding) Hashtbl.t list;
+  scale : int;
+  labels : int ref;
+}
+
+let push env = { env with frames = Hashtbl.create 16 :: env.frames }
+
+let lookup env loc name =
+  let rec go = function
+    | [] -> fail loc (Printf.sprintf "`%s' is not declared" name)
+    | f :: rest -> (
+      match Hashtbl.find_opt f name with Some v -> v | None -> go rest)
+  in
+  go env.frames
+
+let declare env name v =
+  match env.frames with
+  | [] -> assert false
+  | f :: _ -> Hashtbl.replace f name v
+
+let fresh_label env hint =
+  let n = !(env.labels) in
+  env.labels := n + 1;
+  Printf.sprintf "%s%d" hint n
+
+let ir_binop = function
+  | Ast.Add -> Instr.Add
+  | Ast.Sub -> Instr.Sub
+  | Ast.Mul -> Instr.Mul
+  | Ast.Div -> Instr.Div
+  | Ast.Rem -> Instr.Rem
+  | Ast.And -> Instr.And
+  | Ast.Or -> Instr.Or
+  | Ast.Xor -> Instr.Xor
+  | Ast.Shl -> Instr.Shl
+  | Ast.Shr -> Instr.Shr
+  | _ -> assert false
+
+let ir_cmp = function
+  | Ast.Eq -> Instr.Eq
+  | Ast.Ne -> Instr.Ne
+  | Ast.Lt -> Instr.Lt
+  | Ast.Le -> Instr.Le
+  | Ast.Gt -> Instr.Gt
+  | Ast.Ge -> Instr.Ge
+  | _ -> assert false
+
+(* Fold to a compile-time constant when possible. *)
+let rec try_const env (e : Ast.expr) : int option =
+  match e.Ast.desc with
+  | Ast.Int n -> Some n
+  | Ast.Var "scale" -> Some env.scale
+  | Ast.Var x -> (
+    match lookup env e.Ast.eloc x with Bconst n -> Some n | _ -> None)
+  | Ast.Index _ -> None
+  | Ast.Neg a -> Option.map (fun n -> -n) (try_const env a)
+  | Ast.Not a -> Option.map (fun n -> if n = 0 then 1 else 0) (try_const env a)
+  | Ast.Binop (op, a, b) -> (
+    match (try_const env a, try_const env b) with
+    | Some x, Some y -> Some (Typecheck.const_binop op x y)
+    | _ -> None)
+
+let require_const env (e : Ast.expr) =
+  match try_const env e with
+  | Some n -> n
+  | None -> fail e.Ast.eloc "expected a compile-time constant"
+
+(* Evaluate [e] to an operand, emitting code for any runtime part. *)
+let rec eval env (e : Ast.expr) : Instr.operand =
+  match try_const env e with
+  | Some n -> Instr.Imm n
+  | None -> (
+    match e.Ast.desc with
+    | Ast.Var x -> (
+      match lookup env e.Ast.eloc x with
+      | Breg r -> Instr.Reg r
+      | Bconst n -> Instr.Imm n
+      | Barray _ -> fail e.Ast.eloc (Printf.sprintf "`%s' is an array" x))
+    | _ ->
+      let dst = Builder.fresh_reg env.b in
+      eval_into env e ~dst;
+      Instr.Reg dst)
+
+(* Evaluate [e] into a register (materialising immediates). *)
+and to_reg env e =
+  match eval env e with
+  | Instr.Reg r -> r
+  | Instr.Imm 0 -> Reg.zero
+  | Instr.Imm n ->
+    let r = Builder.fresh_reg env.b in
+    Builder.mov env.b ~dst:r (Instr.Imm n);
+    r
+
+and operand_to_reg env (o : Instr.operand) =
+  match o with
+  | Instr.Reg r -> r
+  | Instr.Imm 0 -> Reg.zero
+  | Instr.Imm n ->
+    let r = Builder.fresh_reg env.b in
+    Builder.mov env.b ~dst:r (Instr.Imm n);
+    r
+
+(* Address of [name[idx]] as a (base register, byte offset) pair.
+   Statically-known indices use absolute addressing off [Reg.zero];
+   dynamic ones compute [array_base + word*idx] into a temporary. *)
+and addr_of env loc name idx =
+  let abase, alen =
+    match lookup env loc name with
+    | Barray { base; len } -> (base, len)
+    | _ -> fail loc (Printf.sprintf "`%s' is not an array" name)
+  in
+  match try_const env idx with
+  | Some i ->
+    if i < 0 || i >= alen then
+      fail idx.Ast.eloc
+        (Printf.sprintf "index %d is out of bounds (length %d)" i alen);
+    (Reg.zero, abase + (Layout.word * i))
+  | None ->
+    let ir = to_reg env idx in
+    let addr = Builder.fresh_reg env.b in
+    Builder.binop env.b Instr.Shl ~dst:addr ~a:ir (Instr.Imm 3);
+    Builder.binop env.b Instr.Add ~dst:addr ~a:addr (Instr.Imm abase);
+    (addr, 0)
+
+(* Evaluate [e] into [dst]. [dst] is written only by the final emitted
+   instruction, so [x = f(x)] reads the old value correctly. *)
+and eval_into env (e : Ast.expr) ~dst =
+  match try_const env e with
+  | Some n -> Builder.mov env.b ~dst (Instr.Imm n)
+  | None -> (
+    match e.Ast.desc with
+    | Ast.Int _ -> assert false (* constant; handled above *)
+    | Ast.Var x -> (
+      match lookup env e.Ast.eloc x with
+      | Breg r -> Builder.mov env.b ~dst (Instr.Reg r)
+      | Bconst n -> Builder.mov env.b ~dst (Instr.Imm n)
+      | Barray _ -> fail e.Ast.eloc (Printf.sprintf "`%s' is an array" x))
+    | Ast.Index (a, idx) ->
+      let base, off = addr_of env e.Ast.eloc a idx in
+      Builder.load env.b ~dst ~base ~off ()
+    | Ast.Neg a ->
+      let o = eval env a in
+      Builder.binop env.b Instr.Sub ~dst ~a:Reg.zero o
+    | Ast.Not a ->
+      let r = to_reg env a in
+      Builder.cmp env.b Instr.Eq ~dst ~a:r (Instr.Imm 0)
+    | Ast.Binop (op, a, b) -> (
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem | Ast.And | Ast.Or
+      | Ast.Xor | Ast.Shl | Ast.Shr ->
+        let oa = eval env a in
+        let ob = eval env b in
+        Builder.binop env.b (ir_binop op) ~dst ~a:(operand_to_reg env oa) ob
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+        let oa = eval env a in
+        let ob = eval env b in
+        Builder.cmp env.b (ir_cmp op) ~dst ~a:(operand_to_reg env oa) ob
+      | Ast.Land | Ast.Lor ->
+        let na = normalize env a in
+        let nb = normalize env b in
+        Builder.binop env.b
+          (if op = Ast.Land then Instr.And else Instr.Or)
+          ~dst ~a:na (Instr.Reg nb)))
+
+(* A register holding the 0/1 truth value of [e]. Comparisons, [!] and
+   the logical operators already produce 0/1; anything else gets an
+   explicit [!= 0]. *)
+and normalize env (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Binop
+      ( ( Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land
+        | Ast.Lor ),
+        _,
+        _ )
+  | Ast.Not _ ->
+    to_reg env e
+  | _ ->
+    let r = to_reg env e in
+    let d = Builder.fresh_reg env.b in
+    Builder.cmp env.b Instr.Ne ~dst:d ~a:r (Instr.Imm 0);
+    d
+
+let rec stmt env (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl_const (name, e) -> declare env name (Bconst (require_const env e))
+  | Ast.Decl_var (name, init) ->
+    let r = Builder.fresh_reg env.b in
+    (match init with
+    | Some e -> eval_into env e ~dst:r
+    | None -> Builder.mov env.b ~dst:r (Instr.Imm 0));
+    declare env name (Breg r)
+  | Ast.Decl_array (name, dim, init) ->
+    let n = require_const env dim in
+    if n <= 0 then fail dim.Ast.eloc "array dimension must be positive";
+    let initf =
+      match init with
+      | None -> fun _ -> 0
+      | Some (Ast.Init_fill e) ->
+        let v = require_const env e in
+        fun _ -> v
+      | Some (Ast.Init_small seed) ->
+        let seed = require_const env seed in
+        fun i -> Data_gen.small ~seed ~index:i
+      | Some (Ast.Init_rand (seed, bound)) ->
+        let seed = require_const env seed in
+        let bound = require_const env bound in
+        fun i -> Data_gen.int ~seed ~index:i ~bound
+      | Some (Ast.Init_perm seed) ->
+        let seed = require_const env seed in
+        let p = Data_gen.permutation ~seed n in
+        fun i -> p.(i)
+    in
+    let base = Builder.alloc_array env.b ~len:n ~init:initf in
+    declare env name (Barray { base; len = n })
+  | Ast.Decl_input (name, e) ->
+    let v = require_const env e in
+    declare env name (Breg (Builder.input_reg env.b v))
+  | Ast.Assign (Ast.Lv_var x, e) -> (
+    match lookup env s.Ast.sloc x with
+    | Breg r -> eval_into env e ~dst:r
+    | _ -> fail s.Ast.sloc (Printf.sprintf "cannot assign to `%s'" x))
+  | Ast.Assign (Ast.Lv_index (a, idx), e) ->
+    let src = to_reg env e in
+    let base, off = addr_of env s.Ast.sloc a idx in
+    Builder.store env.b ~src ~base ~off ()
+  | Ast.If (cond, then_b, else_b) ->
+    let c = to_reg env cond in
+    let l_end = fresh_label env "endif" in
+    if else_b = [] then begin
+      let l_then = fresh_label env "then" in
+      Builder.branch env.b ~cond:c ~if_true:l_then ~if_false:l_end;
+      Builder.label env.b l_then;
+      block env then_b;
+      Builder.jump env.b l_end;
+      Builder.label env.b l_end
+    end
+    else begin
+      let l_then = fresh_label env "then" in
+      let l_else = fresh_label env "else" in
+      Builder.branch env.b ~cond:c ~if_true:l_then ~if_false:l_else;
+      Builder.label env.b l_then;
+      block env then_b;
+      Builder.jump env.b l_end;
+      Builder.label env.b l_else;
+      block env else_b;
+      Builder.jump env.b l_end;
+      Builder.label env.b l_end
+    end
+  | Ast.While (cond, body) ->
+    let l_head = fresh_label env "wh_head" in
+    let l_body = fresh_label env "wh_body" in
+    let l_end = fresh_label env "wh_end" in
+    Builder.label env.b l_head;
+    let c = to_reg env cond in
+    Builder.branch env.b ~cond:c ~if_true:l_body ~if_false:l_end;
+    Builder.label env.b l_body;
+    block env body;
+    Builder.jump env.b l_head;
+    Builder.label env.b l_end
+  | Ast.For (init, cond, step, body) ->
+    let env' = push env in
+    stmt env' init;
+    let l_head = fresh_label env "for_head" in
+    let l_body = fresh_label env "for_body" in
+    let l_end = fresh_label env "for_end" in
+    Builder.label env.b l_head;
+    let c = to_reg env' cond in
+    Builder.branch env.b ~cond:c ~if_true:l_body ~if_false:l_end;
+    Builder.label env.b l_body;
+    block env' body;
+    stmt env' step;
+    Builder.jump env.b l_head;
+    Builder.label env.b l_end
+  | Ast.Block body -> block env body
+
+and block env body =
+  let env' = push env in
+  List.iter (stmt env') body
+
+let lower ~scale (k : Ast.kernel) =
+  match Typecheck.check ~scale k with
+  | Error e -> Error e
+  | Ok () -> (
+    try
+      let b = Builder.create k.Ast.kname in
+      Builder.label b "entry";
+      let env = { b; frames = []; scale; labels = ref 0 } in
+      block env k.Ast.body;
+      Ok (Builder.finish b)
+    with Lower_error e -> Error e)

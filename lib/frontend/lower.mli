@@ -1,0 +1,24 @@
+(** Lowering from the [.tk] AST to the shared IR.
+
+    [lower] first runs {!Typecheck.check}, then translates the kernel
+    through {!Turnpike_ir.Builder} into a {!Turnpike_ir.Prog.t} — the
+    same representation the built-in workload templates produce — so
+    every downstream layer (pass pipeline, interpreter, fault
+    campaigns, analyses) works on user kernels unchanged.
+
+    Translation scheme:
+    - scalars ([var], [input]) live in virtual registers;
+    - [const]s and [scale] fold to immediates;
+    - arrays are allocated in the data segment in textual declaration
+      order ({!Turnpike_ir.Builder.alloc_array}), statically-indexed
+      accesses use absolute addressing off {!Turnpike_ir.Reg.zero},
+      dynamically-indexed ones compute [base + 8*i] into a temporary;
+    - structured control flow becomes top-test loop CFGs with
+      generated labels ([whN_head]/[whN_body]/[whN_end], …);
+    - [&&]/[||] evaluate both operands, normalise each to 0/1 and
+      combine with bitwise [And]/[Or] (documented non-short-circuit
+      semantics). *)
+
+val lower : scale:int -> Ast.kernel -> (Turnpike_ir.Prog.t, Srcloc.error) result
+(** [lower ~scale k] typechecks and lowers [k]. The builtin [scale]
+    constant takes the given value (must be positive). *)

@@ -1,0 +1,328 @@
+(* Recursive-descent parser for the .tk kernel language. The token
+   stream is materialised into an array; a single exception is used
+   internally for error propagation and caught at the [parse] boundary,
+   so callers only ever see [result]. *)
+
+exception Parse_error of Srcloc.error
+
+type state = { toks : Token.t array; mutable i : int }
+
+let cur st = st.toks.(st.i)
+
+let advance st = if st.i < Array.length st.toks - 1 then st.i <- st.i + 1
+
+let fail_at loc msg = raise (Parse_error { Srcloc.loc; msg })
+
+let expect st kind what =
+  let t = cur st in
+  if t.Token.kind = kind then (advance st; t.Token.loc)
+  else
+    fail_at t.Token.loc
+      (Printf.sprintf "expected %s before %s%s"
+         (Token.kind_to_string kind)
+         (Token.kind_to_string t.Token.kind)
+         (if what = "" then "" else " (" ^ what ^ ")"))
+
+let expect_ident st what =
+  let t = cur st in
+  match t.Token.kind with
+  | Token.IDENT s ->
+    advance st;
+    (s, t.Token.loc)
+  | k ->
+    fail_at t.Token.loc
+      (Printf.sprintf "expected %s before %s" what (Token.kind_to_string k))
+
+(* --- expressions ------------------------------------------------- *)
+
+(* Binary-operator precedence climbing. Levels from loosest (0) to
+   tightest; each level lists its operators. *)
+let levels : (Token.kind * Ast.binop) list array =
+  [|
+    [ (Token.OROR, Ast.Lor) ];
+    [ (Token.ANDAND, Ast.Land) ];
+    [ (Token.PIPE, Ast.Or) ];
+    [ (Token.CARET, Ast.Xor) ];
+    [ (Token.AMP, Ast.And) ];
+    [ (Token.EQ, Ast.Eq); (Token.NE, Ast.Ne) ];
+    [
+      (Token.LT, Ast.Lt);
+      (Token.LE, Ast.Le);
+      (Token.GT, Ast.Gt);
+      (Token.GE, Ast.Ge);
+    ];
+    [ (Token.SHL, Ast.Shl); (Token.SHR, Ast.Shr) ];
+    [ (Token.PLUS, Ast.Add); (Token.MINUS, Ast.Sub) ];
+    [ (Token.STAR, Ast.Mul); (Token.SLASH, Ast.Div); (Token.PERCENT, Ast.Rem) ];
+  |]
+
+let rec parse_expr st = parse_level st 0
+
+and parse_level st lvl =
+  if lvl >= Array.length levels then parse_unary st
+  else begin
+    let lhs = ref (parse_level st (lvl + 1)) in
+    let continue = ref true in
+    while !continue do
+      match List.assoc_opt (cur st).Token.kind levels.(lvl) with
+      | Some op ->
+        advance st;
+        let rhs = parse_level st (lvl + 1) in
+        lhs :=
+          {
+            Ast.desc = Ast.Binop (op, !lhs, rhs);
+            eloc = Srcloc.merge !lhs.Ast.eloc rhs.Ast.eloc;
+          }
+      | None -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  let t = cur st in
+  match t.Token.kind with
+  | Token.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Neg e; eloc = Srcloc.merge t.Token.loc e.Ast.eloc }
+  | Token.BANG ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Not e; eloc = Srcloc.merge t.Token.loc e.Ast.eloc }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = cur st in
+  match t.Token.kind with
+  | Token.INT n ->
+    advance st;
+    { Ast.desc = Ast.Int n; eloc = t.Token.loc }
+  | Token.IDENT s ->
+    advance st;
+    if (cur st).Token.kind = Token.LBRACKET then begin
+      advance st;
+      let idx = parse_expr st in
+      let close = expect st Token.RBRACKET "array index" in
+      {
+        Ast.desc = Ast.Index (s, idx);
+        eloc = Srcloc.merge t.Token.loc close;
+      }
+    end
+    else { Ast.desc = Ast.Var s; eloc = t.Token.loc }
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    let close = expect st Token.RPAREN "parenthesised expression" in
+    { e with Ast.eloc = Srcloc.merge t.Token.loc close }
+  | k ->
+    fail_at t.Token.loc
+      (Printf.sprintf "expected an expression before %s"
+         (Token.kind_to_string k))
+
+(* --- statements --------------------------------------------------- *)
+
+let parse_array_init st =
+  let t = cur st in
+  match t.Token.kind with
+  | Token.IDENT ("small" | "rand" | "perm")
+    when st.i + 1 < Array.length st.toks
+         && st.toks.(st.i + 1).Token.kind = Token.LPAREN -> (
+    let name = match t.Token.kind with Token.IDENT s -> s | _ -> assert false in
+    advance st;
+    advance st;
+    match name with
+    | "small" ->
+      let seed = parse_expr st in
+      let _ = expect st Token.RPAREN "small(seed)" in
+      Ast.Init_small seed
+    | "rand" ->
+      let seed = parse_expr st in
+      let _ = expect st Token.COMMA "rand(seed, bound)" in
+      let bound = parse_expr st in
+      let _ = expect st Token.RPAREN "rand(seed, bound)" in
+      Ast.Init_rand (seed, bound)
+    | _ ->
+      let seed = parse_expr st in
+      let _ = expect st Token.RPAREN "perm(seed)" in
+      Ast.Init_perm seed)
+  | _ -> Ast.Init_fill (parse_expr st)
+
+let rec parse_stmt st =
+  let t = cur st in
+  match t.Token.kind with
+  | Token.KW_CONST ->
+    advance st;
+    let name, _ = expect_ident st "a constant name" in
+    let _ = expect st Token.ASSIGN "const declaration" in
+    let e = parse_expr st in
+    let close = expect st Token.SEMI "const declaration" in
+    { Ast.sdesc = Ast.Decl_const (name, e); sloc = Srcloc.merge t.Token.loc close }
+  | Token.KW_VAR ->
+    advance st;
+    let name, _ = expect_ident st "a variable name" in
+    let init =
+      if (cur st).Token.kind = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    let close = expect st Token.SEMI "var declaration" in
+    { Ast.sdesc = Ast.Decl_var (name, init); sloc = Srcloc.merge t.Token.loc close }
+  | Token.KW_ARRAY ->
+    advance st;
+    let name, _ = expect_ident st "an array name" in
+    let _ = expect st Token.LBRACKET "array declaration" in
+    let dim = parse_expr st in
+    let _ = expect st Token.RBRACKET "array declaration" in
+    let init =
+      if (cur st).Token.kind = Token.ASSIGN then begin
+        advance st;
+        Some (parse_array_init st)
+      end
+      else None
+    in
+    let close = expect st Token.SEMI "array declaration" in
+    {
+      Ast.sdesc = Ast.Decl_array (name, dim, init);
+      sloc = Srcloc.merge t.Token.loc close;
+    }
+  | Token.KW_INPUT ->
+    advance st;
+    let name, _ = expect_ident st "an input name" in
+    let _ = expect st Token.ASSIGN "input declaration" in
+    let e = parse_expr st in
+    let close = expect st Token.SEMI "input declaration" in
+    { Ast.sdesc = Ast.Decl_input (name, e); sloc = Srcloc.merge t.Token.loc close }
+  | Token.KW_IF ->
+    advance st;
+    let _ = expect st Token.LPAREN "if condition" in
+    let cond = parse_expr st in
+    let _ = expect st Token.RPAREN "if condition" in
+    let then_b, then_loc = parse_block st in
+    let else_b, close =
+      if (cur st).Token.kind = Token.KW_ELSE then begin
+        advance st;
+        if (cur st).Token.kind = Token.KW_IF then begin
+          let s = parse_stmt st in
+          ([ s ], s.Ast.sloc)
+        end
+        else
+          let b, l = parse_block st in
+          (b, l)
+      end
+      else ([], then_loc)
+    in
+    {
+      Ast.sdesc = Ast.If (cond, then_b, else_b);
+      sloc = Srcloc.merge t.Token.loc close;
+    }
+  | Token.KW_WHILE ->
+    advance st;
+    let _ = expect st Token.LPAREN "while condition" in
+    let cond = parse_expr st in
+    let _ = expect st Token.RPAREN "while condition" in
+    let body, close = parse_block st in
+    { Ast.sdesc = Ast.While (cond, body); sloc = Srcloc.merge t.Token.loc close }
+  | Token.KW_FOR ->
+    advance st;
+    let _ = expect st Token.LPAREN "for header" in
+    let init = parse_for_init st in
+    let cond = parse_expr st in
+    let _ = expect st Token.SEMI "for header" in
+    let step = parse_for_step st in
+    let _ = expect st Token.RPAREN "for header" in
+    let body, close = parse_block st in
+    {
+      Ast.sdesc = Ast.For (init, cond, step, body);
+      sloc = Srcloc.merge t.Token.loc close;
+    }
+  | Token.LBRACE ->
+    let body, loc = parse_block st in
+    { Ast.sdesc = Ast.Block body; sloc = loc }
+  | Token.IDENT _ ->
+    let lv, lv_loc = parse_lvalue st in
+    let _ = expect st Token.ASSIGN "assignment" in
+    let e = parse_expr st in
+    let close = expect st Token.SEMI "assignment" in
+    { Ast.sdesc = Ast.Assign (lv, e); sloc = Srcloc.merge lv_loc close }
+  | k ->
+    fail_at t.Token.loc
+      (Printf.sprintf "expected a statement before %s" (Token.kind_to_string k))
+
+and parse_lvalue st =
+  let name, loc = expect_ident st "an assignment target" in
+  if (cur st).Token.kind = Token.LBRACKET then begin
+    advance st;
+    let idx = parse_expr st in
+    let close = expect st Token.RBRACKET "array index" in
+    (Ast.Lv_index (name, idx), Srcloc.merge loc close)
+  end
+  else (Ast.Lv_var name, loc)
+
+(* The init clause of a for header: a var declaration or an assignment,
+   terminated by the header's `;'. *)
+and parse_for_init st =
+  let t = cur st in
+  match t.Token.kind with
+  | Token.KW_VAR ->
+    advance st;
+    let name, _ = expect_ident st "a variable name" in
+    let _ = expect st Token.ASSIGN "for-init declaration" in
+    let e = parse_expr st in
+    let close = expect st Token.SEMI "for header" in
+    {
+      Ast.sdesc = Ast.Decl_var (name, Some e);
+      sloc = Srcloc.merge t.Token.loc close;
+    }
+  | _ ->
+    let lv, lv_loc = parse_lvalue st in
+    let _ = expect st Token.ASSIGN "for-init assignment" in
+    let e = parse_expr st in
+    let close = expect st Token.SEMI "for header" in
+    { Ast.sdesc = Ast.Assign (lv, e); sloc = Srcloc.merge lv_loc close }
+
+(* The step clause: an assignment with no trailing `;'. *)
+and parse_for_step st =
+  let lv, lv_loc = parse_lvalue st in
+  let _ = expect st Token.ASSIGN "for-step assignment" in
+  let e = parse_expr st in
+  { Ast.sdesc = Ast.Assign (lv, e); sloc = Srcloc.merge lv_loc e.Ast.eloc }
+
+and parse_block st =
+  let open_loc = expect st Token.LBRACE "block" in
+  let stmts = ref [] in
+  while
+    (cur st).Token.kind <> Token.RBRACE && (cur st).Token.kind <> Token.EOF
+  do
+    stmts := parse_stmt st :: !stmts
+  done;
+  let close = expect st Token.RBRACE "block" in
+  (List.rev !stmts, Srcloc.merge open_loc close)
+
+let parse_kernel st =
+  let _ = expect st Token.KW_KERNEL "kernel header" in
+  let name, name_loc = expect_ident st "a kernel name" in
+  let body, _ = parse_block st in
+  (match (cur st).Token.kind with
+  | Token.EOF -> ()
+  | k ->
+    fail_at (cur st).Token.loc
+      (Printf.sprintf "expected end of input after kernel body, found %s"
+         (Token.kind_to_string k)));
+  { Ast.kname = name; kname_loc = name_loc; body }
+
+let parse ~file src =
+  match Lexer.tokenize ~file src with
+  | Error e -> Error e
+  | Ok [] ->
+    (* tokenize always ends with EOF, so this is unreachable; keep the
+       match total without an assert. *)
+    Error
+      {
+        Srcloc.loc = Srcloc.point ~file { Srcloc.line = 1; col = 1 };
+        msg = "empty input";
+      }
+  | Ok toks -> (
+    let st = { toks = Array.of_list toks; i = 0 } in
+    try Ok (parse_kernel st) with Parse_error e -> Error e)

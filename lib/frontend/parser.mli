@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the [.tk] kernel language.
+
+    Consumes the token stream from {!Lexer.tokenize} and produces an
+    {!Ast.kernel}, or the first syntax error with the location of the
+    offending token. Like the lexer, the parser never lets an exception
+    escape: every malformed input is a located [Error].
+
+    Expression precedence is C's, from loosest to tightest:
+    [||] < [&&] < [|] < [^] < [&] < [==]/[!=] <
+    [<]/[<=]/[>]/[>=] < [<<]/[>>] < [+]/[-] < [*]/[/]/[%] <
+    unary [-]/[!]. All binary operators are left-associative. *)
+
+val parse : file:string -> string -> (Ast.kernel, Srcloc.error) result
+(** [parse ~file src] lexes and parses [src]. [file] is used in
+    diagnostics only. *)

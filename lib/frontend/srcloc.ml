@@ -1,0 +1,33 @@
+(* Source positions for the .tk frontend. Lines/columns are 1-based. *)
+
+type pos = { line : int; col : int }
+
+type t = { file : string; start_p : pos; end_p : pos }
+
+let make ~file ~start_p ~end_p = { file; start_p; end_p }
+
+let point ~file p = { file; start_p = p; end_p = p }
+
+let pos_le a b = a.line < b.line || (a.line = b.line && a.col <= b.col)
+
+let merge a b =
+  {
+    file = a.file;
+    start_p = (if pos_le a.start_p b.start_p then a.start_p else b.start_p);
+    end_p = (if pos_le a.end_p b.end_p then b.end_p else a.end_p);
+  }
+
+let to_string l =
+  if l.start_p.line = l.end_p.line then
+    if l.start_p.col = l.end_p.col then
+      Printf.sprintf "%s:%d:%d" l.file l.start_p.line l.start_p.col
+    else
+      Printf.sprintf "%s:%d:%d-%d" l.file l.start_p.line l.start_p.col
+        l.end_p.col
+  else
+    Printf.sprintf "%s:%d.%d-%d.%d" l.file l.start_p.line l.start_p.col
+      l.end_p.line l.end_p.col
+
+type error = { loc : t; msg : string }
+
+let error_to_string e = Printf.sprintf "%s: error: %s" (to_string e.loc) e.msg

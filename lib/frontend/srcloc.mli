@@ -1,0 +1,35 @@
+(** Source positions and located diagnostics for the [.tk] frontend.
+
+    Every token, AST node and frontend error carries a {!t} so that
+    diagnostics can point at the offending span
+    ([file:line:col-col: message]). Lines and columns are 1-based, the
+    way editors count them. *)
+
+type pos = { line : int; col : int }
+(** A 1-based (line, column) position. *)
+
+type t = {
+  file : string;  (** path as given to the parser, or ["<string>"] *)
+  start_p : pos;
+  end_p : pos;  (** inclusive end of the span *)
+}
+
+val make : file:string -> start_p:pos -> end_p:pos -> t
+
+val point : file:string -> pos -> t
+(** A zero-width span at one position. *)
+
+val merge : t -> t -> t
+(** Smallest span covering both (same file assumed; keeps the first
+    file name). *)
+
+val to_string : t -> string
+(** [file:line:col] or [file:line:col-col] (or a two-line span as
+    [file:l.c-l.c]) — the prefix every rendered diagnostic uses. *)
+
+type error = { loc : t; msg : string }
+(** A located frontend diagnostic. The frontend never lets an exception
+    escape on malformed input — every failure is one of these. *)
+
+val error_to_string : error -> string
+(** ["file:line:col: error: msg"]. *)

@@ -1,0 +1,49 @@
+(* High-level .tk frontend entry points. *)
+
+module Suite = Turnpike_workloads.Suite
+
+let is_tk_file path = Filename.check_suffix path ".tk"
+
+let parse_string ?(file = "<string>") src = Parser.parse ~file src
+
+let compile_string ?(file = "<string>") ~scale src =
+  match Parser.parse ~file src with
+  | Error e -> Error (Srcloc.error_to_string e)
+  | Ok ast -> (
+    match Lower.lower ~scale ast with
+    | Error e -> Error (Srcloc.error_to_string e)
+    | Ok prog -> Ok prog)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error msg -> Error (Printf.sprintf "%s: error: %s" path msg)
+
+let compile_file ~scale path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok src -> compile_string ~file:path ~scale src
+
+let entry_of_file path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok src -> (
+    match Parser.parse ~file:path src with
+    | Error e -> Error (Srcloc.error_to_string e)
+    | Ok ast -> (
+      (* validate once at scale 1 so obviously-broken kernels are
+         rejected here rather than deep inside a campaign *)
+      match Lower.lower ~scale:1 ast with
+      | Error e -> Error (Srcloc.error_to_string e)
+      | Ok _ ->
+        Ok
+          {
+            Suite.name = ast.Ast.kname;
+            suite = Suite.User;
+            description = Printf.sprintf "user kernel from %s" path;
+            build =
+              (fun ~scale ->
+                match Lower.lower ~scale ast with
+                | Ok prog -> prog
+                | Error e -> failwith (Srcloc.error_to_string e));
+          }))

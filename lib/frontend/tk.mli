@@ -1,0 +1,37 @@
+(** High-level entry points for the [.tk] frontend: one-call helpers
+    that take kernel source text (or a file path) to a parsed AST, a
+    lowered IR program, or a {!Turnpike_workloads.Suite.entry} that
+    plugs into every existing driver (run/trace/lint/inject/report).
+
+    All functions return [result]; no exception escapes on malformed
+    input. Errors are pre-rendered [file:line:col: error: message]
+    strings ready for stderr. *)
+
+val is_tk_file : string -> bool
+(** [is_tk_file path]: does [path] end in [.tk]? Used by the CLI to
+    decide whether a workload argument is a file or a benchmark name. *)
+
+val parse_string :
+  ?file:string -> string -> (Ast.kernel, Srcloc.error) result
+(** Parse kernel source text. [file] (default ["<string>"]) is used in
+    diagnostics only. No semantic checks; see {!compile_string}. *)
+
+val compile_string :
+  ?file:string -> scale:int -> string -> (Turnpike_ir.Prog.t, string) result
+(** Parse, typecheck and lower source text at the given [scale]
+    (the value of the builtin [scale] constant). *)
+
+val compile_file : scale:int -> string -> (Turnpike_ir.Prog.t, string) result
+(** [compile_file ~scale path]: {!compile_string} on the contents of
+    [path]. I/O failures are reported as [Error] too. *)
+
+val entry_of_file : string -> (Turnpike_workloads.Suite.entry, string) result
+(** [entry_of_file path] reads and validates [path] (at scale 1) and
+    packages it as a suite entry with the {!Turnpike_workloads.Suite.User}
+    tag: [name] is the kernel's declared name (qualified as
+    ["<name>@tk"]), [build ~scale] re-lowers at the requested scale.
+
+    [build] raises [Failure] if lowering fails at some scale other
+    than the validated one (e.g. a [scale]-dependent array dimension
+    turning non-positive) — callers that vary scale should be prepared
+    for that; the CLI reports it as a normal diagnostic. *)

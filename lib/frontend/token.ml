@@ -1,0 +1,87 @@
+(* Tokens of the .tk kernel language. *)
+
+type kind =
+  | INT of int
+  | IDENT of string
+  | KW_KERNEL
+  | KW_CONST
+  | KW_VAR
+  | KW_ARRAY
+  | KW_INPUT
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type t = { kind : kind; loc : Srcloc.t }
+
+let kind_to_string = function
+  | INT n -> Printf.sprintf "integer literal %d" n
+  | IDENT s -> Printf.sprintf "identifier `%s'" s
+  | KW_KERNEL -> "`kernel'"
+  | KW_CONST -> "`const'"
+  | KW_VAR -> "`var'"
+  | KW_ARRAY -> "`array'"
+  | KW_INPUT -> "`input'"
+  | KW_IF -> "`if'"
+  | KW_ELSE -> "`else'"
+  | KW_FOR -> "`for'"
+  | KW_WHILE -> "`while'"
+  | LPAREN -> "`('"
+  | RPAREN -> "`)'"
+  | LBRACE -> "`{'"
+  | RBRACE -> "`}'"
+  | LBRACKET -> "`['"
+  | RBRACKET -> "`]'"
+  | SEMI -> "`;'"
+  | COMMA -> "`,'"
+  | ASSIGN -> "`='"
+  | PLUS -> "`+'"
+  | MINUS -> "`-'"
+  | STAR -> "`*'"
+  | SLASH -> "`/'"
+  | PERCENT -> "`%'"
+  | AMP -> "`&'"
+  | PIPE -> "`|'"
+  | CARET -> "`^'"
+  | SHL -> "`<<'"
+  | SHR -> "`>>'"
+  | EQ -> "`=='"
+  | NE -> "`!='"
+  | LT -> "`<'"
+  | LE -> "`<='"
+  | GT -> "`>'"
+  | GE -> "`>='"
+  | ANDAND -> "`&&'"
+  | OROR -> "`||'"
+  | BANG -> "`!'"
+  | EOF -> "end of input"

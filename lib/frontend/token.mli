@@ -1,0 +1,51 @@
+(** Tokens of the [.tk] kernel language.
+
+    Produced by {!Lexer.tokenize}; every token carries the {!Srcloc.t}
+    of its lexeme so parser diagnostics can point at it. *)
+
+type kind =
+  | INT of int  (** decimal or [0x] hexadecimal literal *)
+  | IDENT of string
+  | KW_KERNEL
+  | KW_CONST
+  | KW_VAR
+  | KW_ARRAY
+  | KW_INPUT
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN  (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | SHL  (** [<<] *)
+  | SHR  (** [>>] *)
+  | EQ  (** [==] *)
+  | NE  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND  (** [&&] *)
+  | OROR  (** [||] *)
+  | BANG  (** [!] *)
+  | EOF
+
+type t = { kind : kind; loc : Srcloc.t }
+
+val kind_to_string : kind -> string
+(** Rendering used in parser diagnostics (["`while'"], ["`<<'"], …). *)

@@ -1,0 +1,230 @@
+(* Semantic analysis for .tk kernels. A single traversal over the AST
+   with a scoped symbol table; errors propagate via an internal
+   exception caught at the [check] boundary. *)
+
+exception Sem_error of Srcloc.error
+
+let fail loc msg = raise (Sem_error { Srcloc.loc; msg })
+
+(* What a name denotes. Constants carry their value so constant
+   expressions can be folded during checking. *)
+type info =
+  | Kconst of int
+  | Kinput
+  | Kvar
+  | Karray of int  (** element count *)
+
+(* [in_cf] is true inside if/while/for bodies: arrays and inputs are
+   statically allocated/initialised, so declaring them under control
+   flow would misleadingly suggest per-iteration re-initialisation. *)
+type env = { frames : (string, info) Hashtbl.t list; scale : int; in_cf : bool }
+
+let push env = { env with frames = Hashtbl.create 16 :: env.frames }
+
+let lookup env name =
+  let rec go = function
+    | [] -> None
+    | f :: rest -> (
+      match Hashtbl.find_opt f name with Some i -> Some i | None -> go rest)
+  in
+  go env.frames
+
+let declare env loc name info =
+  match env.frames with
+  | [] -> assert false
+  | f :: _ ->
+    if Hashtbl.mem f name then
+      fail loc (Printf.sprintf "`%s' is already declared in this scope" name)
+    else if name = "scale" then
+      fail loc "`scale' is a builtin constant and cannot be redeclared"
+    else Hashtbl.replace f name info
+
+let kind_name = function
+  | Kconst _ -> "a constant"
+  | Kinput -> "an input"
+  | Kvar -> "a variable"
+  | Karray _ -> "an array"
+
+(* Fold a constant expression, or [None] if it mentions anything
+   runtime-dependent. Semantics match the interpreter: division and
+   remainder by zero yield 0; shifts mask their count to 6 bits. *)
+let rec const_eval env (e : Ast.expr) : int option =
+  match e.Ast.desc with
+  | Ast.Int n -> Some n
+  | Ast.Var "scale" -> Some env.scale
+  | Ast.Var x -> (
+    match lookup env x with Some (Kconst n) -> Some n | _ -> None)
+  | Ast.Index _ -> None
+  | Ast.Neg a -> Option.map (fun n -> -n) (const_eval env a)
+  | Ast.Not a ->
+    Option.map (fun n -> if n = 0 then 1 else 0) (const_eval env a)
+  | Ast.Binop (op, a, b) -> (
+    match (const_eval env a, const_eval env b) with
+    | Some x, Some y -> Some (const_binop op x y)
+    | _ -> None)
+
+and const_binop op x y =
+  match op with
+  | Ast.Add -> x + y
+  | Ast.Sub -> x - y
+  | Ast.Mul -> x * y
+  | Ast.Div -> if y = 0 then 0 else x / y
+  | Ast.Rem -> if y = 0 then 0 else x mod y
+  | Ast.And -> x land y
+  | Ast.Or -> x lor y
+  | Ast.Xor -> x lxor y
+  | Ast.Shl -> x lsl (y land 63)
+  | Ast.Shr -> x asr (y land 63)
+  | Ast.Eq -> if x = y then 1 else 0
+  | Ast.Ne -> if x <> y then 1 else 0
+  | Ast.Lt -> if x < y then 1 else 0
+  | Ast.Le -> if x <= y then 1 else 0
+  | Ast.Gt -> if x > y then 1 else 0
+  | Ast.Ge -> if x >= y then 1 else 0
+  | Ast.Land -> if x <> 0 && y <> 0 then 1 else 0
+  | Ast.Lor -> if x <> 0 || y <> 0 then 1 else 0
+
+let require_const env (e : Ast.expr) what =
+  match const_eval env e with
+  | Some n -> n
+  | None ->
+    fail e.Ast.eloc
+      (Printf.sprintf
+         "%s must be a compile-time constant (literals, `const's and `scale')"
+         what)
+
+(* Check an expression in value position. *)
+let rec check_expr env (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int _ -> ()
+  | Ast.Var "scale" -> ()
+  | Ast.Var x -> (
+    match lookup env x with
+    | None -> fail e.Ast.eloc (Printf.sprintf "`%s' is not declared" x)
+    | Some (Karray _) ->
+      fail e.Ast.eloc
+        (Printf.sprintf "`%s' is an array; index it as `%s[...]'" x x)
+    | Some _ -> ())
+  | Ast.Index (x, idx) -> (
+    check_expr env idx;
+    match lookup env x with
+    | None -> fail e.Ast.eloc (Printf.sprintf "`%s' is not declared" x)
+    | Some (Karray len) -> check_index env x len idx
+    | Some k ->
+      fail e.Ast.eloc
+        (Printf.sprintf "`%s' is %s, not an array" x (kind_name k)))
+  | Ast.Neg a | Ast.Not a -> check_expr env a
+  | Ast.Binop (_, a, b) ->
+    check_expr env a;
+    check_expr env b
+
+and check_index env x len idx =
+  match const_eval env idx with
+  | Some i when i < 0 || i >= len ->
+    fail idx.Ast.eloc
+      (Printf.sprintf "index %d is out of bounds for `%s' (length %d)" i x len)
+  | _ -> ()
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl_const (name, e) ->
+    check_expr env e;
+    let v = require_const env e "a `const' initialiser" in
+    declare env s.Ast.sloc name (Kconst v)
+  | Ast.Decl_var (name, init) ->
+    Option.iter (check_expr env) init;
+    declare env s.Ast.sloc name Kvar
+  | Ast.Decl_array (name, dim, init) ->
+    if env.in_cf then
+      fail s.Ast.sloc
+        "arrays are statically allocated; declare them outside `if'/`while'/`for'";
+    check_expr env dim;
+    let n = require_const env dim "an array dimension" in
+    if n <= 0 then
+      fail dim.Ast.eloc
+        (Printf.sprintf "array dimension must be positive (got %d)" n);
+    (match init with
+    | None -> ()
+    | Some (Ast.Init_fill e) ->
+      check_expr env e;
+      ignore (require_const env e "an array fill value")
+    | Some (Ast.Init_small seed) ->
+      check_expr env seed;
+      ignore (require_const env seed "a `small' seed")
+    | Some (Ast.Init_rand (seed, bound)) ->
+      check_expr env seed;
+      check_expr env bound;
+      ignore (require_const env seed "a `rand' seed");
+      let b = require_const env bound "a `rand' bound" in
+      if b <= 0 then
+        fail bound.Ast.eloc
+          (Printf.sprintf "`rand' bound must be positive (got %d)" b)
+    | Some (Ast.Init_perm seed) ->
+      check_expr env seed;
+      ignore (require_const env seed "a `perm' seed"));
+    declare env s.Ast.sloc name (Karray n)
+  | Ast.Decl_input (name, e) ->
+    if env.in_cf then
+      fail s.Ast.sloc
+        "inputs are initialised before execution; declare them outside `if'/`while'/`for'";
+    check_expr env e;
+    ignore (require_const env e "an `input' value");
+    declare env s.Ast.sloc name Kinput
+  | Ast.Assign (lv, e) ->
+    check_expr env e;
+    check_lvalue env s.Ast.sloc lv
+  | Ast.If (cond, then_b, else_b) ->
+    check_expr env cond;
+    let env' = { env with in_cf = true } in
+    check_block env' then_b;
+    check_block env' else_b
+  | Ast.While (cond, body) ->
+    check_expr env cond;
+    check_block { env with in_cf = true } body
+  | Ast.For (init, cond, step, body) ->
+    (* The for header and body share one scope: a variable declared in
+       the init clause is visible in cond, step and body. *)
+    let env' = push { env with in_cf = true } in
+    check_stmt env' init;
+    check_expr env' cond;
+    List.iter (check_stmt env') body;
+    check_stmt env' step
+  | Ast.Block body -> check_block env body
+
+and check_lvalue env loc = function
+  | Ast.Lv_var "scale" ->
+    fail loc "cannot assign to the builtin constant `scale'"
+  | Ast.Lv_var x -> (
+    match lookup env x with
+    | None -> fail loc (Printf.sprintf "`%s' is not declared" x)
+    | Some Kvar -> ()
+    | Some (Karray _) ->
+      fail loc
+        (Printf.sprintf "cannot assign to array `%s' without an index" x)
+    | Some k ->
+      fail loc (Printf.sprintf "cannot assign to %s (`%s')" (kind_name k) x))
+  | Ast.Lv_index (x, idx) -> (
+    check_expr env idx;
+    match lookup env x with
+    | None -> fail loc (Printf.sprintf "`%s' is not declared" x)
+    | Some (Karray len) -> check_index env x len idx
+    | Some k ->
+      fail loc (Printf.sprintf "`%s' is %s, not an array" x (kind_name k)))
+
+and check_block env body =
+  let env' = push env in
+  List.iter (check_stmt env') body
+
+let check ~scale (k : Ast.kernel) =
+  if scale <= 0 then
+    Error
+      {
+        Srcloc.loc = k.Ast.kname_loc;
+        msg = Printf.sprintf "scale must be positive (got %d)" scale;
+      }
+  else
+    let env = { frames = []; scale; in_cf = false } in
+    try
+      check_block env k.Ast.body;
+      Ok ()
+    with Sem_error e -> Error e

@@ -1,0 +1,30 @@
+(** Semantic analysis for [.tk] kernels.
+
+    Checks, before lowering:
+    - every name is declared before use, and never redeclared in the
+      same scope (lexical scoping; inner blocks may shadow);
+    - scalars and arrays are used as such ([a[i]] needs an array, a
+      bare [a] needs a scalar);
+    - [const] and [input] names are never assignment targets;
+    - constant contexts ([const] initialisers, array dimensions,
+      [input] values, array-initialiser seeds/bounds) really are
+      compile-time constants — built from literals, earlier [const]s
+      and the builtin [scale];
+    - array dimensions are positive, and statically-known indices are
+      in bounds;
+    - [array] and [input] declarations sit outside [if]/[while]/[for]
+      bodies (they are statically allocated and initialised once, so a
+      declaration under control flow would misleadingly suggest
+      per-iteration re-initialisation).
+
+    [scale] is needed because constant expressions may mention the
+    builtin [scale]; the same value must be passed to {!Lower.lower}. *)
+
+val check : scale:int -> Ast.kernel -> (unit, Srcloc.error) result
+(** [check ~scale k] returns the first semantic error, if any. *)
+
+val const_binop : Ast.binop -> int -> int -> int
+(** Compile-time arithmetic, shared with {!Lower}'s constant folder.
+    Matches the interpreter: division/remainder by zero yield 0,
+    shift counts are masked to 6 bits, comparisons and the logical
+    operators yield 0/1. *)

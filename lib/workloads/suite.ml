@@ -8,7 +8,7 @@
 
 open Turnpike_ir
 
-type suite_tag = Cpu2006 | Cpu2017 | Splash3
+type suite_tag = Cpu2006 | Cpu2017 | Splash3 | User
 
 type entry = {
   name : string;
@@ -21,6 +21,7 @@ let suite_name = function
   | Cpu2006 -> "SPEC CPU2006"
   | Cpu2017 -> "SPEC CPU2017"
   | Splash3 -> "SPLASH3"
+  | User -> "user"
 
 let e name suite description build = { name; suite; description; build }
 
@@ -122,3 +123,4 @@ let qualified_name b =
   | Cpu2006 -> b.name ^ "@2006"
   | Cpu2017 -> b.name ^ "@2017"
   | Splash3 -> b.name ^ "@splash3"
+  | User -> b.name ^ "@tk"

@@ -6,7 +6,11 @@
 
 open Turnpike_ir
 
-type suite_tag = Cpu2006 | Cpu2017 | Splash3
+type suite_tag =
+  | Cpu2006
+  | Cpu2017
+  | Splash3
+  | User  (** bring-your-own-workload kernels, e.g. loaded from [.tk] files *)
 
 type entry = {
   name : string;  (** the paper's benchmark name *)

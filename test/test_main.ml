@@ -11,6 +11,7 @@ let () =
       ("forensics", Test_forensics.tests);
       ("vuln", Test_vuln.tests);
       ("workloads", Test_workloads.tests);
+      ("frontend", Test_frontend.tests);
       ("core", Test_core.tests);
       ("sweep", Test_sweep.tests);
       ("parallel", Test_parallel.tests);

@@ -17,7 +17,12 @@
 #                             byte-identical at any job count and across
 #                             fork vs scratch replay (and that the report
 #                             subcommand convicts a planted compiler bug),
-#                             and (advisorily) that the odoc docs build.
+#                             that .tk kernel compiles and campaigns are
+#                             byte-identical at any job count, that a bad
+#                             --pipeline spec exits 1 with a diagnostic,
+#                             that every command block in docs/TUTORIAL.md
+#                             runs verbatim, and (advisorily) that the
+#                             odoc docs build.
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -203,6 +208,60 @@ dune exec --no-build bin/turnpike_cli.exe -- explore --grid tiny --scale 1 \
 diff "$tmp/explore_static_j1.txt" "$tmp/explore_static_j4.txt"
 grep -q 'static=4' "$tmp/explore_static_j1.txt"
 grep -q 're-validation at full scale: ok' "$tmp/explore_static_j1.txt"
+
+echo "== .tk smoke: compile + campaign byte-identical at --jobs 1 vs --jobs 4 =="
+# The .tk frontend feeds the same deterministic machinery: the compile
+# listing and a fault campaign on a user kernel must not depend on the
+# worker count.
+dune exec --no-build bin/turnpike_cli.exe -- compile examples/triad.tk \
+  --scale 2 --jobs 1 --pipeline=default > "$tmp/tk_compile_j1.txt"
+dune exec --no-build bin/turnpike_cli.exe -- compile examples/triad.tk \
+  --scale 2 --jobs 4 --pipeline=default > "$tmp/tk_compile_j4.txt"
+diff "$tmp/tk_compile_j1.txt" "$tmp/tk_compile_j4.txt"
+grep -q 'passes:' "$tmp/tk_compile_j1.txt"
+dune exec --no-build bin/turnpike_cli.exe -- inject -b examples/triad.tk \
+  --scale 2 -n 16 --seed 3 --jobs 1 > "$tmp/tk_inject_j1.txt"
+dune exec --no-build bin/turnpike_cli.exe -- inject -b examples/triad.tk \
+  --scale 2 -n 16 --seed 3 --jobs 4 > "$tmp/tk_inject_j4.txt"
+diff "$tmp/tk_inject_j1.txt" "$tmp/tk_inject_j4.txt"
+grep -q 'triad@tk' "$tmp/tk_inject_j1.txt"
+
+echo "== .tk smoke: bad --pipeline specs exit 1 with a diagnostic =="
+if dune exec --no-build bin/turnpike_cli.exe -- compile examples/triad.tk \
+     --pipeline=nope > /dev/null 2> "$tmp/pipe_unknown.err"; then
+  echo "compile should have rejected an unknown pass" >&2
+  exit 1
+fi
+grep -q "unknown pass \`nope'" "$tmp/pipe_unknown.err"
+if dune exec --no-build bin/turnpike_cli.exe -- compile examples/triad.tk \
+     --pipeline=-regalloc > /dev/null 2> "$tmp/pipe_mandatory.err"; then
+  echo "compile should have rejected dropping a mandatory pass" >&2
+  exit 1
+fi
+grep -q 'mandatory' "$tmp/pipe_mandatory.err"
+if dune exec --no-build bin/turnpike_cli.exe -- compile examples/triad.tk \
+     --pipeline=regalloc,livm,partition_and_checkpoint,region_metadata \
+     > /dev/null 2> "$tmp/pipe_order.err"; then
+  echo "compile should have rejected an unsound pass order" >&2
+  exit 1
+fi
+grep -q 'must run before' "$tmp/pipe_order.err"
+
+echo "== tutorial smoke: docs/TUTORIAL.md command blocks run verbatim =="
+# Every ```sh block in the tutorial executes in a scratch directory with
+# turnpike-cli shimmed to the freshly built binary.
+repo="$PWD"
+mkdir -p "$tmp/shim" "$tmp/tutorial"
+printf '#!/usr/bin/env bash\nexec "%s/_build/default/bin/turnpike_cli.exe" "$@"\n' \
+  "$repo" > "$tmp/shim/turnpike-cli"
+chmod +x "$tmp/shim/turnpike-cli"
+awk '/^```sh$/ { run = 1; next } /^```$/ { run = 0 } run' docs/TUTORIAL.md \
+  > "$tmp/tutorial/script.sh"
+grep -q 'turnpike-cli report' "$tmp/tutorial/script.sh"
+(cd "$tmp/tutorial" && PATH="$tmp/shim:$PATH" bash -euo pipefail script.sh \
+  > tutorial.log)
+test -s "$tmp/tutorial/vuln.json"
+grep -q 'confidence' "$tmp/tutorial/tutorial.log"
 
 echo "== docs smoke: odoc build (advisory) =="
 if command -v odoc > /dev/null 2>&1; then
